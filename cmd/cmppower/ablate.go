@@ -1,0 +1,267 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cmppower"
+	"cmppower/internal/report"
+)
+
+// runAblate runs the sensitivity studies DESIGN.md calls out: the leakage
+// voltage sensitivity (A1), the noise-margin floor (A2), and chip-wide vs
+// system-wide DVFS (A3).
+func runAblate(args []string) error {
+	fs := flag.NewFlagSet("ablate", flag.ExitOnError)
+	what := fs.String("what", "leakage", "study: leakage, vmin, sysdvfs, overclock, thrifty, prefetch or placement")
+	scale := fs.Float64("scale", 0.3, "workload scale (sysdvfs only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch *what {
+	case "leakage":
+		return ablateLeakage()
+	case "vmin":
+		return ablateVmin()
+	case "sysdvfs":
+		return ablateSysDVFS(*scale)
+	case "overclock":
+		return ablateOverclock(*scale)
+	case "thrifty":
+		return ablateThrifty(*scale)
+	case "prefetch":
+		return ablatePrefetch(*scale)
+	case "placement":
+		return ablatePlacement(*scale)
+	}
+	return fmt.Errorf("unknown study %q", *what)
+}
+
+// ablateOverclock quantifies the paper's §4.2 closing remark: overclocking
+// a power-thrifty memory-bound app within the budget, and the
+// processor–memory gap that partially offsets the gain.
+func ablateOverclock(scale float64) error {
+	rig, err := cmppower.NewExperiment(scale)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Ablation A4: overclocking under the %.1f W budget (N=2)", rig.BudgetW()),
+		"app", "f/f1", "V", "speedup", "gap-efficiency", "power(W)", "in-budget")
+	for _, name := range []string{"Radix", "Cholesky", "FMM"} {
+		app, err := cmppower.AppByName(name)
+		if err != nil {
+			return err
+		}
+		study, err := rig.Overclock(app, 2, []float64{1.125, 1.25})
+		if err != nil {
+			return err
+		}
+		for _, row := range study.Rows {
+			if err := t.AddRow(name, report.F(row.FreqMult, 3), report.F(row.Volt, 3),
+				report.F(row.Speedup, 3), report.F(row.GapEfficiency, 3),
+				report.F(row.PowerW, 2), fmt.Sprint(row.WithinBudget)); err != nil {
+				return err
+			}
+		}
+	}
+	return t.WriteText(os.Stdout)
+}
+
+// ablatePrefetch contrasts the baseline hierarchy with the tagged
+// next-line prefetcher (extension A6): streaming apps gain IPC, which
+// reduces their memory-boundedness and with it the Scenario I memory-gap
+// speedup bonus.
+func ablatePrefetch(scale float64) error {
+	base, err := cmppower.NewExperiment(scale)
+	if err != nil {
+		return err
+	}
+	pf, err := cmppower.NewExperiment(scale)
+	if err != nil {
+		return err
+	}
+	pf.Prefetch = true
+	t := report.NewTable(
+		"Ablation A6: tagged next-line prefetching (single core, nominal V/f)",
+		"app", "IPC base", "IPC prefetch", "speedup", "power base(W)", "power prefetch(W)")
+	for _, name := range []string{"Ocean", "Radix", "FFT", "FMM"} {
+		app, err := cmppower.AppByName(name)
+		if err != nil {
+			return err
+		}
+		b, err := base.RunApp(app, 1, base.Table.Nominal())
+		if err != nil {
+			return err
+		}
+		p, err := pf.RunApp(app, 1, pf.Table.Nominal())
+		if err != nil {
+			return err
+		}
+		if err := t.AddRow(name, report.F(b.IPC, 3), report.F(p.IPC, 3),
+			report.F(b.Seconds/p.Seconds, 3),
+			report.F(b.PowerW, 2), report.F(p.PowerW, 2)); err != nil {
+			return err
+		}
+	}
+	return t.WriteText(os.Stdout)
+}
+
+// ablatePlacement contrasts contiguous vs spread core activation
+// (extension A7): identical runs, different physical placement of the
+// active cores, purely thermal consequences.
+func ablatePlacement(scale float64) error {
+	rig, err := cmppower.NewExperiment(scale)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(
+		"Ablation A7: core placement (nominal V/f)",
+		"app", "N", "policy", "power(W)", "avg-temp(C)", "peak(C)")
+	for _, name := range []string{"FMM", "Water-Sp"} {
+		app, err := cmppower.AppByName(name)
+		if err != nil {
+			return err
+		}
+		for _, n := range []int{2, 4, 8} {
+			study, err := rig.Placement(app, n)
+			if err != nil {
+				return err
+			}
+			for _, row := range study.Rows {
+				if err := t.AddRow(name, report.I(n), string(row.Policy),
+					report.F(row.PowerW, 2), report.F(row.AvgCoreTempC, 1),
+					report.F(row.PeakTempC, 1)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return t.WriteText(os.Stdout)
+}
+
+// ablateThrifty compares spinning vs sleeping at barriers (the paper's
+// ref. [26], "The Thrifty Barrier") across imbalanced and balanced apps.
+func ablateThrifty(scale float64) error {
+	rig, err := cmppower.NewExperiment(scale)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(
+		"Ablation A5: thrifty barriers vs spinning (N=8, nominal V/f)",
+		"app", "sleep-share", "spin-power(W)", "thrifty-power(W)", "energy-saving")
+	for _, name := range []string{"Volrend", "LU", "Radiosity", "FMM"} {
+		app, err := cmppower.AppByName(name)
+		if err != nil {
+			return err
+		}
+		res, err := rig.ThriftyBarrier(app, 8, rig.Table.Nominal())
+		if err != nil {
+			return err
+		}
+		if err := t.AddRow(name, report.F(res.SleepFraction, 3),
+			report.F(res.SpinPowerW, 2), report.F(res.ThriftyPowerW, 2),
+			fmt.Sprintf("%.1f%%", 100*res.SavingFraction)); err != nil {
+			return err
+		}
+	}
+	return t.WriteText(os.Stdout)
+}
+
+// ablateLeakage sweeps the leakage voltage sensitivity βv and reports how
+// the Scenario II peak moves: weaker sensitivity leaves a higher static
+// floor at Vmin, pulling the peak down and earlier.
+func ablateLeakage() error {
+	t := report.NewTable(
+		"Ablation A1: leakage voltage sensitivity vs Scenario II peak (65 nm, eps=1)",
+		"LeakBetaV", "peak-N", "peak-speedup", "speedup@32")
+	for _, bv := range []float64{1.0, 1.5, 2.0, 2.5, 3.0} {
+		tech := cmppower.Tech65()
+		tech.LeakBetaV = bv
+		m, err := cmppower.NewAnalyticModel(tech)
+		if err != nil {
+			return err
+		}
+		best, err := m.PeakSpeedup(1)
+		if err != nil {
+			return err
+		}
+		curve, err := m.Fig2Curve(32, 1)
+		if err != nil {
+			return err
+		}
+		if err := t.AddRow(report.F(bv, 1), report.I(best.N),
+			report.F(best.Speedup, 2), report.F(curve[31].Speedup, 2)); err != nil {
+			return err
+		}
+	}
+	return t.WriteText(os.Stdout)
+}
+
+// ablateVmin sweeps the noise-margin floor: a higher Vmin caps how far
+// voltage can drop, capping the speedup plateau (≈1/vmin² in the
+// dynamic-dominated regime) and moving the Scenario II peak earlier.
+func ablateVmin() error {
+	t := report.NewTable(
+		"Ablation A2: Vmin floor vs Scenario II peak (130 nm, eps=1)",
+		"Vmin/Vth", "Vmin(V)", "peak-N", "peak-speedup")
+	for _, k := range []float64{2.0, 2.5, 3.0, 3.2, 3.5, 4.0} {
+		tech := cmppower.Tech130()
+		tech.VminOverVth = k
+		m, err := cmppower.NewAnalyticModel(tech)
+		if err != nil {
+			return err
+		}
+		best, err := m.PeakSpeedup(1)
+		if err != nil {
+			return err
+		}
+		if err := t.AddRow(report.F(k, 1), report.F(tech.Vmin(), 3),
+			report.I(best.N), report.F(best.Speedup, 2)); err != nil {
+			return err
+		}
+	}
+	return t.WriteText(os.Stdout)
+}
+
+// ablateSysDVFS contrasts chip-wide DVFS (the experiments' assumption)
+// with system-wide DVFS (the analytical model's): the memory-gap speedup
+// bonus of Scenario I exists only in the former.
+func ablateSysDVFS(scale float64) error {
+	t := report.NewTable(
+		"Ablation A3: chip-wide vs system-wide DVFS, Scenario I actual speedup",
+		"app", "N", "chip-wide", "system-wide")
+	apps := []string{"Radix", "Ocean", "FMM"}
+	chip, err := cmppower.NewExperiment(scale)
+	if err != nil {
+		return err
+	}
+	system, err := cmppower.NewExperiment(scale)
+	if err != nil {
+		return err
+	}
+	system.ScaleMemoryWithChip = true
+	for _, name := range apps {
+		app, err := cmppower.AppByName(name)
+		if err != nil {
+			return err
+		}
+		rc, err := chip.ScenarioI(app, []int{1, 4, 16})
+		if err != nil {
+			return err
+		}
+		rs, err := system.ScenarioI(app, []int{1, 4, 16})
+		if err != nil {
+			return err
+		}
+		for i := range rc.Rows {
+			if err := t.AddRow(name, report.I(rc.Rows[i].N),
+				report.F(rc.Rows[i].ActualSpeedup, 2),
+				report.F(rs.Rows[i].ActualSpeedup, 2)); err != nil {
+				return err
+			}
+		}
+	}
+	return t.WriteText(os.Stdout)
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// runAll regenerates every paper artifact and every ablation into a
+// directory, one text file per figure/table — the single command behind
+// EXPERIMENTS.md.
+func runAll(args []string) error {
+	fs := flag.NewFlagSet("all", flag.ExitOnError)
+	out := fs.String("out", "results", "output directory")
+	scale := fs.Float64("scale", 1.0, "workload scale factor for the experimental figures")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	scaleArg := fmt.Sprintf("-scale=%g", *scale)
+	jobs := []struct {
+		file string
+		run  func([]string) error
+		args []string
+	}{
+		{"table1.txt", runTable1, nil},
+		{"table2.txt", runTable2, nil},
+		{"fig1.txt", runFig1, nil},
+		{"fig2.txt", runFig2, []string{"-chart"}},
+		{"fig3.txt", runFig3, []string{scaleArg}},
+		{"fig4.txt", runFig4, []string{scaleArg}},
+		{"ablate-leakage.txt", runAblate, []string{"-what=leakage"}},
+		{"ablate-vmin.txt", runAblate, []string{"-what=vmin"}},
+		{"ablate-sysdvfs.txt", runAblate, []string{"-what=sysdvfs", scaleArg}},
+		{"ablate-overclock.txt", runAblate, []string{"-what=overclock", scaleArg}},
+		{"ablate-thrifty.txt", runAblate, []string{"-what=thrifty", scaleArg}},
+		{"ablate-prefetch.txt", runAblate, []string{"-what=prefetch", scaleArg}},
+		{"ablate-placement.txt", runAblate, []string{"-what=placement", scaleArg}},
+		{"validate.txt", runValidate, []string{scaleArg}},
+		{"classify.txt", runClassify, []string{scaleArg}},
+		{"pareto.txt", runPareto, nil},
+	}
+	for _, job := range jobs {
+		start := time.Now()
+		path := filepath.Join(*out, job.file)
+		if err := withStdout(path, func() error { return job.run(job.args) }); err != nil {
+			return fmt.Errorf("%s: %w", job.file, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %-24s (%.1fs)\n", path, time.Since(start).Seconds())
+	}
+	return nil
+}
+
+// withStdout redirects os.Stdout to path while fn runs.
+func withStdout(path string, fn func() error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	saved := os.Stdout
+	os.Stdout = f
+	defer func() {
+		os.Stdout = saved
+		f.Close()
+	}()
+	return fn()
+}

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"cmppower"
+	"cmppower/internal/cache"
+	"cmppower/internal/experiment"
+	"cmppower/internal/mem"
+	"cmppower/internal/power"
+	"cmppower/internal/workload"
+)
+
+// runDoctor runs the repository's end-to-end self-checks: determinism,
+// coherence fuzzing, calibration, and analytic sanity. It exits non-zero
+// on the first failure, making it suitable for CI smoke checks.
+func runDoctor(args []string) error {
+	fs := flag.NewFlagSet("doctor", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	checks := []struct {
+		name string
+		fn   func() error
+	}{
+		{"simulator determinism", checkDeterminism},
+		{"MESI coherence under fuzz", checkCoherence},
+		{"power calibration at the design point", checkCalibration},
+		{"analytic Scenario II shape", checkAnalyticShape},
+		{"memory-gap effect present", checkMemoryGap},
+	}
+	failed := 0
+	for _, c := range checks {
+		if err := c.fn(); err != nil {
+			fmt.Printf("FAIL %-42s %v\n", c.name, err)
+			failed++
+		} else {
+			fmt.Printf("ok   %s\n", c.name)
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+	return nil
+}
+
+func checkDeterminism() error {
+	app, err := cmppower.AppByName("FFT")
+	if err != nil {
+		return err
+	}
+	tab, err := cmppower.NewDVFSTable(cmppower.Tech65())
+	if err != nil {
+		return err
+	}
+	cfg := cmppower.DefaultSimConfig(4, tab.Nominal())
+	cfg.Core = app.CoreConfig()
+	a, err := cmppower.Simulate(app.Program(0.2), cfg)
+	if err != nil {
+		return err
+	}
+	b, err := cmppower.Simulate(app.Program(0.2), cfg)
+	if err != nil {
+		return err
+	}
+	if a.Cycles != b.Cycles || a.Instructions != b.Instructions {
+		return fmt.Errorf("two identical runs diverged: %g/%d vs %g/%d",
+			a.Cycles, a.Instructions, b.Cycles, b.Instructions)
+	}
+	return nil
+}
+
+func checkCoherence() error {
+	for _, prefetch := range []bool{false, true} {
+		cfg := cache.DefaultConfig(8, 3.2e9)
+		cfg.PrefetchNextLine = prefetch
+		cfg.L1 = cache.Geometry{SizeBytes: 4 << 10, LineBytes: 64, Ways: 2}
+		cfg.L2 = cache.Geometry{SizeBytes: 16 << 10, LineBytes: 128, Ways: 2}
+		h, err := cache.New(cfg, mem.Default())
+		if err != nil {
+			return err
+		}
+		rng := workload.NewRNG(0xD0C)
+		now := 0.0
+		for i := 0; i < 20000; i++ {
+			now = h.Access(rng.Intn(8), uint64(rng.Intn(128))*64, rng.Float64() < 0.4, now)
+			if i%1000 == 0 {
+				if err := h.CheckCoherence(); err != nil {
+					return fmt.Errorf("prefetch=%v: %w", prefetch, err)
+				}
+			}
+		}
+		if err := h.CheckCoherence(); err != nil {
+			return fmt.Errorf("prefetch=%v: %w", prefetch, err)
+		}
+	}
+	return nil
+}
+
+func checkCalibration() error {
+	rig, err := experiment.NewRig(0.1)
+	if err != nil {
+		return err
+	}
+	op := rig.Table.Nominal()
+	const cycles = 1 << 18
+	act := power.MaxActivity(16, 1, cycles)
+	res, err := rig.Meter.Evaluate(rig.FP, rig.TM, act, float64(cycles)/op.Freq, cycles, op, 1)
+	if err != nil {
+		return err
+	}
+	if res.PeakTempC < 80 || res.PeakTempC > 120 {
+		return fmt.Errorf("microbenchmark peak %g °C, want near 100", res.PeakTempC)
+	}
+	return nil
+}
+
+func checkAnalyticShape() error {
+	for _, tech := range []cmppower.Technology{cmppower.Tech130(), cmppower.Tech65()} {
+		m, err := cmppower.NewAnalyticModel(tech)
+		if err != nil {
+			return err
+		}
+		best, err := m.PeakSpeedup(1)
+		if err != nil {
+			return err
+		}
+		if best.N < 8 || best.N > 20 || best.Speedup < 3 || best.Speedup > 6 {
+			return fmt.Errorf("%s: peak %.2f at N=%d outside the calibrated range", tech.Name, best.Speedup, best.N)
+		}
+	}
+	return nil
+}
+
+func checkMemoryGap() error {
+	rig, err := experiment.NewRig(0.2)
+	if err != nil {
+		return err
+	}
+	app, err := cmppower.AppByName("Radix")
+	if err != nil {
+		return err
+	}
+	res, err := rig.ScenarioI(app, []int{1, 4})
+	if err != nil {
+		return err
+	}
+	if len(res.Rows) == 0 {
+		return fmt.Errorf("no rows")
+	}
+	if s := res.Rows[0].ActualSpeedup; s < 1.05 || math.IsNaN(s) {
+		return fmt.Errorf("memory-gap speedup %g, want > 1.05", s)
+	}
+	return nil
+}

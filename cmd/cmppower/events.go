@@ -1,0 +1,67 @@
+package main
+
+import (
+	"flag"
+	"os"
+
+	"cmppower"
+	"cmppower/internal/cmp"
+	"cmppower/internal/report"
+)
+
+// runEvents executes an application with event tracing enabled and dumps
+// the tail of the trace, as a table or as JSONL for external tooling.
+func runEvents(args []string) error {
+	fs := flag.NewFlagSet("events", flag.ExitOnError)
+	appName := fs.String("app", "FFT", "application name")
+	n := fs.Int("n", 2, "active cores")
+	last := fs.Int("last", 40, "how many trailing events to keep")
+	scale := fs.Float64("scale", 0.1, "workload scale factor")
+	jsonl := fs.Bool("jsonl", false, "emit JSONL instead of a table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	app, err := cmppower.AppByName(*appName)
+	if err != nil {
+		return err
+	}
+	tab, err := cmppower.NewDVFSTable(cmppower.Tech65())
+	if err != nil {
+		return err
+	}
+	cfg := cmppower.DefaultSimConfig(*n, tab.Nominal())
+	cfg.Core = app.CoreConfig()
+	cfg.TraceLast = *last
+	res, err := cmppower.Simulate(app.Program(*scale), cfg)
+	if err != nil {
+		return err
+	}
+	if *jsonl {
+		return cmp.WriteTraceJSONL(os.Stdout, res.Trace)
+	}
+	t := report.NewTable("Event trace (tail)", "cycle", "core", "kind", "n", "addr", "id")
+	for _, e := range res.Trace {
+		if err := t.AddRow(report.F(e.Cycle, 1), report.I(e.Core),
+			e.Kind.String(), report.I(e.N),
+			"0x"+hex(e.Addr), report.I(e.ID)); err != nil {
+			return err
+		}
+	}
+	return t.WriteText(os.Stdout)
+}
+
+// hex formats an address without pulling in fmt's %x for the hot path.
+func hex(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	const digits = "0123456789abcdef"
+	var buf [16]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = digits[v&0xF]
+		v >>= 4
+	}
+	return string(buf[i:])
+}

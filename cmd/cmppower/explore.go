@@ -1,0 +1,102 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cmppower"
+	"cmppower/internal/explore"
+	"cmppower/internal/report"
+	"cmppower/internal/splash"
+)
+
+// runExplore runs the iso-area design-space exploration: few wide cores vs
+// many narrow cores vs a bigger L2, per application.
+func runExplore(args []string) error {
+	fs := flag.NewFlagSet("explore", flag.ExitOnError)
+	appSel := fs.String("apps", "Barnes,FMM,Ocean,Radix", "comma-separated application names, or all")
+	scale := fs.Float64("scale", 0.3, "workload scale factor")
+	csv := fs.Bool("csv", false, "emit CSV")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var apps []splash.App
+	if *appSel == "all" {
+		apps = splash.Catalog()
+	} else {
+		publicApps, err := appsFor(*appSel)
+		if err != nil {
+			return err
+		}
+		apps = publicApps
+	}
+	outs, err := explore.Explore(apps, explore.StandardOptions(), *scale)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(
+		"Design-space exploration: fixed die, fixed thermal envelope, nominal V/f",
+		"app", "option", "cores(threads)", "time(ms)", "power(W)", "energy(mJ)", "EDP(uJ*s)", "speedup-vs-16x")
+	for _, o := range outs {
+		if err := t.AddRow(o.App, o.Option.Name,
+			fmt.Sprintf("%d(%d)", o.Option.Cores, o.N),
+			report.F(o.Seconds*1e3, 3), report.F(o.PowerW, 2),
+			report.F(o.EnergyJ*1e3, 3), report.F(o.EDP*1e6, 4),
+			report.F(o.Speedup, 2)); err != nil {
+			return err
+		}
+	}
+	if err := emit(t, *csv); err != nil {
+		return err
+	}
+	fmt.Println()
+	for app, o := range explore.BestByEDP(outs) {
+		fmt.Printf("%-10s best EDP: %s\n", app, o.Option.Name)
+	}
+	return nil
+}
+
+// runEDP sweeps one application over cores × frequencies under the
+// energy/EDP/ED²P metric family.
+func runEDP(args []string) error {
+	fs := flag.NewFlagSet("edp", flag.ExitOnError)
+	appName := fs.String("app", "FFT", "application name")
+	scale := fs.Float64("scale", 0.5, "workload scale factor")
+	csv := fs.Bool("csv", false, "emit CSV")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	app, err := cmppower.AppByName(*appName)
+	if err != nil {
+		return err
+	}
+	rig, err := cmppower.NewExperiment(*scale)
+	if err != nil {
+		return err
+	}
+	sweep, err := rig.Metrics(app, []int{1, 2, 4, 8, 16},
+		[]float64{800e6, 1.6e9, 2.4e9, 3.2e9})
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Energy metrics: %s across cores and frequency", app.Name),
+		"N", "f(MHz)", "time(ms)", "power(W)", "energy(mJ)", "EDP(uJ*s)", "ED2P")
+	for _, row := range sweep.Rows {
+		if err := t.AddRow(report.I(row.N), report.MHz(row.Point.Freq),
+			report.F(row.Seconds*1e3, 3), report.F(row.PowerW, 2),
+			report.F(row.EnergyJ*1e3, 3), report.F(row.EDP*1e6, 4),
+			report.G(row.ED2P)); err != nil {
+			return err
+		}
+	}
+	if err := emit(t, *csv); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stdout, "\nbest energy: N=%d @ %s | best EDP: N=%d @ %s | best ED2P: N=%d @ %s\n",
+		sweep.BestEnergy.N, sweep.BestEnergy.Point,
+		sweep.BestEDP.N, sweep.BestEDP.Point,
+		sweep.BestED2P.N, sweep.BestED2P.Point)
+	return nil
+}

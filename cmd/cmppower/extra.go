@@ -1,0 +1,115 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"cmppower"
+	"cmppower/internal/core"
+	"cmppower/internal/experiment"
+	"cmppower/internal/report"
+)
+
+// runTrace renders a transient thermal trace of one application run.
+func runTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	appName := fs.String("app", "FMM", "application name")
+	n := fs.Int("n", 1, "active cores")
+	scale := fs.Float64("scale", 0.5, "workload scale factor")
+	dilate := fs.Float64("dilate", 2000, "time dilation (phase repetition factor)")
+	freqMHz := fs.Float64("freq", 3200, "operating frequency in MHz")
+	csv := fs.Bool("csv", false, "emit CSV")
+	chart := fs.Bool("chart", false, "render ASCII chart of the warming curve")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	app, err := cmppower.AppByName(*appName)
+	if err != nil {
+		return err
+	}
+	rig, err := experiment.NewRig(*scale)
+	if err != nil {
+		return err
+	}
+	point := rig.Table.PointFor(*freqMHz * 1e6)
+	tc := experiment.DefaultTransientConfig()
+	tc.TimeDilation = *dilate
+	trace, err := rig.Transient(app, *n, point, tc)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Transient trace: %s on %d core(s) at %s (dilation %g)", app.Name, *n, point, *dilate),
+		"interval", "cycles", "dyn(W)", "total(W)", "avg-core(C)", "peak(C)")
+	var xs, ys []float64
+	var elapsed float64
+	for i, pt := range trace {
+		if err := t.AddRow(report.I(i), report.F(pt.EndCycle-pt.StartCycle, 0),
+			report.F(pt.DynW, 2), report.F(pt.TotalW, 2),
+			report.F(pt.AvgCoreTempC, 2), report.F(pt.PeakTempC, 2)); err != nil {
+			return err
+		}
+		elapsed += pt.Seconds
+		xs = append(xs, elapsed)
+		ys = append(ys, pt.AvgCoreTempC)
+	}
+	if err := emit(t, *csv); err != nil {
+		return err
+	}
+	if *chart && len(xs) >= 2 {
+		s, err := report.AsciiChart("average core temperature (°C) vs dilated seconds", xs, ys, 64, 12)
+		if err != nil {
+			return err
+		}
+		fmt.Println(s)
+	}
+	return nil
+}
+
+// runValidate cross-validates the analytical model against the simulator
+// (experiment E5): fit each application's measured efficiency curve, feed
+// it into the analytical model, and compare predictions with measurements.
+func runValidate(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	appSel := fs.String("apps", "all", "comma-separated application names, or all")
+	scale := fs.Float64("scale", 0.5, "workload scale factor")
+	csv := fs.Bool("csv", false, "emit CSV")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	apps, err := appsFor(*appSel)
+	if err != nil {
+		return err
+	}
+	rig, err := experiment.NewRig(*scale)
+	if err != nil {
+		return err
+	}
+	m, err := core.New(core.DefaultConfig(rig.Tech))
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(
+		"Cross-validation: analytical model (fitted eps) vs simulator",
+		"app", "N", "eff(meas)", "eff(fit)", "normP(sim)", "normP(analytic)",
+		"budgetS(sim)", "budgetS(analytic)")
+	for _, app := range apps {
+		cv, err := rig.CrossValidate(app, []int{1, 2, 4, 8, 16}, m)
+		if err != nil {
+			return err
+		}
+		for _, r := range cv.Rows {
+			if err := t.AddRow(app.Name, report.I(r.N),
+				report.F(r.MeasuredEff, 3), report.F(r.FittedEff, 3),
+				report.F(r.SimNormPower, 3), report.F(r.AnalyticNormPower, 3),
+				report.F(r.SimBudgetSpeedup, 2), report.F(r.AnalyticBudgetSpeedup, 2)); err != nil {
+				return err
+			}
+		}
+		pm, sm := cv.Agreement()
+		fmt.Printf("%-10s fit %v (RMS %.3f) — mean |rel err|: power %.0f%%, budget speedup %.0f%%\n",
+			app.Name, cv.Model, cv.FitRMS, 100*pm, 100*sm)
+	}
+	fmt.Println()
+	return emit(t, *csv)
+}

@@ -1,0 +1,127 @@
+// Command cmppower regenerates every table and figure of the reproduced
+// paper from the command line.
+//
+// Usage:
+//
+//	cmppower fig1   [-tech 65|130|both] [-csv] [-points N]
+//	cmppower fig2   [-tech 65|130|both] [-csv] [-chart]
+//	cmppower fig3   [-apps list] [-scale S] [-csv]
+//	cmppower fig4   [-apps list] [-scale S] [-csv] [-chart]
+//	cmppower table1
+//	cmppower table2
+//	cmppower sweep  [-app NAME] [-scale S]          (raw N×frequency sweep)
+//	cmppower ablate [-what leakage|vmin|sysdvfs]
+//	cmppower trace  [-app NAME] [-n N] [-dilate D] [-chart]
+//	cmppower validate [-apps list] [-scale S]
+//	cmppower explore [-apps list] [-scale S]
+//	cmppower edp    [-app NAME] [-scale S]
+//	cmppower events [-app NAME] [-n N] [-last K] [-jsonl]
+//	cmppower mix    [-apps list] [-freq MHz]
+//	cmppower seeds  [-app NAME] [-n N] [-count K]
+//	cmppower classify [-n N] [-scale S]
+//	cmppower pareto [-tech 65|130] [-serial s] [-comm c] [-chart]
+//	cmppower svg    [-app NAME] [-n N] [-out FILE]
+//	cmppower all    [-out DIR] [-scale S]
+//	cmppower doctor
+//
+// See EXPERIMENTS.md for the expected shapes and the paper-vs-measured
+// record.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "fig1":
+		err = runFig1(args)
+	case "fig2":
+		err = runFig2(args)
+	case "fig3":
+		err = runFig3(args)
+	case "fig4":
+		err = runFig4(args)
+	case "table1":
+		err = runTable1(args)
+	case "table2":
+		err = runTable2(args)
+	case "sweep":
+		err = runSweep(args)
+	case "ablate":
+		err = runAblate(args)
+	case "trace":
+		err = runTrace(args)
+	case "validate":
+		err = runValidate(args)
+	case "explore":
+		err = runExplore(args)
+	case "edp":
+		err = runEDP(args)
+	case "events":
+		err = runEvents(args)
+	case "mix":
+		err = runMix(args)
+	case "seeds":
+		err = runSeeds(args)
+	case "classify":
+		err = runClassify(args)
+	case "pareto":
+		err = runPareto(args)
+	case "svg":
+		err = runSVG(args)
+	case "all":
+		err = runAll(args)
+	case "doctor":
+		err = runDoctor(args)
+	case "cachesweep":
+		err = runCacheSweep(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "cmppower: unknown command %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cmppower %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `cmppower — reproduction harness for Li & Martínez, ISPASS 2005
+
+Commands:
+  fig1     Normalized power vs parallel efficiency (analytical Scenario I)
+  fig2     Speedup under a power budget vs core count (analytical Scenario II)
+  fig3     SPLASH-2 Scenario I: efficiency, speedup, power, density, temperature
+  fig4     SPLASH-2 Scenario II: nominal vs actual speedup under budget
+  table1   The modeled CMP configuration
+  table2   The SPLASH-2 application catalog
+  sweep    Raw simulator sweep over cores × frequency for one application
+  ablate   Sensitivity studies (leakage, Vmin, system-wide DVFS)
+  trace    Transient thermal trace of one application run
+  validate Cross-validate the analytical model against the simulator
+  explore  Iso-area design-space exploration (wide vs narrow cores, L2)
+  edp      Energy / EDP / ED²P sweep for one application
+  events   Dump the tail of an execution's event trace
+  mix      Multiprogrammed throughput study (one job per core)
+  seeds    Seed-sensitivity study (reproduction error bars)
+  classify CPI-stack workload classification
+  pareto   Analytical speedup/power Pareto frontier
+  svg      Thermal-map SVG of one run
+  all      Regenerate every artifact into a directory
+  doctor   End-to-end self-checks (determinism, coherence, calibration)
+  cachesweep  L1 capacity sensitivity across core counts
+
+Run 'cmppower <command> -h' for flags.
+`)
+}

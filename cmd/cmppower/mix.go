@@ -1,0 +1,85 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"cmppower"
+	"cmppower/internal/report"
+)
+
+// runMix evaluates a multiprogrammed mix: one single-threaded copy of each
+// named application per core, reporting per-job slowdown, weighted
+// speedup, and chip power against the budget.
+func runMix(args []string) error {
+	fs := flag.NewFlagSet("mix", flag.ExitOnError)
+	appSel := fs.String("apps", "FMM,Radix,Ocean,Water-Sp", "comma-separated application names")
+	scale := fs.Float64("scale", 0.3, "workload scale factor")
+	freqMHz := fs.Float64("freq", 3200, "operating frequency in MHz")
+	csv := fs.Bool("csv", false, "emit CSV")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	apps, err := appsFor(*appSel)
+	if err != nil {
+		return err
+	}
+	rig, err := cmppower.NewExperiment(*scale)
+	if err != nil {
+		return err
+	}
+	point := rig.Table.PointFor(*freqMHz * 1e6)
+	res, err := rig.Mix(apps, point)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Multiprogrammed mix at %s", point),
+		"job", "solo(ms)", "mix(ms)", "slowdown")
+	for _, j := range res.Jobs {
+		if err := t.AddRow(j.App, report.F(j.SoloSeconds*1e3, 3),
+			report.F(j.MixSeconds*1e3, 3), report.F(j.Slowdown, 3)); err != nil {
+			return err
+		}
+	}
+	if err := emit(t, *csv); err != nil {
+		return err
+	}
+	fmt.Printf("\nweighted speedup %.2f of %d | chip power %.2f W (budget %.2f W, within=%v)\n",
+		res.WeightedSpeedup, len(res.Jobs), res.PowerW, rig.BudgetW(), res.WithinBudget)
+	return nil
+}
+
+// runSeeds measures seed sensitivity for one application.
+func runSeeds(args []string) error {
+	fs := flag.NewFlagSet("seeds", flag.ExitOnError)
+	appName := fs.String("app", "FFT", "application name")
+	n := fs.Int("n", 8, "active cores")
+	count := fs.Int("count", 5, "number of seeds")
+	scale := fs.Float64("scale", 0.3, "workload scale factor")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	app, err := cmppower.AppByName(*appName)
+	if err != nil {
+		return err
+	}
+	rig, err := cmppower.NewExperiment(*scale)
+	if err != nil {
+		return err
+	}
+	seeds := make([]uint64, *count)
+	for i := range seeds {
+		seeds[i] = uint64(i + 1)
+	}
+	st, err := rig.SeedStudy(app, *n, seeds)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s on %d cores across %d seeds:\n", st.App, st.N, st.Samples)
+	fmt.Printf("  efficiency %.3f ± %.3f\n", st.EffMean, st.EffStd)
+	fmt.Printf("  time       %.3g ± %.3g s\n", st.TimeMean, st.TimeStd)
+	fmt.Printf("  power      %.2f ± %.2f W\n", st.PowerMean, st.PowerStd)
+	fmt.Printf("  worst relative spread %.1f%%\n", 100*st.RelSpread())
+	return nil
+}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cmppower"
+	"cmppower/internal/report"
+)
+
+// runTable1 prints the modeled CMP configuration (paper Table 1).
+func runTable1(args []string) error {
+	fs := flag.NewFlagSet("table1", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tech := cmppower.Tech65()
+	t := report.NewTable("Table 1: the modeled CMP configuration", "parameter", "value")
+	rows := [][2]string{
+		{"CMP size", "16-way"},
+		{"Processor core", "Alpha 21264 (EV6)-class, 4-wide"},
+		{"Process technology", tech.Name},
+		{"Nominal frequency", "3.2 GHz"},
+		{"Nominal Vdd", fmt.Sprintf("%.1f V", tech.Vdd)},
+		{"Vth", fmt.Sprintf("%.2f V", tech.Vth)},
+		{"Ambient temperature", fmt.Sprintf("%.0f C", cmppower.AmbientTempC)},
+		{"Max die temperature", fmt.Sprintf("%.0f C", cmppower.MaxDieTempC)},
+		{"Die size", "244.5 mm2 (15.6 mm x 15.6 mm)"},
+		{"L1 I-, D-Cache", "64 KB, 64 B line, 2-way, 2-cycle RT"},
+		{"Unified L2 cache", "shared on chip, 4 MB, 128 B line, 8-way, 12-cycle RT"},
+		{"Memory", "75 ns RT"},
+		{"DVFS ladder", "200 MHz - 3.2 GHz in 200 MHz steps, chip-wide"},
+	}
+	for _, r := range rows {
+		if err := t.AddRow(r[0], r[1]); err != nil {
+			return err
+		}
+	}
+	return t.WriteText(os.Stdout)
+}
+
+// runTable2 prints the SPLASH-2 application catalog (paper Table 2).
+// With -detail it also drains each application's thread 0 to report the
+// instruction mix the simulator will see.
+func runTable2(args []string) error {
+	fs := flag.NewFlagSet("table2", flag.ExitOnError)
+	detail := fs.Bool("detail", false, "profile each application's instruction mix")
+	scale := fs.Float64("scale", 0.5, "workload scale for -detail profiling")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if !*detail {
+		t := report.NewTable("Table 2: SPLASH-2 applications", "application", "problem size", "class", "power-of-two only")
+		for _, a := range cmppower.Apps() {
+			if err := t.AddRow(a.Name, a.ProblemSize, a.Class, fmt.Sprint(a.PowerOfTwoOnly)); err != nil {
+				return err
+			}
+		}
+		return t.WriteText(os.Stdout)
+	}
+	t := report.NewTable("Table 2 (detail): per-thread instruction mix at N=4",
+		"application", "instructions", "mem/instr", "fp/instr", "writes/mem", "barriers", "locks")
+	for _, a := range cmppower.Apps() {
+		prof, err := cmppower.ProfileThread(a.Program(*scale), 0, 4, 1, 0)
+		if err != nil {
+			return err
+		}
+		if err := t.AddRow(a.Name,
+			fmt.Sprint(prof.Instructions),
+			report.F(prof.MemRatio(), 3), report.F(prof.FPRatio(), 3),
+			report.F(prof.WriteRatio(), 3),
+			fmt.Sprint(prof.Barriers), fmt.Sprint(prof.LockAcquires)); err != nil {
+			return err
+		}
+	}
+	return t.WriteText(os.Stdout)
+}
+
+// runSweep runs the raw simulator over cores × ladder frequencies for one
+// application and prints time/power rows — the profiling data behind the
+// Scenario II search.
+func runSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	appName := fs.String("app", "FMM", "application name")
+	scale := fs.Float64("scale", 0.5, "workload scale factor")
+	csv := fs.Bool("csv", false, "emit CSV")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	app, err := cmppower.AppByName(*appName)
+	if err != nil {
+		return err
+	}
+	rig, err := cmppower.NewExperiment(*scale)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Sweep: %s, time and power across cores and frequency", app.Name),
+		"N", "f(MHz)", "V", "time(ms)", "power(W)", "IPC", "avg-temp(C)")
+	pts := rig.Table.Points()
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		if !app.RunsOn(n) {
+			continue
+		}
+		for i := 0; i < len(pts); i += 5 {
+			m, err := rig.RunApp(app, n, pts[i])
+			if err != nil {
+				return err
+			}
+			if err := t.AddRow(report.I(n), report.MHz(pts[i].Freq), report.F(pts[i].Volt, 3),
+				report.F(m.Seconds*1e3, 3), report.F(m.PowerW, 2),
+				report.F(m.IPC, 2), report.F(m.AvgCoreTempC, 1)); err != nil {
+				return err
+			}
+		}
+	}
+	return emit(t, *csv)
+}

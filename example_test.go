@@ -1,0 +1,106 @@
+package cmppower_test
+
+import (
+	"fmt"
+
+	"cmppower"
+)
+
+// ExampleNewAnalyticModel reproduces the paper's Scenario II headline: the
+// optimal core count under a single-core power budget.
+func ExampleNewAnalyticModel() {
+	model, err := cmppower.NewAnalyticModel(cmppower.Tech130())
+	if err != nil {
+		panic(err)
+	}
+	best, err := model.PeakSpeedup(1.0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("peak speedup %.2f at N=%d\n", best.Speedup, best.N)
+	// Output: peak speedup 4.54 at N=14
+}
+
+// ExampleAnalyticModel_ScenarioI shows the power-optimization query: what
+// fraction of single-core power do 8 perfectly-efficient cores need to
+// match its performance?
+func ExampleAnalyticModel_ScenarioI() {
+	model, err := cmppower.NewAnalyticModel(cmppower.Tech65())
+	if err != nil {
+		panic(err)
+	}
+	op, err := model.ScenarioI(8, 1.0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("feasible=%v power=%.0f%% of P1\n", op.Feasible, 100*op.NormPower)
+	// Output: feasible=true power=36% of P1
+}
+
+// ExampleFitEfficiency fits the extended-Amdahl efficiency model to
+// measured points and extrapolates.
+func ExampleFitEfficiency() {
+	m, err := cmppower.FitEfficiency(
+		[]int{2, 4, 8, 16},
+		[]float64{0.95, 0.88, 0.76, 0.60},
+	)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("eps(32) = %.2f\n", m.Eps(32))
+	// Output: eps(32) = 0.42
+}
+
+// ExampleAppByName looks up one of the twelve SPLASH-2 models.
+func ExampleAppByName() {
+	app, err := cmppower.AppByName("Radix")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s: %s\n", app.Name, app.ProblemSize)
+	// Output: Radix: 1M integers, radix 1024
+}
+
+// ExampleNewDVFSTable shows the chip-wide operating-point ladder and the
+// memory-gap arithmetic at its extremes.
+func ExampleNewDVFSTable() {
+	tab, err := cmppower.NewDVFSTable(cmppower.Tech65())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d steps, %s .. %s\n", tab.Len(), tab.Min(), tab.Nominal())
+	// Output: 16 steps, 200 MHz @ 0.576 V .. 3200 MHz @ 1.100 V
+}
+
+// ExampleAnalyticModel_RequiredEfficiency inverts Figure 1: how efficient
+// must an application be for 8 cores to match single-core performance at
+// half the power?
+func ExampleAnalyticModel_RequiredEfficiency() {
+	model, err := cmppower.NewAnalyticModel(cmppower.Tech65())
+	if err != nil {
+		panic(err)
+	}
+	eps, err := model.RequiredEfficiency(8, 0.5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("need eps >= %.2f\n", eps)
+	// Output: need eps >= 0.53
+}
+
+// ExampleAnalyticModel_Pareto walks the speedup/power frontier beyond the
+// paper's two corner scenarios.
+func ExampleAnalyticModel_Pareto() {
+	model, err := cmppower.NewAnalyticModel(cmppower.Tech130())
+	if err != nil {
+		panic(err)
+	}
+	frontier, err := model.Pareto(32, 64, func(int) float64 { return 1 })
+	if err != nil {
+		panic(err)
+	}
+	fastest := frontier[len(frontier)-1]
+	fmt.Printf("fastest frontier point: %.1fx at %.1fx the single-core power\n",
+		fastest.Speedup, fastest.NormPower)
+	// Output: fastest frontier point: 32.0x at 40.8x the single-core power
+}

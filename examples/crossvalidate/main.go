@@ -1,0 +1,57 @@
+// Crossvalidate: the paper's central claim — "the analytical model
+// predicts power-performance behavior reasonably well" — quantified.
+//
+// For each application the example measures the nominal parallel
+// efficiency curve in the simulator, fits the two-parameter
+// extended-Amdahl model, feeds the fit into the analytical model, and
+// prints analytical predictions next to simulator measurements for both
+// scenarios. The systematic gaps are the two modeling asymmetries the
+// paper itself discusses: the analytical model scales the whole system
+// (so it misses the memory-gap speedup bonus) and assumes the sequential
+// run consumes the full budget (so its budget speedups are pessimistic
+// for power-thrifty codes).
+//
+// Run with: go run ./examples/crossvalidate [appname]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"cmppower"
+)
+
+func main() {
+	names := []string{"Barnes", "FMM", "Radix"}
+	if len(os.Args) > 1 {
+		names = os.Args[1:]
+	}
+	rig, err := cmppower.NewExperiment(0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := cmppower.NewAnalyticModel(rig.Tech)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, name := range names {
+		app, err := cmppower.AppByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cv, err := rig.CrossValidate(app, []int{1, 2, 4, 8, 16}, model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s — fitted %v (RMS %.3f)\n", cv.App, cv.Model, cv.FitRMS)
+		fmt.Printf("  %-3s  %-22s  %-22s\n", "N", "norm power (sim/analytic)", "budget speedup (sim/analytic)")
+		for _, r := range cv.Rows {
+			fmt.Printf("  %-3d  %.3f / %.3f            %.2f / %.2f\n",
+				r.N, r.SimNormPower, r.AnalyticNormPower,
+				r.SimBudgetSpeedup, r.AnalyticBudgetSpeedup)
+		}
+		pm, sm := cv.Agreement()
+		fmt.Printf("  mean |relative error|: power %.0f%%, budget speedup %.0f%%\n\n", 100*pm, 100*sm)
+	}
+}

@@ -1,0 +1,67 @@
+// Greenscaling: given an application and a performance target (the
+// single-core execution), choose the number of cores and the chip-wide
+// DVFS point that minimize power — the paper's Scenario I used as a
+// decision procedure.
+//
+// The example sweeps all twelve SPLASH-2 models, prints the most
+// power-efficient configuration for each, and shows that the best core
+// count is NOT always the largest: applications with sagging parallel
+// efficiency waste the extra cores' leakage and gate power.
+//
+// Run with: go run ./examples/greenscaling [appname]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"cmppower"
+)
+
+func main() {
+	apps := cmppower.Apps()
+	if len(os.Args) > 1 {
+		a, err := cmppower.AppByName(os.Args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		apps = []cmppower.App{a}
+	}
+	rig, err := cmppower.NewExperiment(0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	counts := []int{1, 2, 4, 8, 16}
+	fmt.Println("Most power-efficient configuration matching 1-core performance:")
+	fmt.Println()
+	for _, app := range apps {
+		res, err := rig.ScenarioI(app, counts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bestN, bestPower := 1, 1.0
+		var bestRow *cmppower.ScenarioIRow
+		for i := range res.Rows {
+			row := &res.Rows[i]
+			if row.NormPower < bestPower {
+				bestPower = row.NormPower
+				bestN = row.N
+				bestRow = row
+			}
+		}
+		if bestRow == nil {
+			fmt.Printf("%-10s best stays at 1 core (parallelizing never saves power)\n", app.Name)
+			continue
+		}
+		fmt.Printf("%-10s N=%-2d at %4.0f MHz/%.3f V -> %4.0f%% of 1-core power (eff %.2f, die %.1f °C)\n",
+			app.Name, bestN, bestRow.Point.Freq/1e6, bestRow.Point.Volt,
+			100*bestPower, bestRow.NominalEff, bestRow.AvgTempC)
+		// Show why "more cores" is not automatically better.
+		last := res.Rows[len(res.Rows)-1]
+		if last.N != bestN && last.NormPower > bestPower*1.02 {
+			fmt.Printf("%-10s   (N=%d would burn %.0f%% — efficiency %.2f no longer pays for the extra cores)\n",
+				"", last.N, 100*last.NormPower, last.NominalEff)
+		}
+	}
+}

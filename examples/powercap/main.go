@@ -1,0 +1,57 @@
+// Powercap: given a chip-level power budget (the single-core maximum),
+// find the fastest configuration for each application — the paper's
+// Scenario II used as a capacity-planning tool.
+//
+// The example contrasts a compute-intensive application (FMM), a
+// middle-ground one (Cholesky), and a power-thrifty memory-bound one
+// (Radix), reproducing the paper's key asymmetry: under a power cap the
+// memory-bound code scales *better* than the nominally faster compute
+// code, because it never hits the cap until far more cores are in play.
+//
+// Run with: go run ./examples/powercap
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cmppower"
+)
+
+func main() {
+	rig, err := cmppower.NewExperiment(0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Power budget: %.1f W (max single-core power, from the §3.3 microbenchmark)\n\n", rig.BudgetW())
+	counts := []int{1, 2, 4, 8, 16}
+	for _, name := range []string{"FMM", "Cholesky", "Radix"} {
+		app, err := cmppower.AppByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := rig.ScenarioII(app, counts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s:\n", name)
+		for _, row := range res.Rows {
+			note := ""
+			if row.AtNominal {
+				note = "  (budget not binding — runs flat out)"
+			} else {
+				note = fmt.Sprintf("  (throttled to %.0f MHz)", row.Point.Freq/1e6)
+			}
+			fmt.Printf("  N=%-2d nominal %5.2fx  actual %5.2fx  %5.2f W%s\n",
+				row.N, row.NominalSpeedup, row.ActualSpeedup, row.PowerW, note)
+		}
+		// Best configuration under the cap.
+		best := res.Rows[0]
+		for _, row := range res.Rows[1:] {
+			if row.ActualSpeedup > best.ActualSpeedup {
+				best = row
+			}
+		}
+		fmt.Printf("  -> best under budget: N=%d at %.2fx\n\n", best.N, best.ActualSpeedup)
+	}
+}

@@ -1,0 +1,56 @@
+// Quickstart: the two questions the paper answers, in ~40 lines.
+//
+//  1. Analytically — how many cores should a perfectly scalable parallel
+//     application use under a fixed power budget, and what speedup does
+//     that buy? (paper §2.3, Fig. 2)
+//  2. Experimentally — how much power does parallelizing a real(istic)
+//     application save when it only has to match single-core performance?
+//     (paper §4.1, Fig. 3)
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cmppower"
+)
+
+func main() {
+	// Question 1: the analytical model.
+	for _, tech := range []cmppower.Technology{cmppower.Tech130(), cmppower.Tech65()} {
+		model, err := cmppower.NewAnalyticModel(tech)
+		if err != nil {
+			log.Fatal(err)
+		}
+		best, err := model.PeakSpeedup(1.0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: under a 1-core power budget, a perfectly scalable app peaks at\n", tech.Name)
+		fmt.Printf("  speedup %.2f with N=%d cores at %.0f MHz / %.3f V (die at %.0f °C)\n",
+			best.Speedup, best.N, best.FreqRatio*tech.FNominal/1e6, best.Volt, best.TempC)
+	}
+
+	// Question 2: the simulator.
+	rig, err := cmppower.NewExperiment(0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	app, err := cmppower.AppByName("Ocean")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := rig.ScenarioI(app, []int{1, 2, 4, 8, 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s on the 16-way CMP, matching 1-core performance:\n", app.Name)
+	fmt.Printf("  1 core at nominal: %.2f W, %.1f °C\n",
+		res.Baseline.PowerW, res.Baseline.AvgCoreTempC)
+	for _, row := range res.Rows {
+		fmt.Printf("  %2d cores at %4.0f MHz: %.0f%% of 1-core power, %.1f °C, actual speedup %.2fx\n",
+			row.N, row.Point.Freq/1e6, 100*row.NormPower, row.AvgTempC, row.ActualSpeedup)
+	}
+}

@@ -1,0 +1,116 @@
+// Thermalmap: render an ASCII heat map of the 16-core die running an
+// application, before and after Scenario I scaling. This example drives
+// the substrate layers directly (floorplan, thermal network, power meter)
+// rather than the high-level facade, showing how they compose.
+//
+// Run with: go run ./examples/thermalmap [appname] [ncores]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"cmppower"
+	"cmppower/internal/experiment"
+	"cmppower/internal/floorplan"
+)
+
+const (
+	mapW = 64
+	mapH = 24
+)
+
+// shades maps normalized temperature to a glyph ramp.
+var shades = []byte(" .:-=+*#%@")
+
+func render(fp *floorplan.Floorplan, temps []float64, loC, hiC float64) string {
+	grid := make([][]byte, mapH)
+	for r := range grid {
+		grid[r] = make([]byte, mapW)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	for i, b := range fp.Blocks {
+		frac := (temps[i] - loC) / (hiC - loC)
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		glyph := shades[int(frac*float64(len(shades)-1))]
+		x0 := int(b.X / fp.DieW * mapW)
+		x1 := int((b.X + b.W) / fp.DieW * mapW)
+		y0 := int(b.Y / fp.DieH * mapH)
+		y1 := int((b.Y + b.H) / fp.DieH * mapH)
+		for y := y0; y < y1 && y < mapH; y++ {
+			for x := x0; x < x1 && x < mapW; x++ {
+				grid[mapH-1-y][x] = glyph
+			}
+		}
+	}
+	out := ""
+	for _, row := range grid {
+		out += "|" + string(row) + "|\n"
+	}
+	return out
+}
+
+func main() {
+	appName := "FMM"
+	n := 16
+	if len(os.Args) > 1 {
+		appName = os.Args[1]
+	}
+	if len(os.Args) > 2 {
+		v, err := strconv.Atoi(os.Args[2])
+		if err != nil {
+			log.Fatalf("bad core count %q", os.Args[2])
+		}
+		n = v
+	}
+	app, err := cmppower.AppByName(appName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rig, err := experiment.NewRig(0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	show := func(label string, cores int, p cmppower.OperatingPoint) {
+		cfg := cmppower.DefaultSimConfig(cores, p)
+		cfg.Core = app.CoreConfig()
+		res, err := cmppower.Simulate(app.Program(0.5), cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pw, err := rig.Meter.Evaluate(rig.FP, rig.TM, res.Activity, res.Seconds,
+			int64(res.Cycles)+1, p, cores)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s — %s on %d core(s) at %.0f MHz / %.3f V\n",
+			label, app.Name, cores, p.Freq/1e6, p.Volt)
+		fmt.Printf("total %.2f W (dyn %.2f, static %.2f), avg core %.1f °C, peak %.1f °C\n",
+			pw.TotalW, pw.DynW, pw.StaticW, pw.AvgCoreTemp, pw.PeakTempC)
+		fmt.Print(render(rig.FP, pw.TempC, cmppower.AmbientTempC, cmppower.MaxDieTempC))
+		fmt.Println()
+	}
+
+	// Single hot core at nominal vs all cores at the Scenario I point.
+	show("BEFORE", 1, rig.Table.Nominal())
+	res, err := rig.ScenarioI(app, []int{1, n})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		log.Fatalf("%s does not run on %d cores", app.Name, n)
+	}
+	row := res.Rows[len(res.Rows)-1]
+	show("AFTER (Scenario I)", row.N, row.Point)
+	fmt.Printf("Scale legend: '%s' spans %.0f..%.0f °C\n", string(shades), cmppower.AmbientTempC, cmppower.MaxDieTempC)
+}

@@ -1,0 +1,3 @@
+module cmppower
+
+go 1.22

@@ -1,0 +1,66 @@
+// Package bus models the shared split-transaction snooping bus that
+// connects the private L1 caches to the shared L2 (paper Table 1: "All
+// cores share a 4MB on-chip L2 cache through a common bus").
+//
+// The bus is an on-chip resource, so its occupancy is counted in chip
+// cycles and scales with the chip's DVFS setting, unlike the off-chip
+// memory channel (internal/mem) which is fixed in wall-clock time.
+package bus
+
+import "fmt"
+
+// Bus serializes coherence transactions. Time is measured in absolute chip
+// cycles (float64 to compose with the core model's fractional accounting).
+type Bus struct {
+	freeAt      float64
+	cyclesPerTx float64
+
+	// Transactions counts every granted transaction.
+	Transactions int64
+	// BusyCycles accumulates total occupancy.
+	BusyCycles float64
+	// WaitCycles accumulates arbitration delay experienced by requesters.
+	WaitCycles float64
+}
+
+// New returns a bus whose transactions occupy cyclesPerTx chip cycles
+// (address phase + snoop + data transfer).
+func New(cyclesPerTx float64) (*Bus, error) {
+	if cyclesPerTx <= 0 {
+		return nil, fmt.Errorf("bus: non-positive occupancy %g", cyclesPerTx)
+	}
+	return &Bus{cyclesPerTx: cyclesPerTx}, nil
+}
+
+// Acquire grants the bus to a requester arriving at now and returns the
+// cycle at which its transaction starts. The bus stays busy for
+// cyclesPerTx after the grant.
+func (b *Bus) Acquire(now float64) float64 {
+	start := now
+	if b.freeAt > start {
+		start = b.freeAt
+	}
+	b.WaitCycles += start - now
+	b.freeAt = start + b.cyclesPerTx
+	b.BusyCycles += b.cyclesPerTx
+	b.Transactions++
+	return start
+}
+
+// CyclesPerTx returns the per-transaction occupancy.
+func (b *Bus) CyclesPerTx() float64 { return b.cyclesPerTx }
+
+// FreeAt returns the cycle at which the bus next becomes idle.
+func (b *Bus) FreeAt() float64 { return b.freeAt }
+
+// Utilization returns BusyCycles over the elapsed cycle count.
+func (b *Bus) Utilization(elapsedCycles float64) float64 {
+	if elapsedCycles <= 0 {
+		return 0
+	}
+	u := b.BusyCycles / elapsedCycles
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

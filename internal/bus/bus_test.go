@@ -1,0 +1,62 @@
+package bus
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewRejectsBadOccupancy(t *testing.T) {
+	for _, c := range []float64{0, -1} {
+		if _, err := New(c); err == nil {
+			t.Errorf("New(%g) accepted", c)
+		}
+	}
+}
+
+func TestAcquireSerializes(t *testing.T) {
+	b, err := New(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Acquire(100); got != 100 {
+		t.Errorf("idle bus start=%g, want 100", got)
+	}
+	// Second requester at 102 must wait until 106.
+	if got := b.Acquire(102); got != 106 {
+		t.Errorf("contended start=%g, want 106", got)
+	}
+	// Third requester long after: no wait.
+	if got := b.Acquire(500); got != 500 {
+		t.Errorf("late start=%g, want 500", got)
+	}
+	if b.Transactions != 3 {
+		t.Errorf("Transactions=%d", b.Transactions)
+	}
+	if math.Abs(b.WaitCycles-4) > 1e-12 {
+		t.Errorf("WaitCycles=%g, want 4", b.WaitCycles)
+	}
+	if math.Abs(b.BusyCycles-18) > 1e-12 {
+		t.Errorf("BusyCycles=%g, want 18", b.BusyCycles)
+	}
+	if b.CyclesPerTx() != 6 {
+		t.Errorf("CyclesPerTx=%g", b.CyclesPerTx())
+	}
+	if b.FreeAt() != 506 {
+		t.Errorf("FreeAt=%g", b.FreeAt())
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	b, _ := New(10)
+	b.Acquire(0)
+	b.Acquire(0)
+	if got := b.Utilization(100); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("Utilization=%g, want 0.2", got)
+	}
+	if got := b.Utilization(0); got != 0 {
+		t.Errorf("Utilization(0)=%g", got)
+	}
+	if got := b.Utilization(5); got != 1 {
+		t.Errorf("Utilization clamps to 1, got %g", got)
+	}
+}

@@ -1,0 +1,210 @@
+// Package cache implements the CMP's cache hierarchy: per-core private L1
+// data caches kept coherent with a MESI protocol over the snooping bus,
+// backed by a shared inclusive L2 and off-chip DRAM (paper Table 1).
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// State is a MESI coherence state.
+type State uint8
+
+// MESI states.
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	}
+	return "?"
+}
+
+// Geometry describes one cache array.
+type Geometry struct {
+	SizeBytes int
+	LineBytes int
+	Ways      int
+}
+
+// Validate checks the geometry: power-of-two line size, line divides size,
+// ways divide the line count.
+func (g Geometry) Validate() error {
+	switch {
+	case g.SizeBytes <= 0:
+		return fmt.Errorf("cache: size %d", g.SizeBytes)
+	case g.LineBytes <= 0 || bits.OnesCount(uint(g.LineBytes)) != 1:
+		return fmt.Errorf("cache: line size %d must be a positive power of two", g.LineBytes)
+	case g.SizeBytes%g.LineBytes != 0:
+		return fmt.Errorf("cache: line %d does not divide size %d", g.LineBytes, g.SizeBytes)
+	case g.Ways <= 0 || (g.SizeBytes/g.LineBytes)%g.Ways != 0:
+		return fmt.Errorf("cache: %d ways incompatible with %d lines", g.Ways, g.SizeBytes/g.LineBytes)
+	}
+	return nil
+}
+
+// Sets returns the set count.
+func (g Geometry) Sets() int { return g.SizeBytes / g.LineBytes / g.Ways }
+
+type line struct {
+	tag     uint64 // full line address (addr >> lineShift)
+	state   State
+	lastUse uint64
+}
+
+// Array is one set-associative cache array with MESI line states and true
+// LRU replacement.
+type Array struct {
+	geom      Geometry
+	lineShift uint
+	setMask   uint64
+	lines     []line // sets × ways
+	useClock  uint64
+}
+
+// NewArray builds an empty array.
+func NewArray(g Geometry) (*Array, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return &Array{
+		geom:      g,
+		lineShift: uint(bits.TrailingZeros(uint(g.LineBytes))),
+		setMask:   uint64(g.Sets() - 1),
+		lines:     make([]line, g.Sets()*g.Ways),
+	}, nil
+}
+
+// Geometry returns the array geometry.
+func (a *Array) Geometry() Geometry { return a.geom }
+
+// LineAddr maps a byte address to its line address.
+func (a *Array) LineAddr(addr uint64) uint64 { return addr >> a.lineShift }
+
+func (a *Array) setOf(lineAddr uint64) []line {
+	// Sets may not be a power of two (odd ways); use modulo then.
+	var idx uint64
+	if uint64(a.geom.Sets())&(uint64(a.geom.Sets())-1) == 0 {
+		idx = lineAddr & a.setMask
+	} else {
+		idx = lineAddr % uint64(a.geom.Sets())
+	}
+	start := int(idx) * a.geom.Ways
+	return a.lines[start : start+a.geom.Ways]
+}
+
+// Lookup returns the state of the line holding addr, or Invalid. A hit
+// refreshes LRU.
+func (a *Array) Lookup(lineAddr uint64) State {
+	set := a.setOf(lineAddr)
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == lineAddr {
+			a.useClock++
+			set[i].lastUse = a.useClock
+			return set[i].state
+		}
+	}
+	return Invalid
+}
+
+// Peek returns the line state without touching LRU.
+func (a *Array) Peek(lineAddr uint64) State {
+	set := a.setOf(lineAddr)
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == lineAddr {
+			return set[i].state
+		}
+	}
+	return Invalid
+}
+
+// SetState transitions an existing line to st (or drops it for Invalid).
+// It reports whether the line was present.
+func (a *Array) SetState(lineAddr uint64, st State) bool {
+	set := a.setOf(lineAddr)
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == lineAddr {
+			set[i].state = st
+			return true
+		}
+	}
+	return false
+}
+
+// Victim describes a line displaced by Insert.
+type Victim struct {
+	LineAddr uint64
+	State    State
+	Valid    bool
+}
+
+// Insert places lineAddr with state st, evicting the LRU way if the set is
+// full, and returns the victim (Valid=false if an empty way was used).
+// Inserting a line that is already present just updates its state.
+func (a *Array) Insert(lineAddr uint64, st State) Victim {
+	set := a.setOf(lineAddr)
+	a.useClock++
+	// Already present?
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == lineAddr {
+			set[i].state = st
+			set[i].lastUse = a.useClock
+			return Victim{}
+		}
+	}
+	// Empty way?
+	for i := range set {
+		if set[i].state == Invalid {
+			set[i] = line{tag: lineAddr, state: st, lastUse: a.useClock}
+			return Victim{}
+		}
+	}
+	// Evict LRU.
+	lru := 0
+	for i := 1; i < len(set); i++ {
+		if set[i].lastUse < set[lru].lastUse {
+			lru = i
+		}
+	}
+	v := Victim{LineAddr: set[lru].tag, State: set[lru].state, Valid: true}
+	set[lru] = line{tag: lineAddr, state: st, lastUse: a.useClock}
+	return v
+}
+
+// Invalidate removes the line and returns its prior state.
+func (a *Array) Invalidate(lineAddr uint64) State {
+	set := a.setOf(lineAddr)
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == lineAddr {
+			st := set[i].state
+			set[i].state = Invalid
+			return st
+		}
+	}
+	return Invalid
+}
+
+// CountValid returns the number of valid lines (test/debug helper).
+func (a *Array) CountValid() int {
+	n := 0
+	for i := range a.lines {
+		if a.lines[i].state != Invalid {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,365 @@
+package cache
+
+import (
+	"fmt"
+
+	"cmppower/internal/bus"
+	"cmppower/internal/mem"
+)
+
+// Config describes the full hierarchy (defaults mirror paper Table 1).
+type Config struct {
+	NCores         int
+	L1             Geometry
+	L1HitCycles    float64 // L1 round trip
+	L2             Geometry
+	L2RTCycles     float64 // L2 round trip as seen by a core
+	BusCyclesPerTx float64 // snooping-bus occupancy per transaction
+	FreqHz         float64 // chip frequency: converts cycles <-> seconds
+	// PrefetchNextLine enables a per-core next-line prefetcher: every
+	// demand L1 miss also fetches the following line off the critical
+	// path. Helps streaming access patterns; consumes bus and memory
+	// bandwidth.
+	PrefetchNextLine bool
+}
+
+// DefaultConfig returns the paper's Table 1 hierarchy for n cores at
+// frequency freqHz: 64 KB / 64 B / 2-way L1s with a 2-cycle round trip and
+// a shared 4 MB / 128 B / 8-way L2 with a 12-cycle round trip.
+func DefaultConfig(n int, freqHz float64) Config {
+	return Config{
+		NCores:         n,
+		L1:             Geometry{SizeBytes: 64 << 10, LineBytes: 64, Ways: 2},
+		L1HitCycles:    2,
+		L2:             Geometry{SizeBytes: 4 << 20, LineBytes: 128, Ways: 8},
+		L2RTCycles:     12,
+		BusCyclesPerTx: 3,
+		FreqHz:         freqHz,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.NCores < 1 {
+		return fmt.Errorf("cache: NCores %d", c.NCores)
+	}
+	if err := c.L1.Validate(); err != nil {
+		return fmt.Errorf("cache: L1: %w", err)
+	}
+	if err := c.L2.Validate(); err != nil {
+		return fmt.Errorf("cache: L2: %w", err)
+	}
+	if c.L2.LineBytes < c.L1.LineBytes {
+		return fmt.Errorf("cache: L2 line %d smaller than L1 line %d", c.L2.LineBytes, c.L1.LineBytes)
+	}
+	if c.L1HitCycles <= 0 || c.L2RTCycles <= 0 || c.BusCyclesPerTx <= 0 {
+		return fmt.Errorf("cache: non-positive latency in %+v", c)
+	}
+	if c.FreqHz <= 0 {
+		return fmt.Errorf("cache: non-positive frequency %g", c.FreqHz)
+	}
+	return nil
+}
+
+// Stats aggregates hierarchy activity for performance analysis and power
+// accounting.
+type Stats struct {
+	L1DAccess []int64 // per core
+	L1DMiss   []int64 // per core
+	L2Access  int64
+	L2Miss    int64
+	Upgrades  int64 // S->M bus upgrades
+	Invals    int64 // lines invalidated by remote writes
+	C2C       int64 // dirty cache-to-cache transfers
+	WBToL2    int64 // L1 dirty writebacks
+	WBToMem   int64 // L2 dirty writebacks
+	Prefetch  int64 // next-line prefetches issued
+}
+
+// Hierarchy is the shared-memory system of one chip at one operating point.
+type Hierarchy struct {
+	cfg  Config
+	l1d  []*Array
+	l2   *Array
+	bus  *bus.Bus
+	dram *mem.DRAM
+	st   Stats
+	// tagged tracks prefetched-but-not-yet-used lines per core, so a
+	// demand hit on a prefetched line keeps the stream ahead (tagged
+	// prefetching). Only allocated when prefetching is enabled.
+	tagged []map[uint64]struct{}
+}
+
+// New builds the hierarchy. The DRAM channel is owned by the caller so
+// several components can share one channel model.
+func New(cfg Config, dram *mem.DRAM) (*Hierarchy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if dram == nil {
+		return nil, fmt.Errorf("cache: nil DRAM")
+	}
+	b, err := bus.New(cfg.BusCyclesPerTx)
+	if err != nil {
+		return nil, err
+	}
+	h := &Hierarchy{cfg: cfg, bus: b, dram: dram}
+	for i := 0; i < cfg.NCores; i++ {
+		a, err := NewArray(cfg.L1)
+		if err != nil {
+			return nil, err
+		}
+		h.l1d = append(h.l1d, a)
+	}
+	if h.l2, err = NewArray(cfg.L2); err != nil {
+		return nil, err
+	}
+	h.st.L1DAccess = make([]int64, cfg.NCores)
+	h.st.L1DMiss = make([]int64, cfg.NCores)
+	if cfg.PrefetchNextLine {
+		h.tagged = make([]map[uint64]struct{}, cfg.NCores)
+		for i := range h.tagged {
+			h.tagged[i] = make(map[uint64]struct{})
+		}
+	}
+	return h, nil
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// Stats returns a snapshot of the counters.
+func (h *Hierarchy) Stats() Stats {
+	s := h.st
+	s.L1DAccess = append([]int64(nil), h.st.L1DAccess...)
+	s.L1DMiss = append([]int64(nil), h.st.L1DMiss...)
+	return s
+}
+
+// Bus exposes the snooping bus (for utilization statistics).
+func (h *Hierarchy) Bus() *bus.Bus { return h.bus }
+
+// Access performs a data access by core on behalf of the timing model.
+// now is the core's current absolute cycle; the return value is the cycle
+// at which the access completes. Coherence state changes take effect at
+// request time (a standard approximation at this fidelity level).
+func (h *Hierarchy) Access(core int, addr uint64, write bool, now float64) float64 {
+	l1 := h.l1d[core]
+	la := l1.LineAddr(addr)
+	h.st.L1DAccess[core]++
+
+	if st := l1.Lookup(la); st != Invalid {
+		// Tagged prefetching: the first demand hit on a prefetched line
+		// pulls the next line, keeping a stream one line ahead.
+		if h.tagged != nil {
+			if _, ok := h.tagged[core][la]; ok {
+				delete(h.tagged[core], la)
+				h.prefetch(core, la+1, now)
+			}
+		}
+		if !write {
+			return now + h.cfg.L1HitCycles
+		}
+		switch st {
+		case Modified:
+			return now + h.cfg.L1HitCycles
+		case Exclusive:
+			l1.SetState(la, Modified)
+			return now + h.cfg.L1HitCycles
+		default: // Shared: bus upgrade, invalidate remote copies
+			start := h.bus.Acquire(now)
+			h.st.Upgrades++
+			h.invalidateOthers(core, la)
+			l1.SetState(la, Modified)
+			return start + h.cfg.L1HitCycles
+		}
+	}
+
+	// L1 miss: arbitrate for the bus after the tag probe.
+	h.st.L1DMiss[core]++
+	start := h.bus.Acquire(now + h.cfg.L1HitCycles)
+
+	// Snoop the other L1s.
+	sharers := 0
+	dirtyOwner := -1
+	for o := 0; o < h.cfg.NCores; o++ {
+		if o == core {
+			continue
+		}
+		pst := h.l1d[o].Peek(la)
+		if pst == Invalid {
+			continue
+		}
+		sharers++
+		if pst == Modified {
+			dirtyOwner = o
+		}
+		if write {
+			h.l1d[o].Invalidate(la)
+			h.st.Invals++
+		} else if pst != Shared {
+			h.l1d[o].SetState(la, Shared)
+		}
+	}
+
+	var done float64
+	l2la := h.l2.LineAddr(addr)
+	if dirtyOwner >= 0 {
+		// Dirty cache-to-cache transfer through the L2 (owner flushes,
+		// requester reads): one L2 round trip.
+		h.st.C2C++
+		h.st.L2Access++
+		h.st.WBToL2++
+		h.l2.Insert(l2la, Modified)
+		done = start + h.cfg.L2RTCycles
+	} else {
+		h.st.L2Access++
+		if h.l2.Lookup(l2la) != Invalid {
+			done = start + h.cfg.L2RTCycles
+		} else {
+			h.st.L2Miss++
+			// Off-chip fetch: the request leaves after the L2 tag probe
+			// (half the round trip), waits for the channel, and returns
+			// through the L2.
+			half := h.cfg.L2RTCycles / 2
+			issueSec := (start + half) / h.cfg.FreqHz
+			doneSec := h.dram.Access(issueSec)
+			done = doneSec*h.cfg.FreqHz + half
+			h.installL2(l2la)
+		}
+	}
+
+	newState := Shared
+	if write {
+		newState = Modified
+	} else if sharers == 0 {
+		newState = Exclusive
+	}
+	if v := h.l1d[core].Insert(la, newState); v.Valid && v.State == Modified {
+		// Buffered dirty writeback: drains right after the current bus
+		// tenure, consuming bus and L2 bandwidth without stalling the
+		// requester.
+		h.st.WBToL2++
+		h.st.L2Access++
+		h.bus.Acquire(start)
+		h.installL2(h.l2.LineAddr(v.LineAddr << uint(log2(h.cfg.L1.LineBytes))))
+	}
+	if h.cfg.PrefetchNextLine {
+		// Issue right behind the demand transaction; reserving the bus at
+		// the (future) fill-completion time would stall other requesters.
+		h.prefetch(core, la+1, start)
+	}
+	return done
+}
+
+// prefetch pulls the given L1 line into core's cache off the critical
+// path. It is conservative with coherence: it aborts if any remote cache
+// holds the line dirty, and installs in Shared, downgrading a remote
+// Exclusive holder.
+func (h *Hierarchy) prefetch(core int, la uint64, now float64) {
+	l1 := h.l1d[core]
+	if l1.Peek(la) != Invalid {
+		return
+	}
+	for o := 0; o < h.cfg.NCores; o++ {
+		if o == core {
+			continue
+		}
+		switch h.l1d[o].Peek(la) {
+		case Modified:
+			return // do not disturb a dirty owner for a speculative fill
+		case Exclusive:
+			h.l1d[o].SetState(la, Shared)
+		}
+	}
+	start := h.bus.Acquire(now)
+	h.st.Prefetch++
+	h.st.L2Access++
+	byteAddr := la << uint(log2(h.cfg.L1.LineBytes))
+	l2la := h.l2.LineAddr(byteAddr)
+	if h.l2.Lookup(l2la) == Invalid {
+		h.st.L2Miss++
+		// Consume memory bandwidth; the fill is not waited on.
+		h.dram.Access((start + h.cfg.L2RTCycles/2) / h.cfg.FreqHz)
+		h.installL2(l2la)
+	}
+	if v := l1.Insert(la, Shared); v.Valid && v.State == Modified {
+		h.st.WBToL2++
+		h.st.L2Access++
+		h.installL2(h.l2.LineAddr(v.LineAddr << uint(log2(h.cfg.L1.LineBytes))))
+	}
+	if h.tagged != nil {
+		if len(h.tagged[core]) > 4096 {
+			// Bound stale entries (evicted before use).
+			h.tagged[core] = make(map[uint64]struct{})
+		}
+		h.tagged[core][la] = struct{}{}
+	}
+}
+
+// FetchMiss charges an instruction-fetch miss for core at cycle now; code
+// is shared and effectively always L2-resident, so the cost is one bus
+// transaction plus the L2 round trip.
+func (h *Hierarchy) FetchMiss(core int, now float64) float64 {
+	start := h.bus.Acquire(now)
+	h.st.L2Access++
+	return start + h.cfg.L2RTCycles
+}
+
+// installL2 inserts a line into the L2 and enforces inclusion: a displaced
+// L2 line back-invalidates every covered L1 line in all cores, and dirty
+// victims are written to memory (consuming channel bandwidth, not latency).
+func (h *Hierarchy) installL2(l2la uint64) {
+	v := h.l2.Insert(l2la, Shared)
+	if !v.Valid {
+		return
+	}
+	ratio := uint64(h.cfg.L2.LineBytes / h.cfg.L1.LineBytes)
+	baseL1 := v.LineAddr * ratio
+	dirty := v.State == Modified
+	for sub := uint64(0); sub < ratio; sub++ {
+		for o := 0; o < h.cfg.NCores; o++ {
+			if st := h.l1d[o].Invalidate(baseL1 + sub); st == Modified {
+				dirty = true
+			}
+		}
+	}
+	if dirty {
+		h.st.WBToMem++
+		// Consume channel occupancy at an arbitrary recent time; the
+		// requester does not wait for victim drains.
+		h.dram.Access(h.bus.FreeAt() / h.cfg.FreqHz)
+	}
+}
+
+// invalidateOthers drops la from every other core's L1.
+func (h *Hierarchy) invalidateOthers(core int, la uint64) {
+	for o := 0; o < h.cfg.NCores; o++ {
+		if o == core {
+			continue
+		}
+		if st := h.l1d[o].Invalidate(la); st != Invalid {
+			h.st.Invals++
+			if st == Modified {
+				h.st.WBToL2++
+				h.st.L2Access++
+				h.l2.Insert(h.l2.LineAddr(la<<uint(log2(h.cfg.L1.LineBytes))), Modified)
+			}
+		}
+	}
+}
+
+// PeekL1 exposes a core's L1 state for a byte address (test helper).
+func (h *Hierarchy) PeekL1(core int, addr uint64) State {
+	return h.l1d[core].Peek(h.l1d[core].LineAddr(addr))
+}
+
+// log2 of a power of two.
+func log2(x int) int {
+	n := 0
+	for x > 1 {
+		x >>= 1
+		n++
+	}
+	return n
+}

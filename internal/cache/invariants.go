@@ -1,0 +1,67 @@
+package cache
+
+import "fmt"
+
+// ValidLine describes one valid line of an array (introspection for
+// invariant checking and tests).
+type ValidLine struct {
+	LineAddr uint64
+	State    State
+}
+
+// ValidLines returns every valid line in the array, in storage order.
+func (a *Array) ValidLines() []ValidLine {
+	var out []ValidLine
+	for i := range a.lines {
+		if a.lines[i].state != Invalid {
+			out = append(out, ValidLine{LineAddr: a.lines[i].tag, State: a.lines[i].state})
+		}
+	}
+	return out
+}
+
+// CheckCoherence verifies the MESI protocol invariants across the private
+// L1s and the inclusion property against the shared L2:
+//
+//  1. SWMR — a line in M or E in one cache is Invalid everywhere else.
+//  2. Shared copies never coexist with an owner (M/E).
+//  3. Inclusion — every valid L1 line's covering L2 line is present.
+//
+// It returns the first violation found, or nil. The check is O(total
+// valid lines) and intended for tests and debugging assertions.
+func (h *Hierarchy) CheckCoherence() error {
+	type holder struct {
+		core  int
+		state State
+	}
+	seen := make(map[uint64][]holder)
+	for c, l1 := range h.l1d {
+		for _, vl := range l1.ValidLines() {
+			seen[vl.LineAddr] = append(seen[vl.LineAddr], holder{core: c, state: vl.State})
+		}
+	}
+	l1LineBytes := uint64(h.cfg.L1.LineBytes)
+	for la, holders := range seen {
+		owners := 0
+		sharers := 0
+		for _, hd := range holders {
+			switch hd.state {
+			case Modified, Exclusive:
+				owners++
+			case Shared:
+				sharers++
+			}
+		}
+		if owners > 1 {
+			return fmt.Errorf("cache: SWMR violated: line %#x has %d owners (%v)", la, owners, holders)
+		}
+		if owners == 1 && sharers > 0 {
+			return fmt.Errorf("cache: line %#x has an owner and %d sharers (%v)", la, sharers, holders)
+		}
+		// Inclusion: the covering L2 line must be valid.
+		if h.l2.Peek(h.l2.LineAddr(la*l1LineBytes)) == Invalid {
+			return fmt.Errorf("cache: inclusion violated: L1 line %#x has no L2 copy", la)
+		}
+	}
+	return nil
+}

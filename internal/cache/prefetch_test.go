@@ -1,0 +1,116 @@
+package cache
+
+import (
+	"testing"
+
+	"cmppower/internal/mem"
+	"cmppower/internal/workload"
+)
+
+func newPrefetchH(t *testing.T, n int) *Hierarchy {
+	t.Helper()
+	cfg := DefaultConfig(n, 3.2e9)
+	cfg.PrefetchNextLine = true
+	h, err := New(cfg, mem.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestPrefetchCutsStreamingMisses(t *testing.T) {
+	// Sequential line-by-line streaming: without prefetch every line
+	// misses; with next-line prefetch roughly every other demand access
+	// hits a prefetched line.
+	missRate := func(pf bool) float64 {
+		cfg := DefaultConfig(1, 3.2e9)
+		cfg.PrefetchNextLine = pf
+		h, err := New(cfg, mem.Default())
+		if err != nil {
+			t.Fatal(err)
+		}
+		now := 0.0
+		const lines = 4000
+		for i := 0; i < lines; i++ {
+			now = h.Access(0, uint64(i*64), false, now)
+		}
+		st := h.Stats()
+		return float64(st.L1DMiss[0]) / float64(st.L1DAccess[0])
+	}
+	without := missRate(false)
+	with := missRate(true)
+	if without < 0.95 {
+		t.Fatalf("baseline streaming should miss almost always, got %g", without)
+	}
+	if with > 0.15 {
+		t.Errorf("prefetch left a %g miss rate on a perfect stream", with)
+	}
+}
+
+func TestPrefetchCounterAndBandwidth(t *testing.T) {
+	h := newPrefetchH(t, 1)
+	now := 0.0
+	for i := 0; i < 100; i++ {
+		now = h.Access(0, uint64(i*64), false, now)
+	}
+	st := h.Stats()
+	if st.Prefetch == 0 {
+		t.Fatal("no prefetches issued")
+	}
+	if h.Bus().Transactions <= st.Prefetch {
+		t.Error("prefetches should ride on top of demand traffic")
+	}
+}
+
+func TestPrefetchPreservesCoherence(t *testing.T) {
+	cfg := DefaultConfig(4, 3.2e9)
+	cfg.PrefetchNextLine = true
+	cfg.L1 = Geometry{SizeBytes: 2 << 10, LineBytes: 64, Ways: 2}
+	cfg.L2 = Geometry{SizeBytes: 8 << 10, LineBytes: 128, Ways: 2}
+	h, err := New(cfg, mem.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := workload.NewRNG(3)
+	now := 0.0
+	for i := 0; i < 4000; i++ {
+		core := rng.Intn(4)
+		addr := uint64(rng.Intn(64)) * 64
+		now = h.Access(core, addr, rng.Float64() < 0.4, now)
+		if i%250 == 0 {
+			if err := h.CheckCoherence(); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+		}
+	}
+	if err := h.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefetchDoesNotStealDirtyLines(t *testing.T) {
+	h := newPrefetchH(t, 2)
+	// Core 1 dirties line 1 (addr 64).
+	h.Access(1, 64, true, 0)
+	// Core 0 misses line 0; the prefetcher targets line 1 but must leave
+	// the dirty owner alone.
+	h.Access(0, 0, false, 100)
+	if st := h.PeekL1(1, 64); st != Modified {
+		t.Errorf("dirty owner disturbed by prefetch: %v", st)
+	}
+	if st := h.PeekL1(0, 64); st != Invalid {
+		t.Errorf("speculative fill stole a dirty line: %v", st)
+	}
+}
+
+func TestPrefetchDowngradesExclusive(t *testing.T) {
+	h := newPrefetchH(t, 2)
+	h.Access(1, 64, false, 0) // core 1 has line 1 Exclusive
+	h.Access(0, 0, false, 100)
+	if st := h.PeekL1(1, 64); st != Shared {
+		t.Errorf("remote Exclusive not downgraded: %v", st)
+	}
+	if st := h.PeekL1(0, 64); st != Shared {
+		t.Errorf("prefetched line not installed Shared: %v", st)
+	}
+}

@@ -1,0 +1,166 @@
+package cmp
+
+import (
+	"testing"
+
+	"cmppower/internal/workload"
+)
+
+// soloProgram is a single-threaded job with a serial section, a kernel,
+// locks and barriers, exercising every sync path under quorum 1.
+func soloProgram(name string, accesses int, base uint64) *workload.Program {
+	return &workload.Program{
+		Name: name,
+		Steps: []workload.Step{
+			workload.Serial{Body: []workload.Step{workload.Compute{N: 2000, FPFrac: 0.4}}},
+			workload.Barrier{ID: 0},
+			workload.Loop{Times: 2, Body: []workload.Step{
+				workload.Kernel{
+					Accesses: accesses, ComputePerMem: 15, HotFrac: 0.8,
+					Region: workload.Region{Base: base, Size: 1 << 20, Scope: workload.Shared},
+				},
+				workload.Critical{Lock: 0, Body: []workload.Step{workload.Compute{N: 50}}},
+				workload.Barrier{ID: 1},
+			}},
+		},
+	}
+}
+
+func TestRunMultiBasics(t *testing.T) {
+	progs := []*workload.Program{
+		soloProgram("job0", 800, 0x1000_0000),
+		soloProgram("job1", 400, 0x2000_0000),
+		soloProgram("job2", 200, 0x3000_0000),
+	}
+	cfg := DefaultConfig(3, nominalPoint(t))
+	res, err := RunMulti(progs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NCores != 3 {
+		t.Fatalf("NCores=%d", res.NCores)
+	}
+	if len(res.PerCore) != 3 {
+		t.Fatalf("PerCore=%d", len(res.PerCore))
+	}
+	// Independent jobs: no core waits at a barrier for another. Each job
+	// still pays its own barrier-release overhead (3 barriers × 40
+	// cycles), which is charged as idle time.
+	maxOwnOverhead := 3 * cfg.BarrierCycles
+	for i, st := range res.PerCore {
+		if st.IdleCycles > maxOwnOverhead {
+			t.Errorf("core %d idled %g cycles; multiprogrammed jobs are independent", i, st.IdleCycles)
+		}
+		if st.Instructions == 0 {
+			t.Errorf("core %d ran nothing", i)
+		}
+	}
+	// The bigger job dominates the makespan.
+	if res.PerCore[0].FinishClock < res.PerCore[2].FinishClock {
+		t.Error("heavier job finished before lighter one")
+	}
+}
+
+func TestRunMultiIndependenceFromCoRunners(t *testing.T) {
+	// A job's instruction count must not depend on its co-runners (timing
+	// can, via shared L2/bus/memory contention).
+	solo := []*workload.Program{soloProgram("job", 600, 0x1000_0000)}
+	cfg1 := DefaultConfig(1, nominalPoint(t))
+	r1, err := RunMulti(solo, cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := []*workload.Program{
+		soloProgram("job", 600, 0x1000_0000),
+		soloProgram("other", 600, 0x5000_0000),
+	}
+	cfg2 := DefaultConfig(2, nominalPoint(t))
+	r2, err := RunMulti(pair, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.PerCore[0].Instructions != r2.PerCore[0].Instructions {
+		t.Errorf("job instruction count changed with a co-runner: %d vs %d",
+			r1.PerCore[0].Instructions, r2.PerCore[0].Instructions)
+	}
+}
+
+func TestRunMultiSharedCacheContention(t *testing.T) {
+	// Two jobs streaming big shared regions should slow each other down
+	// through the shared L2 and memory channel, relative to running with
+	// an idle co-runner.
+	big := func(name string, base uint64) *workload.Program {
+		return &workload.Program{
+			Name: name,
+			Steps: []workload.Step{
+				workload.Kernel{
+					Accesses: 4000, ComputePerMem: 3, StrideBytes: 64,
+					Region: workload.Region{Base: base, Size: 12 << 20, Scope: workload.Shared},
+				},
+			},
+		}
+	}
+	tiny := &workload.Program{
+		Name:  "idle",
+		Steps: []workload.Step{workload.Compute{N: 10}},
+	}
+	cfg := DefaultConfig(2, nominalPoint(t))
+	alone, err := RunMulti([]*workload.Program{big("a", 0x1000_0000), tiny}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	together, err := RunMulti([]*workload.Program{big("a", 0x1000_0000), big("b", 0x4000_0000)}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if together.PerCore[0].FinishClock <= alone.PerCore[0].FinishClock {
+		t.Errorf("no contention visible: %g vs %g cycles",
+			together.PerCore[0].FinishClock, alone.PerCore[0].FinishClock)
+	}
+}
+
+func TestRunMultiLockIsolation(t *testing.T) {
+	// Both jobs use lock id 0 internally; remapping must keep them from
+	// serializing against each other. With quorum-1 barriers and private
+	// locks, each job's finish time tracks its own work.
+	lockHeavy := func(name string) *workload.Program {
+		return &workload.Program{
+			Name: name,
+			Steps: []workload.Step{
+				workload.Loop{Times: 50, Body: []workload.Step{
+					workload.Critical{Lock: 0, Body: []workload.Step{workload.Compute{N: 500}}},
+				}},
+			},
+		}
+	}
+	cfg := DefaultConfig(2, nominalPoint(t))
+	res, err := RunMulti([]*workload.Program{lockHeavy("a"), lockHeavy("b")}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range res.PerCore {
+		if st.IdleCycles > 0 {
+			t.Errorf("core %d blocked on a foreign lock (%g idle cycles)", i, st.IdleCycles)
+		}
+	}
+}
+
+func TestRunMultiValidation(t *testing.T) {
+	if _, err := RunMulti(nil, DefaultConfig(1, nominalPoint(t))); err == nil {
+		t.Error("accepted empty program list")
+	}
+	bad := &workload.Program{Name: "", Steps: []workload.Step{workload.Compute{N: 1}}}
+	if _, err := RunMulti([]*workload.Program{bad}, DefaultConfig(1, nominalPoint(t))); err == nil {
+		t.Error("accepted invalid program")
+	}
+	// Too many programs for the chip.
+	var many []*workload.Program
+	for i := 0; i < 20; i++ {
+		many = append(many, soloProgram("x", 10, 0x1000))
+	}
+	cfg := DefaultConfig(1, nominalPoint(t))
+	cfg.TotalCores = 16
+	if _, err := RunMulti(many, cfg); err == nil {
+		t.Error("accepted more programs than cores")
+	}
+}

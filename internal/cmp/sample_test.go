@@ -1,0 +1,95 @@
+package cmp
+
+import (
+	"testing"
+
+	"cmppower/internal/floorplan"
+)
+
+func TestSamplingPartitionsActivity(t *testing.T) {
+	cfg := DefaultConfig(4, nominalPoint(t))
+	cfg.SampleCycles = 5000
+	res, err := Run(parallelKernel(4000), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) < 2 {
+		t.Fatalf("only %d samples; expected several for this run length (%.0f cycles)",
+			len(res.Samples), res.Cycles)
+	}
+	// Samples are contiguous, ordered, and start at cycle 0.
+	if res.Samples[0].StartCycle != 0 {
+		t.Errorf("first sample starts at %g", res.Samples[0].StartCycle)
+	}
+	for i, s := range res.Samples {
+		if s.EndCycle <= s.StartCycle {
+			t.Errorf("sample %d: empty interval [%g,%g]", i, s.StartCycle, s.EndCycle)
+		}
+		if i > 0 && s.StartCycle != res.Samples[i-1].EndCycle {
+			t.Errorf("sample %d not contiguous: %g vs %g", i, s.StartCycle, res.Samples[i-1].EndCycle)
+		}
+	}
+	// Deltas sum to the run totals.
+	var instr int64
+	var units, l2, bus int64
+	for _, s := range res.Samples {
+		instr += s.Instructions
+		l2 += s.Activity.L2Count()
+		bus += s.Activity.BusCount()
+		for c := 0; c < 4; c++ {
+			for _, u := range floorplan.CoreUnits() {
+				units += s.Activity.CoreCount(c, u)
+			}
+		}
+	}
+	if instr != res.Instructions {
+		t.Errorf("sample instructions %d != total %d", instr, res.Instructions)
+	}
+	if l2 != res.Activity.L2Count() {
+		t.Errorf("sample L2 %d != total %d", l2, res.Activity.L2Count())
+	}
+	if bus != res.Activity.BusCount() {
+		t.Errorf("sample bus %d != total %d", bus, res.Activity.BusCount())
+	}
+	var totalUnits int64
+	for c := 0; c < 4; c++ {
+		for _, u := range floorplan.CoreUnits() {
+			totalUnits += res.Activity.CoreCount(c, u)
+		}
+	}
+	if units != totalUnits {
+		t.Errorf("sample unit counts %d != total %d", units, totalUnits)
+	}
+}
+
+func TestSamplingDisabledByDefault(t *testing.T) {
+	res, err := Run(parallelKernel(500), DefaultConfig(2, nominalPoint(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) != 0 {
+		t.Errorf("unexpected samples: %d", len(res.Samples))
+	}
+}
+
+func TestSamplingDeterministic(t *testing.T) {
+	cfg := DefaultConfig(4, nominalPoint(t))
+	cfg.SampleCycles = 3000
+	a, err := Run(parallelKernel(2000), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(parallelKernel(2000), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Samples) != len(b.Samples) {
+		t.Fatalf("sample counts differ: %d vs %d", len(a.Samples), len(b.Samples))
+	}
+	for i := range a.Samples {
+		if a.Samples[i].EndCycle != b.Samples[i].EndCycle ||
+			a.Samples[i].Instructions != b.Samples[i].Instructions {
+			t.Fatalf("sample %d differs", i)
+		}
+	}
+}

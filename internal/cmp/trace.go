@@ -1,0 +1,66 @@
+package cmp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"cmppower/internal/workload"
+)
+
+// TraceEvent is one executed workload event, for debugging and workload
+// analysis. Cycle is the executing core's clock *after* the event.
+type TraceEvent struct {
+	Cycle float64            `json:"cycle"`
+	Core  int                `json:"core"`
+	Kind  workload.EventKind `json:"-"`
+	KindS string             `json:"kind"`
+	N     int                `json:"n,omitempty"`
+	Addr  uint64             `json:"addr,omitempty"`
+	ID    int                `json:"id,omitempty"`
+}
+
+// traceRing keeps the last cap events.
+type traceRing struct {
+	buf  []TraceEvent
+	head int
+	full bool
+}
+
+func newTraceRing(capacity int) *traceRing {
+	return &traceRing{buf: make([]TraceEvent, capacity)}
+}
+
+func (r *traceRing) push(e TraceEvent) {
+	r.buf[r.head] = e
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+		r.full = true
+	}
+}
+
+// events returns the ring contents in chronological order.
+func (r *traceRing) events() []TraceEvent {
+	if !r.full {
+		out := make([]TraceEvent, r.head)
+		copy(out, r.buf[:r.head])
+		return out
+	}
+	out := make([]TraceEvent, 0, len(r.buf))
+	out = append(out, r.buf[r.head:]...)
+	out = append(out, r.buf[:r.head]...)
+	return out
+}
+
+// WriteTraceJSONL writes events as one JSON object per line.
+func WriteTraceJSONL(w io.Writer, events []TraceEvent) error {
+	enc := json.NewEncoder(w)
+	for i := range events {
+		events[i].KindS = events[i].Kind.String()
+		if err := enc.Encode(&events[i]); err != nil {
+			return fmt.Errorf("cmp: trace encode: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package cmp
+
+import (
+	"strings"
+	"testing"
+
+	"cmppower/internal/workload"
+)
+
+func TestTraceRingPartial(t *testing.T) {
+	r := newTraceRing(4)
+	r.push(TraceEvent{Cycle: 1})
+	r.push(TraceEvent{Cycle: 2})
+	evs := r.events()
+	if len(evs) != 2 || evs[0].Cycle != 1 || evs[1].Cycle != 2 {
+		t.Fatalf("partial ring %v", evs)
+	}
+}
+
+func TestTraceRingWraps(t *testing.T) {
+	r := newTraceRing(3)
+	for c := 1; c <= 5; c++ {
+		r.push(TraceEvent{Cycle: float64(c)})
+	}
+	evs := r.events()
+	if len(evs) != 3 {
+		t.Fatalf("ring size %d", len(evs))
+	}
+	want := []float64{3, 4, 5}
+	for i, e := range evs {
+		if e.Cycle != want[i] {
+			t.Fatalf("chronology broken: %v", evs)
+		}
+	}
+}
+
+func TestRunWithTrace(t *testing.T) {
+	cfg := DefaultConfig(2, nominalPoint(t))
+	cfg.TraceLast = 64
+	res, err := Run(parallelKernel(500), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 || len(res.Trace) > 64 {
+		t.Fatalf("trace length %d", len(res.Trace))
+	}
+	// Last traced events must include EvDone for the final cores.
+	last := res.Trace[len(res.Trace)-1]
+	if last.Kind != workload.EvDone {
+		t.Errorf("final trace event kind %v, want done", last.Kind)
+	}
+	// Cycles are non-decreasing per core.
+	lastCycle := map[int]float64{}
+	for _, e := range res.Trace {
+		if e.Cycle < lastCycle[e.Core] {
+			t.Fatalf("core %d trace went backwards", e.Core)
+		}
+		lastCycle[e.Core] = e.Cycle
+	}
+}
+
+func TestRunWithoutTraceIsEmpty(t *testing.T) {
+	res, err := Run(parallelKernel(200), DefaultConfig(1, nominalPoint(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != nil {
+		t.Errorf("unexpected trace of %d events", len(res.Trace))
+	}
+}
+
+func TestWriteTraceJSONL(t *testing.T) {
+	events := []TraceEvent{
+		{Cycle: 10, Core: 0, Kind: workload.EvLoad, Addr: 0x40},
+		{Cycle: 12, Core: 1, Kind: workload.EvBarrier, ID: 2},
+	}
+	var b strings.Builder
+	if err := WriteTraceJSONL(&b, events); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Count(out, "\n") != 2 {
+		t.Fatalf("want 2 lines, got %q", out)
+	}
+	for _, want := range []string{`"kind":"load"`, `"kind":"barrier"`, `"addr":64`, `"id":2`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSONL missing %s:\n%s", want, out)
+		}
+	}
+}

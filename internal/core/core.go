@@ -1,0 +1,399 @@
+// Package core implements the paper's primary contribution: the analytical
+// model (paper §2) that connects the number of cores N, the application's
+// nominal parallel efficiency ε_n(N), and voltage/frequency scaling into
+// closed-form power and performance predictions for a CMP, coupled with a
+// HotSpot-style thermal model so that die temperature feeds back into
+// static power.
+//
+// Two solvers mirror the paper's two scenarios:
+//
+//   - Scenario I (power optimization, §2.2 / Fig. 1): given a performance
+//     target equal to the single-core full-throttle execution, find the
+//     scaled operating point for N cores and report normalized power.
+//   - Scenario II (performance optimization, §2.3 / Fig. 2): given a power
+//     budget equal to single-core full-throttle consumption, find the
+//     operating point maximizing speedup on N cores.
+//
+// All powers are expressed relative to P_D1, the dynamic power of one core
+// at nominal voltage and frequency; NormPower and Speedup are the
+// dimensionless quantities the paper plots.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"cmppower/internal/floorplan"
+	"cmppower/internal/phys"
+	"cmppower/internal/thermal"
+)
+
+// Model is the calibrated analytical model for one technology on one chip
+// geometry.
+type Model struct {
+	tech     phys.Technology
+	maxCores int
+	// T1 is the die temperature of the single-core configuration at full
+	// throttle (paper: 100 °C), which defines the absolute power scale.
+	t1 float64
+	// risePerWatt[n-1] is the average active-core temperature rise per
+	// total watt when n cores are active, from the thermal network.
+	risePerWatt []float64
+	// wattsPerUnit converts model power units (multiples of P_D1) to
+	// watts, fixed by the T1 calibration.
+	wattsPerUnit float64
+}
+
+// Config controls model construction.
+type Config struct {
+	Tech     phys.Technology
+	MaxCores int     // chip size; paper §2 uses a 32-way CMP baseline
+	T1       float64 // single-core full-throttle die temperature, °C
+}
+
+// DefaultConfig returns the paper's §2 setup for the given technology:
+// a 32-way CMP with the single-core configuration pinned at 100 °C.
+func DefaultConfig(tech phys.Technology) Config {
+	return Config{Tech: tech, MaxCores: 32, T1: phys.MaxDieTempC}
+}
+
+// New builds the model, solving the thermal network once per active-core
+// count to learn the temperature-vs-power relation.
+func New(cfg Config) (*Model, error) {
+	if err := cfg.Tech.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxCores < 1 || cfg.MaxCores > 64 {
+		return nil, fmt.Errorf("core: MaxCores %d outside [1,64]", cfg.MaxCores)
+	}
+	if cfg.T1 <= phys.AmbientTempC {
+		return nil, fmt.Errorf("core: T1 %g °C not above ambient", cfg.T1)
+	}
+	fp, err := floorplan.Chip(floorplan.DefaultChipConfig(cfg.MaxCores))
+	if err != nil {
+		return nil, err
+	}
+	tm, err := thermal.NewModel(fp, thermal.DefaultParams())
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{tech: cfg.Tech, maxCores: cfg.MaxCores, t1: cfg.T1}
+	m.risePerWatt = make([]float64, cfg.MaxCores)
+	for n := 1; n <= cfg.MaxCores; n++ {
+		// One watt spread uniformly over the blocks of the n active cores.
+		p := make([]float64, len(fp.Blocks))
+		var blocks []int
+		for c := 0; c < n; c++ {
+			blocks = append(blocks, fp.CoreBlocks(c)...)
+		}
+		var area float64
+		for _, i := range blocks {
+			area += fp.Blocks[i].Area()
+		}
+		for _, i := range blocks {
+			p[i] = fp.Blocks[i].Area() / area
+		}
+		temps, err := tm.SteadyState(p)
+		if err != nil {
+			return nil, err
+		}
+		avg := tm.AvgWeighted(temps, thermal.ActiveCores(n))
+		m.risePerWatt[n-1] = avg - phys.AmbientTempC
+	}
+	if m.risePerWatt[0] <= 0 {
+		return nil, errors.New("core: degenerate thermal network")
+	}
+	// Calibration: single core at full throttle sits at T1. Its power in
+	// model units is 1 + static(Vdd, T1); in watts it is (T1-amb)/rise[0].
+	p1Units := 1 + cfg.Tech.StaticPowerRel(cfg.Tech.Vdd, cfg.T1)
+	m.wattsPerUnit = (cfg.T1 - phys.AmbientTempC) / m.risePerWatt[0] / p1Units
+	return m, nil
+}
+
+// Tech returns the model's technology.
+func (m *Model) Tech() phys.Technology { return m.tech }
+
+// MaxCores returns the chip size the model was built for.
+func (m *Model) MaxCores() int { return m.maxCores }
+
+// P1 returns the single-core full-throttle power in model units
+// (the performance reference of Scenario I and the budget of Scenario II).
+func (m *Model) P1() float64 {
+	return 1 + m.tech.StaticPowerRel(m.tech.Vdd, m.t1)
+}
+
+// TempFor returns the average active-core die temperature for n active
+// cores dissipating totalUnits of power (in P_D1 units).
+func (m *Model) TempFor(n int, totalUnits float64) float64 {
+	if n < 1 {
+		n = 1
+	}
+	if n > m.maxCores {
+		n = m.maxCores
+	}
+	t := phys.AmbientTempC + m.risePerWatt[n-1]*totalUnits*m.wattsPerUnit
+	if t < phys.AmbientTempC {
+		t = phys.AmbientTempC
+	}
+	return t
+}
+
+// powerAt returns the chip's total power in model units for n cores at
+// supply v and frequency ratio fr (f/FNominal), solving the
+// temperature/leakage fixed point. It also returns the converged
+// temperature and the dynamic/static split.
+func (m *Model) powerAt(n int, v, fr float64) (total, dyn, static, tempC float64) {
+	dyn = float64(n) * m.tech.DynPowerRel(v, fr*m.tech.FNominal)
+	tempC = phys.AmbientTempC
+	// Temperatures are clamped well above any operable point: beyond-TDP
+	// configurations (e.g. many cores at barely-reduced frequency) report
+	// a finite, huge power instead of a numerical runaway. The paper's
+	// Fig. 1 simply clips such curves at the top of the plot.
+	const tempCap = 150.0
+	for i := 0; i < 200; i++ {
+		static = float64(n) * m.tech.StaticPowerRel(v, tempC)
+		total = dyn + static
+		nt := phys.Clamp(m.TempFor(n, total), phys.AmbientTempC, tempCap)
+		if math.Abs(nt-tempC) < 1e-6 {
+			tempC = nt
+			break
+		}
+		tempC = nt
+	}
+	static = float64(n) * m.tech.StaticPowerRel(v, tempC)
+	total = dyn + static
+	return total, dyn, static, tempC
+}
+
+// OperatingPoint is a solved analytical configuration.
+type OperatingPoint struct {
+	N         int
+	Eps       float64 // nominal parallel efficiency ε_n(N) assumed
+	FreqRatio float64 // f/FNominal
+	Volt      float64
+	VoltRatio float64 // V/Vdd
+	TempC     float64 // average active-core temperature
+	DynRel    float64 // dynamic power / P_D1
+	StaticRel float64 // static power / P_D1
+	TotalRel  float64 // total power / P_D1
+	NormPower float64 // total / P_1 — the paper's Fig. 1 y-axis
+	Speedup   float64 // vs single-core full throttle — Fig. 2 y-axis
+	Feasible  bool    // Scenario I: whether the performance target is reachable
+	AtVmin    bool    // supply pinned at the noise-margin floor
+}
+
+// ScenarioI solves the power-optimization scenario (paper §2.2) for n
+// cores at nominal parallel efficiency eps: all configurations must match
+// single-core full-throttle performance, which fixes the frequency via
+// Eq. 7 (f_N = f_1 / (N·ε_n)); the minimal voltage follows from Eq. 1,
+// and power from Eqs. 8–9 with the thermal fixed point.
+func (m *Model) ScenarioI(n int, eps float64) (OperatingPoint, error) {
+	if n < 1 || n > m.maxCores {
+		return OperatingPoint{}, fmt.Errorf("core: n %d outside [1,%d]", n, m.maxCores)
+	}
+	if eps <= 0 || eps > 1.5 {
+		return OperatingPoint{}, fmt.Errorf("core: eps %g outside (0,1.5]", eps)
+	}
+	op := OperatingPoint{N: n, Eps: eps}
+	fr := 1 / (float64(n) * eps)
+	if fr > 1 {
+		// Would require running above nominal frequency; the model forbids
+		// overclocking (paper §2.2).
+		op.Feasible = false
+		return op, nil
+	}
+	op.Feasible = true
+	op.FreqRatio = fr
+	v, err := m.tech.VoltageFor(fr * m.tech.FNominal)
+	if err != nil {
+		return OperatingPoint{}, err
+	}
+	op.Volt = v
+	op.VoltRatio = v / m.tech.Vdd
+	op.AtVmin = math.Abs(v-m.tech.Vmin()) < 1e-12
+	op.TotalRel, op.DynRel, op.StaticRel, op.TempC = m.powerAt(n, v, fr)
+	op.NormPower = op.TotalRel / m.P1()
+	op.Speedup = 1 // by construction: equal performance
+	return op, nil
+}
+
+// ScenarioII solves the performance-optimization scenario (paper §2.3) for
+// n cores at nominal parallel efficiency eps: maximize speedup subject to
+// total power not exceeding the single-core full-throttle budget (Eqs.
+// 10–11 with the thermal fixed point). The chip picks the highest feasible
+// frequency ratio; voltage follows minimally from Eq. 1.
+func (m *Model) ScenarioII(n int, eps float64) (OperatingPoint, error) {
+	if n < 1 || n > m.maxCores {
+		return OperatingPoint{}, fmt.Errorf("core: n %d outside [1,%d]", n, m.maxCores)
+	}
+	if eps <= 0 || eps > 1.5 {
+		return OperatingPoint{}, fmt.Errorf("core: eps %g outside (0,1.5]", eps)
+	}
+	budget := m.P1()
+	solve := func(fr float64) OperatingPoint {
+		v, _ := m.tech.VoltageFor(fr * m.tech.FNominal)
+		op := OperatingPoint{N: n, Eps: eps, FreqRatio: fr, Volt: v, VoltRatio: v / m.tech.Vdd, Feasible: true}
+		op.AtVmin = math.Abs(v-m.tech.Vmin()) < 1e-12
+		op.TotalRel, op.DynRel, op.StaticRel, op.TempC = m.powerAt(n, v, fr)
+		op.NormPower = op.TotalRel / budget
+		op.Speedup = float64(n) * eps * fr
+		return op
+	}
+	full := solve(1)
+	if full.TotalRel <= budget {
+		return full, nil
+	}
+	// Total power is strictly increasing in fr (dynamic rises with both fr
+	// and the voltage it requires; static rises with voltage and the
+	// resulting temperature), so bisection finds the binding point.
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 60; i++ {
+		mid := 0.5 * (lo + hi)
+		if mid == 0 {
+			break
+		}
+		if op := solve(mid); op.TotalRel <= budget {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		// Even an infinitesimal frequency exceeds the budget: the static
+		// floor of n cores alone is above P_1.
+		op := solve(1e-9)
+		op.Feasible = false
+		op.Speedup = 0
+		return op, nil
+	}
+	return solve(lo), nil
+}
+
+// Fig1Curve sweeps Scenario I over an efficiency grid for one core count,
+// returning only feasible points (eps >= 1/n). This regenerates one curve
+// of the paper's Figure 1.
+func (m *Model) Fig1Curve(n int, epsGrid []float64) ([]OperatingPoint, error) {
+	var out []OperatingPoint
+	for _, eps := range epsGrid {
+		op, err := m.ScenarioI(n, eps)
+		if err != nil {
+			return nil, err
+		}
+		if op.Feasible {
+			out = append(out, op)
+		}
+	}
+	return out, nil
+}
+
+// Fig2Curve sweeps Scenario II over n = 1..maxN at the given efficiency
+// (the paper's Figure 2 uses ε_n = 1 for all N).
+func (m *Model) Fig2Curve(maxN int, eps float64) ([]OperatingPoint, error) {
+	if maxN < 1 || maxN > m.maxCores {
+		return nil, fmt.Errorf("core: maxN %d outside [1,%d]", maxN, m.maxCores)
+	}
+	var out []OperatingPoint
+	for n := 1; n <= maxN; n++ {
+		op, err := m.ScenarioII(n, eps)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, op)
+	}
+	return out, nil
+}
+
+// EpsGrid returns a uniform efficiency grid on [lo, hi] with the given
+// number of points, for Fig. 1 sweeps.
+func EpsGrid(lo, hi float64, points int) ([]float64, error) {
+	if points < 2 || lo <= 0 || hi <= lo {
+		return nil, fmt.Errorf("core: invalid grid [%g,%g]x%d", lo, hi, points)
+	}
+	out := make([]float64, points)
+	for i := range out {
+		out[i] = lo + (hi-lo)*float64(i)/float64(points-1)
+	}
+	return out, nil
+}
+
+// BreakEven returns the lowest efficiency on a fine grid at which the
+// n-core configuration consumes no more power than the single core
+// (NormPower <= 1), or an error if it never breaks even below eps=1.
+func (m *Model) BreakEven(n int) (float64, error) {
+	lo := 1 / float64(n)
+	for eps := lo; eps <= 1.0001; eps += 0.005 {
+		op, err := m.ScenarioI(n, math.Min(eps, 1))
+		if err != nil {
+			return 0, err
+		}
+		if op.Feasible && op.NormPower <= 1 {
+			return op.Eps, nil
+		}
+	}
+	return 0, fmt.Errorf("core: %d-core %s configuration never breaks even", n, m.tech.Name)
+}
+
+// RequiredEfficiency inverts Figure 1: it returns the minimum nominal
+// parallel efficiency at which an n-core configuration matches single-core
+// performance within the given normalized power target (e.g. 0.5 = half
+// the single-core power). NormPower falls monotonically with ε_n, so the
+// answer is found by bisection over the feasible range [1/n, 1].
+func (m *Model) RequiredEfficiency(n int, normPower float64) (float64, error) {
+	if n < 1 || n > m.maxCores {
+		return 0, fmt.Errorf("core: n %d outside [1,%d]", n, m.maxCores)
+	}
+	if normPower <= 0 {
+		return 0, fmt.Errorf("core: non-positive power target %g", normPower)
+	}
+	atEps := func(eps float64) (float64, error) {
+		op, err := m.ScenarioI(n, eps)
+		if err != nil {
+			return 0, err
+		}
+		if !op.Feasible {
+			return math.Inf(1), nil
+		}
+		return op.NormPower, nil
+	}
+	best, err := atEps(1)
+	if err != nil {
+		return 0, err
+	}
+	if best > normPower {
+		return 0, fmt.Errorf("core: %d cores cannot reach %.3g·P1 even at eps=1 (best %.3g)",
+			n, normPower, best)
+	}
+	lo := 1 / float64(n) * (1 + 1e-9)
+	hi := 1.0
+	for i := 0; i < 60; i++ {
+		mid := 0.5 * (lo + hi)
+		p, err := atEps(mid)
+		if err != nil {
+			return 0, err
+		}
+		if p <= normPower {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}
+
+// PeakSpeedup scans Scenario II over all n and returns the best
+// configuration — the paper's "optimum number of processors under a power
+// budget".
+func (m *Model) PeakSpeedup(eps float64) (OperatingPoint, error) {
+	curve, err := m.Fig2Curve(m.maxCores, eps)
+	if err != nil {
+		return OperatingPoint{}, err
+	}
+	best := curve[0]
+	for _, op := range curve[1:] {
+		if op.Speedup > best.Speedup {
+			best = op
+		}
+	}
+	return best, nil
+}

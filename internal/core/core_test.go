@@ -1,0 +1,426 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"cmppower/internal/phys"
+)
+
+func model(t *testing.T, tech phys.Technology) *Model {
+	t.Helper()
+	m, err := New(DefaultConfig(tech))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := phys.Tech65()
+	bad.Vdd = 0
+	if _, err := New(Config{Tech: bad, MaxCores: 32, T1: 100}); err == nil {
+		t.Error("accepted invalid technology")
+	}
+	if _, err := New(Config{Tech: phys.Tech65(), MaxCores: 0, T1: 100}); err == nil {
+		t.Error("accepted zero cores")
+	}
+	if _, err := New(Config{Tech: phys.Tech65(), MaxCores: 128, T1: 100}); err == nil {
+		t.Error("accepted oversized chip")
+	}
+	if _, err := New(Config{Tech: phys.Tech65(), MaxCores: 32, T1: 20}); err == nil {
+		t.Error("accepted T1 below ambient")
+	}
+}
+
+func TestP1MatchesStaticShare(t *testing.T) {
+	for _, tech := range []phys.Technology{phys.Tech130(), phys.Tech65()} {
+		m := model(t, tech)
+		want := 1 / (1 - tech.StaticShare)
+		if got := m.P1(); math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s: P1=%g, want %g", tech.Name, got, want)
+		}
+	}
+}
+
+func TestTempForCalibration(t *testing.T) {
+	m := model(t, phys.Tech65())
+	// By calibration, one core at P1 units sits at T1 = 100 °C.
+	if got := m.TempFor(1, m.P1()); math.Abs(got-100) > 0.1 {
+		t.Errorf("TempFor(1, P1)=%g, want 100", got)
+	}
+	// Zero power is ambient; temperature rises with power; spreading the
+	// same power over more cores lowers the average rise.
+	if got := m.TempFor(4, 0); got != phys.AmbientTempC {
+		t.Errorf("TempFor(4,0)=%g", got)
+	}
+	if m.TempFor(1, 2) <= m.TempFor(1, 1) {
+		t.Error("temperature not increasing in power")
+	}
+	if m.TempFor(16, m.P1()) >= m.TempFor(1, m.P1()) {
+		t.Error("spreading power should lower average core temperature")
+	}
+	// Out-of-range core counts clamp rather than panic.
+	if m.TempFor(0, 1) <= phys.AmbientTempC {
+		t.Error("clamped n=0 lost the power")
+	}
+	if m.TempFor(99, 1) <= phys.AmbientTempC {
+		t.Error("clamped n=99 lost the power")
+	}
+}
+
+func TestScenarioIValidation(t *testing.T) {
+	m := model(t, phys.Tech65())
+	if _, err := m.ScenarioI(0, 0.5); err == nil {
+		t.Error("accepted n=0")
+	}
+	if _, err := m.ScenarioI(64, 0.5); err == nil {
+		t.Error("accepted n beyond chip")
+	}
+	if _, err := m.ScenarioI(4, 0); err == nil {
+		t.Error("accepted eps=0")
+	}
+	if _, err := m.ScenarioI(4, 2); err == nil {
+		t.Error("accepted eps=2")
+	}
+}
+
+func TestScenarioIInfeasibleBelowOneOverN(t *testing.T) {
+	m := model(t, phys.Tech65())
+	op, err := m.ScenarioI(4, 0.2) // needs fr = 1.25 > 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Feasible {
+		t.Error("eps < 1/N should be infeasible without overclocking")
+	}
+}
+
+func TestScenarioISingleCoreIdentity(t *testing.T) {
+	m := model(t, phys.Tech130())
+	op, err := m.ScenarioI(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !op.Feasible || math.Abs(op.NormPower-1) > 1e-6 {
+		t.Errorf("N=1 eps=1 should be the reference point, got %+v", op)
+	}
+	if math.Abs(op.TempC-100) > 0.1 {
+		t.Errorf("reference temperature %g, want 100", op.TempC)
+	}
+}
+
+func TestScenarioIPowerFallsWithEfficiency(t *testing.T) {
+	// Paper Fig. 1: for any N, higher ε_n allows greater power savings.
+	for _, tech := range []phys.Technology{phys.Tech130(), phys.Tech65()} {
+		m := model(t, tech)
+		for _, n := range []int{2, 4, 8, 16, 32} {
+			prev := math.Inf(1)
+			for eps := 1 / float64(n) * 1.01; eps <= 1.0; eps += 0.05 {
+				op, err := m.ScenarioI(n, eps)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !op.Feasible {
+					continue
+				}
+				if op.NormPower > prev+1e-9 {
+					t.Errorf("%s N=%d: NormPower rose with eps at %g", tech.Name, n, eps)
+				}
+				prev = op.NormPower
+			}
+		}
+	}
+}
+
+func TestScenarioIParallelSavesPowerAtHighEfficiency(t *testing.T) {
+	// The headline result: moderate core counts at high efficiency save
+	// substantial power versus the single core.
+	for _, tech := range []phys.Technology{phys.Tech130(), phys.Tech65()} {
+		m := model(t, tech)
+		op, err := m.ScenarioI(8, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if op.NormPower > 0.5 {
+			t.Errorf("%s: 8 cores at eps=1 use %.2f of P1, want < 0.5", tech.Name, op.NormPower)
+		}
+		if op.TempC >= 70 {
+			t.Errorf("%s: scaled config at %g °C, expected a large temperature drop", tech.Name, op.TempC)
+		}
+	}
+}
+
+func TestScenarioIVminKink(t *testing.T) {
+	// Below some efficiency the supply pins at Vmin and savings flatten
+	// (the curvature change the paper highlights).
+	m := model(t, phys.Tech65())
+	opHigh, err := m.ScenarioI(16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opHigh.AtVmin {
+		t.Errorf("16 cores at eps=1 should be deep in the Vmin region (fr=%g V=%g)", opHigh.FreqRatio, opHigh.Volt)
+	}
+	opLow, err := m.ScenarioI(2, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opLow.AtVmin {
+		t.Error("2 cores at eps=0.6 should not be at Vmin")
+	}
+}
+
+func TestBreakEvenDecreasesWithN(t *testing.T) {
+	// Paper Fig. 1: higher N reaches break-even at lower efficiency.
+	m := model(t, phys.Tech130())
+	be2, err := m.BreakEven(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be8, err := m.BreakEven(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(be8 < be2) {
+		t.Errorf("break-even eps: N=8 %g should be below N=2 %g", be8, be2)
+	}
+}
+
+func TestBreakEven65nm32NeverBreaksEven(t *testing.T) {
+	// With the 65 nm static floor, 32 cores cannot beat the single core
+	// even at perfect efficiency — the static-power effect of Eq. 9.
+	m := model(t, phys.Tech65())
+	if _, err := m.BreakEven(32); err == nil {
+		t.Error("expected 32-core 65nm to never break even")
+	}
+}
+
+func TestScenarioIIBudgetRespected(t *testing.T) {
+	for _, tech := range []phys.Technology{phys.Tech130(), phys.Tech65()} {
+		m := model(t, tech)
+		for _, n := range []int{1, 2, 8, 16, 32} {
+			op, err := m.ScenarioII(n, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !op.Feasible {
+				continue
+			}
+			if op.TotalRel > m.P1()*(1+1e-6) {
+				t.Errorf("%s N=%d: power %g exceeds budget %g", tech.Name, n, op.TotalRel, m.P1())
+			}
+			if op.Speedup < 0 {
+				t.Errorf("%s N=%d: negative speedup", tech.Name, n)
+			}
+		}
+	}
+}
+
+func TestScenarioIISingleCoreFullThrottle(t *testing.T) {
+	m := model(t, phys.Tech65())
+	op, err := m.ScenarioII(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(op.Speedup-1) > 1e-9 || math.Abs(op.FreqRatio-1) > 1e-9 {
+		t.Errorf("N=1 should run at full throttle: %+v", op)
+	}
+}
+
+func TestFig2ShapeMatchesPaper(t *testing.T) {
+	// The reproduction's headline shape targets (DESIGN.md):
+	//  * speedup rises, peaks, then declines;
+	//  * the peak sits in N≈10..18 at speedup ≈3.5..5.5;
+	//  * 65 nm peaks at or before 130 nm and declines much faster;
+	//  * deep decline at N=32 for 65 nm (high static share).
+	m130 := model(t, phys.Tech130())
+	m65 := model(t, phys.Tech65())
+	p130, err := m130.PeakSpeedup(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p65, err := m65.PeakSpeedup(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p130.N < 10 || p130.N > 18 {
+		t.Errorf("130nm peak at N=%d, want 10..18 (paper ≈14)", p130.N)
+	}
+	if p130.Speedup < 3.5 || p130.Speedup > 5.5 {
+		t.Errorf("130nm peak speedup %g, want ≈4-5", p130.Speedup)
+	}
+	if p65.N > p130.N {
+		t.Errorf("65nm should peak no later than 130nm (%d vs %d)", p65.N, p130.N)
+	}
+	c130, err := m130.Fig2Curve(32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c65, err := m65.Fig2Curve(32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decline after the peak, and 65 nm far below 130 nm at N=32.
+	if c130[31].Speedup >= p130.Speedup {
+		t.Error("130nm curve does not decline after the peak")
+	}
+	if c65[31].Speedup >= p65.Speedup {
+		t.Error("65nm curve does not decline after the peak")
+	}
+	if c65[31].Speedup > 0.6*c130[31].Speedup {
+		t.Errorf("65nm@32 speedup %g should be far below 130nm@32 %g", c65[31].Speedup, c130[31].Speedup)
+	}
+	// Monotone rise before the peak.
+	for n := 1; n < p130.N; n++ {
+		if c130[n].Speedup < c130[n-1].Speedup-1e-9 {
+			t.Errorf("130nm speedup not rising at N=%d", n+1)
+		}
+	}
+}
+
+func TestScenarioIIFrequencyOnlyRegionDrivesDecline(t *testing.T) {
+	// Past the peak the supply is pinned at Vmin and only frequency scales,
+	// which is precisely the paper's explanation for the rapid decline.
+	m := model(t, phys.Tech65())
+	op, err := m.ScenarioII(20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !op.AtVmin {
+		t.Errorf("20-core 65nm under budget should be pinned at Vmin, got V=%g", op.Volt)
+	}
+}
+
+func TestScenarioIILowerEfficiencyLowersSpeedup(t *testing.T) {
+	m := model(t, phys.Tech130())
+	hi, err := m.ScenarioII(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := m.ScenarioII(8, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo.Speedup >= hi.Speedup {
+		t.Errorf("speedup at eps=0.6 (%g) should be below eps=1 (%g)", lo.Speedup, hi.Speedup)
+	}
+}
+
+func TestFig1CurveFiltersInfeasible(t *testing.T) {
+	m := model(t, phys.Tech65())
+	grid, err := EpsGrid(0.05, 1.0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve, err := m.Fig1Curve(8, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) == 0 || len(curve) >= 20 {
+		t.Errorf("curve has %d points; infeasible eps < 1/8 should be dropped", len(curve))
+	}
+	for _, op := range curve {
+		if op.Eps < 1.0/8-1e-9 {
+			t.Errorf("infeasible point survived: eps=%g", op.Eps)
+		}
+	}
+}
+
+func TestEpsGridValidation(t *testing.T) {
+	if _, err := EpsGrid(0.5, 0.4, 10); err == nil {
+		t.Error("accepted hi<lo")
+	}
+	if _, err := EpsGrid(0, 1, 10); err == nil {
+		t.Error("accepted lo=0")
+	}
+	if _, err := EpsGrid(0.1, 1, 1); err == nil {
+		t.Error("accepted single point")
+	}
+	g, err := EpsGrid(0.2, 1.0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g) != 5 || g[0] != 0.2 || g[4] != 1.0 {
+		t.Errorf("grid %v", g)
+	}
+}
+
+func TestFig2CurveValidation(t *testing.T) {
+	m := model(t, phys.Tech65())
+	if _, err := m.Fig2Curve(0, 1); err == nil {
+		t.Error("accepted maxN=0")
+	}
+	if _, err := m.Fig2Curve(99, 1); err == nil {
+		t.Error("accepted maxN beyond chip")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	m := model(t, phys.Tech130())
+	if m.Tech().Name != "130nm" {
+		t.Error("Tech() wrong")
+	}
+	if m.MaxCores() != 32 {
+		t.Error("MaxCores() wrong")
+	}
+}
+
+func TestRequiredEfficiencyInvertsScenarioI(t *testing.T) {
+	m := model(t, phys.Tech65())
+	for _, target := range []float64{0.5, 0.8} {
+		eps, err := m.RequiredEfficiency(8, target)
+		if err != nil {
+			t.Fatalf("target %g: %v", target, err)
+		}
+		op, err := m.ScenarioI(8, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !op.Feasible {
+			t.Fatalf("target %g: returned infeasible eps %g", target, eps)
+		}
+		if op.NormPower > target*1.01 {
+			t.Errorf("target %g: eps %g gives power %g", target, eps, op.NormPower)
+		}
+		// It is the *minimum*: slightly lower efficiency must exceed the
+		// target.
+		below, err := m.ScenarioI(8, eps*0.97)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if below.Feasible && below.NormPower <= target {
+			t.Errorf("target %g: eps %g not minimal (%g also works)", target, eps, eps*0.97)
+		}
+	}
+}
+
+func TestRequiredEfficiencyUnreachable(t *testing.T) {
+	m := model(t, phys.Tech65())
+	// 32 cores at 65nm never drop below ~1.0·P1.
+	if _, err := m.RequiredEfficiency(32, 0.5); err == nil {
+		t.Error("accepted unreachable target")
+	}
+	if _, err := m.RequiredEfficiency(0, 0.5); err == nil {
+		t.Error("accepted n=0")
+	}
+	if _, err := m.RequiredEfficiency(8, 0); err == nil {
+		t.Error("accepted zero target")
+	}
+}
+
+func TestRequiredEfficiencyMonotoneInTarget(t *testing.T) {
+	// A tighter power target demands more efficiency.
+	m := model(t, phys.Tech130())
+	tight, err := m.RequiredEfficiency(8, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := m.RequiredEfficiency(8, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight <= loose {
+		t.Errorf("eps for 0.4·P1 (%g) should exceed eps for 0.8·P1 (%g)", tight, loose)
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// EfficiencyModel is a two-parameter extended-Amdahl model of an
+// application's nominal parallel efficiency:
+//
+//	T_N / T_1 = s + (1-s)/N + c·ln(N)/N
+//	ε_n(N)    = 1 / (s·N + (1-s) + c·ln N)
+//
+// where s is the serial fraction (overhead linear in N, Amdahl) and c a
+// communication/synchronization overhead that grows logarithmically in N
+// (tree barriers, growing sharing). The two basis shapes (N-1 and ln N)
+// are linearly independent, so both parameters are identifiable from
+// measurements. This is the bridge between the experimental efficiency
+// curves (paper Fig. 3, first panel) and the analytical model's ε_n input.
+type EfficiencyModel struct {
+	Serial float64 // s ∈ [0, 1]
+	Comm   float64 // c ≥ 0
+}
+
+// Eps returns the modeled nominal parallel efficiency on n cores.
+func (em EfficiencyModel) Eps(n int) float64 {
+	if n < 1 {
+		return 0
+	}
+	fn := float64(n)
+	denom := em.Serial*fn + (1 - em.Serial) + em.Comm*math.Log(fn)
+	if denom <= 0 {
+		return 0
+	}
+	return 1 / denom
+}
+
+// Slowdown returns T_N/T_1 under the model.
+func (em EfficiencyModel) Slowdown(n int) float64 {
+	e := em.Eps(n)
+	if e == 0 {
+		return math.Inf(1)
+	}
+	return 1 / (float64(n) * e)
+}
+
+// String implements fmt.Stringer.
+func (em EfficiencyModel) String() string {
+	return fmt.Sprintf("eps(N)=1/(1+%.4f(N-1)+%.4f·lnN) [serial=%.4f comm=%.4f]",
+		em.Serial, em.Comm, em.Serial, em.Comm)
+}
+
+// FitEfficiency least-squares-fits the model to measured (n, ε_n) points.
+// At least two points with n >= 2 are required (ε_n(1) is 1 by definition
+// and carries no information).
+func FitEfficiency(ns []int, eps []float64) (EfficiencyModel, error) {
+	if len(ns) != len(eps) {
+		return EfficiencyModel{}, fmt.Errorf("core: %d ns vs %d eps", len(ns), len(eps))
+	}
+	var xs []int
+	var ys []float64
+	for i, n := range ns {
+		if n < 2 {
+			continue
+		}
+		if eps[i] <= 0 || eps[i] > 2 {
+			return EfficiencyModel{}, fmt.Errorf("core: efficiency %g at N=%d out of range", eps[i], n)
+		}
+		xs = append(xs, n)
+		ys = append(ys, eps[i])
+	}
+	if len(xs) < 2 {
+		return EfficiencyModel{}, errors.New("core: need at least two measurements with N >= 2")
+	}
+	sse := func(s, c float64) float64 {
+		m := EfficiencyModel{Serial: s, Comm: c}
+		var e float64
+		for i, n := range xs {
+			d := m.Eps(n) - ys[i]
+			e += d * d
+		}
+		return e
+	}
+	// Two-stage grid search: coarse over the physical range, then refined
+	// around the coarse optimum. The surface is smooth and unimodal in
+	// practice; 2×101² evaluations are trivial.
+	best := EfficiencyModel{}
+	bestE := math.Inf(1)
+	search := func(sLo, sHi, cLo, cHi float64, steps int) {
+		for i := 0; i <= steps; i++ {
+			s := sLo + (sHi-sLo)*float64(i)/float64(steps)
+			for j := 0; j <= steps; j++ {
+				c := cLo + (cHi-cLo)*float64(j)/float64(steps)
+				if e := sse(s, c); e < bestE {
+					bestE = e
+					best = EfficiencyModel{Serial: s, Comm: c}
+				}
+			}
+		}
+	}
+	search(0, 0.5, 0, 0.5, 100)
+	ds, dc := 0.01, 0.01
+	search(math.Max(0, best.Serial-ds), math.Min(0.5, best.Serial+ds),
+		math.Max(0, best.Comm-dc), math.Min(0.5, best.Comm+dc), 100)
+	return best, nil
+}
+
+// FitError returns the RMS error of the model against measurements.
+func (em EfficiencyModel) FitError(ns []int, eps []float64) float64 {
+	var e float64
+	var k int
+	for i, n := range ns {
+		if n < 2 {
+			continue
+		}
+		d := em.Eps(n) - eps[i]
+		e += d * d
+		k++
+	}
+	if k == 0 {
+		return 0
+	}
+	return math.Sqrt(e / float64(k))
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEfficiencyModelBasics(t *testing.T) {
+	perfect := EfficiencyModel{}
+	for _, n := range []int{1, 2, 8, 32} {
+		if got := perfect.Eps(n); math.Abs(got-1) > 1e-12 {
+			t.Errorf("perfect model Eps(%d)=%g", n, got)
+		}
+	}
+	if got := perfect.Eps(0); got != 0 {
+		t.Errorf("Eps(0)=%g", got)
+	}
+	amdahl := EfficiencyModel{Serial: 0.1}
+	// Classic Amdahl: speedup(∞) -> 1/s = 10, so eps(16) = S/16 where
+	// S = 1/(0.1 + 0.9/16) = 6.4 -> eps = 0.4.
+	if got := amdahl.Eps(16); math.Abs(got-0.4) > 1e-9 {
+		t.Errorf("Amdahl Eps(16)=%g, want 0.4", got)
+	}
+	if got := amdahl.Slowdown(16); math.Abs(got-1/(16*0.4)) > 1e-9 {
+		t.Errorf("Slowdown(16)=%g", got)
+	}
+	if s := amdahl.String(); s == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestEfficiencyModelMonotone(t *testing.T) {
+	m := EfficiencyModel{Serial: 0.03, Comm: 0.02}
+	prev := 2.0
+	for n := 1; n <= 32; n++ {
+		e := m.Eps(n)
+		if e > prev+1e-12 {
+			t.Fatalf("efficiency rose at N=%d", n)
+		}
+		prev = e
+	}
+}
+
+func TestFitEfficiencyRecoversKnownModel(t *testing.T) {
+	truth := EfficiencyModel{Serial: 0.05, Comm: 0.03}
+	ns := []int{2, 4, 8, 16}
+	var eps []float64
+	for _, n := range ns {
+		eps = append(eps, truth.Eps(n))
+	}
+	got, err := FitEfficiency(ns, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Serial-truth.Serial) > 0.01 || math.Abs(got.Comm-truth.Comm) > 0.01 {
+		t.Errorf("fit %+v, want %+v", got, truth)
+	}
+	if rms := got.FitError(ns, eps); rms > 1e-3 {
+		t.Errorf("RMS error %g", rms)
+	}
+}
+
+func TestFitEfficiencyNoisy(t *testing.T) {
+	truth := EfficiencyModel{Serial: 0.02, Comm: 0.06}
+	ns := []int{2, 4, 8, 16}
+	noise := []float64{+0.02, -0.02, +0.01, -0.01}
+	var eps []float64
+	for i, n := range ns {
+		eps = append(eps, truth.Eps(n)+noise[i])
+	}
+	got, err := FitEfficiency(ns, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FitError(ns, eps) > 0.05 {
+		t.Errorf("noisy fit error too large: %g (model %+v)", got.FitError(ns, eps), got)
+	}
+}
+
+func TestFitEfficiencyValidation(t *testing.T) {
+	if _, err := FitEfficiency([]int{2}, []float64{0.9, 0.8}); err == nil {
+		t.Error("accepted mismatched lengths")
+	}
+	if _, err := FitEfficiency([]int{1, 1}, []float64{1, 1}); err == nil {
+		t.Error("accepted only N=1 points")
+	}
+	if _, err := FitEfficiency([]int{2, 4}, []float64{-0.1, 0.5}); err == nil {
+		t.Error("accepted negative efficiency")
+	}
+	if _, err := FitEfficiency([]int{2, 4}, []float64{3, 0.5}); err == nil {
+		t.Error("accepted efficiency > 2")
+	}
+}
+
+func TestFitErrorEmpty(t *testing.T) {
+	m := EfficiencyModel{Serial: 0.1}
+	if got := m.FitError([]int{1}, []float64{1}); got != 0 {
+		t.Errorf("FitError with no usable points = %g", got)
+	}
+}
+
+// Property: for any fitted model, Eps stays in (0, 1] for N >= 1 when
+// measurements are sane.
+func TestQuickFitPhysical(t *testing.T) {
+	f := func(a, b uint8) bool {
+		truth := EfficiencyModel{
+			Serial: float64(a%50) / 100,
+			Comm:   float64(b%50) / 100,
+		}
+		ns := []int{2, 4, 8, 16}
+		var eps []float64
+		for _, n := range ns {
+			eps = append(eps, truth.Eps(n))
+		}
+		m, err := FitEfficiency(ns, eps)
+		if err != nil {
+			return false
+		}
+		for n := 1; n <= 32; n++ {
+			e := m.Eps(n)
+			if e <= 0 || e > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

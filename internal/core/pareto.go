@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Pareto sweeps the full (N, frequency-ratio) configuration space of the
+// analytical model and returns the Pareto frontier of (speedup, power):
+// the configurations for which no other configuration is simultaneously
+// faster and thriftier. The paper's two scenarios are the frontier's two
+// extreme query modes — ScenarioI fixes speedup=1 and minimizes power,
+// ScenarioII fixes power=P1 and maximizes speedup — while the frontier
+// exposes the whole continuum between and beyond them.
+//
+// eps gives the application's nominal parallel efficiency per core count
+// (use EfficiencyModel.Eps for fitted curves, or func(int) float64
+// { return 1 } for the ideal application). frSteps controls the frequency
+// grid resolution.
+func (m *Model) Pareto(maxN int, frSteps int, eps func(n int) float64) ([]OperatingPoint, error) {
+	if maxN < 1 || maxN > m.maxCores {
+		return nil, fmt.Errorf("core: maxN %d outside [1,%d]", maxN, m.maxCores)
+	}
+	if frSteps < 2 {
+		return nil, fmt.Errorf("core: frSteps %d too small", frSteps)
+	}
+	if eps == nil {
+		return nil, fmt.Errorf("core: nil efficiency function")
+	}
+	var all []OperatingPoint
+	for n := 1; n <= maxN; n++ {
+		e := eps(n)
+		if e <= 0 {
+			continue
+		}
+		for i := 1; i <= frSteps; i++ {
+			fr := float64(i) / float64(frSteps)
+			v, err := m.tech.VoltageFor(fr * m.tech.FNominal)
+			if err != nil {
+				return nil, err
+			}
+			op := OperatingPoint{
+				N: n, Eps: e, FreqRatio: fr, Volt: v, VoltRatio: v / m.tech.Vdd,
+				Feasible: true,
+			}
+			op.TotalRel, op.DynRel, op.StaticRel, op.TempC = m.powerAt(n, v, fr)
+			op.NormPower = op.TotalRel / m.P1()
+			op.Speedup = float64(n) * e * fr
+			all = append(all, op)
+		}
+	}
+	// Extract the frontier: sort by speedup descending, keep points whose
+	// power is below everything faster.
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Speedup != all[j].Speedup {
+			return all[i].Speedup > all[j].Speedup
+		}
+		return all[i].NormPower < all[j].NormPower
+	})
+	var frontier []OperatingPoint
+	best := 0.0
+	first := true
+	for _, op := range all {
+		if first || op.NormPower < best {
+			frontier = append(frontier, op)
+			best = op.NormPower
+			first = false
+		}
+	}
+	// Return in ascending speedup order (natural plotting order).
+	for i, j := 0, len(frontier)-1; i < j; i, j = i+1, j-1 {
+		frontier[i], frontier[j] = frontier[j], frontier[i]
+	}
+	return frontier, nil
+}
+
+// FrontierSpeedupAt interpolates the frontier's best speedup at the given
+// normalized power budget (1.0 = the single-core budget). Frontier points
+// above the budget are ignored.
+func FrontierSpeedupAt(frontier []OperatingPoint, normPower float64) (OperatingPoint, error) {
+	var best OperatingPoint
+	found := false
+	for _, op := range frontier {
+		if op.NormPower <= normPower && (!found || op.Speedup > best.Speedup) {
+			best = op
+			found = true
+		}
+	}
+	if !found {
+		return OperatingPoint{}, fmt.Errorf("core: no frontier point within %.3g of the budget", normPower)
+	}
+	return best, nil
+}

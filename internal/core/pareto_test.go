@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"cmppower/internal/phys"
+)
+
+func ideal(int) float64 { return 1 }
+
+func TestParetoFrontierIsNonDominated(t *testing.T) {
+	m := model(t, phys.Tech65())
+	frontier, err := m.Pareto(16, 24, ideal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frontier) < 5 {
+		t.Fatalf("frontier has only %d points", len(frontier))
+	}
+	for i := 1; i < len(frontier); i++ {
+		a, b := frontier[i-1], frontier[i]
+		if b.Speedup <= a.Speedup {
+			t.Fatalf("frontier speedups not increasing at %d", i)
+		}
+		if b.NormPower <= a.NormPower {
+			t.Fatalf("frontier power not increasing with speedup at %d", i)
+		}
+	}
+}
+
+func TestParetoDominatesCornerScenarios(t *testing.T) {
+	// The frontier at budget 1.0 must be at least as good as Scenario II's
+	// answer (which optimizes within the same space, on a finer frequency
+	// grid — allow a small grid tolerance).
+	m := model(t, phys.Tech130())
+	frontier, err := m.Pareto(32, 64, ideal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atBudget, err := FrontierSpeedupAt(frontier, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := m.PeakSpeedup(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if atBudget.Speedup < best.Speedup*0.95 {
+		t.Errorf("frontier speedup %g at budget below Scenario II %g", atBudget.Speedup, best.Speedup)
+	}
+	// And Scenario I's equal-performance point: the frontier's power at
+	// speedup >= 1 must not exceed the best Scenario I power by much.
+	s1, err := m.ScenarioI(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var atSpeed1 OperatingPoint
+	found := false
+	for _, op := range frontier {
+		if op.Speedup >= 1 {
+			atSpeed1 = op
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no frontier point at speedup >= 1")
+	}
+	if atSpeed1.NormPower > s1.NormPower*1.1 {
+		t.Errorf("frontier power %g at speedup 1 worse than Scenario I %g", atSpeed1.NormPower, s1.NormPower)
+	}
+}
+
+func TestParetoWithFittedEfficiency(t *testing.T) {
+	m := model(t, phys.Tech65())
+	em := EfficiencyModel{Serial: 0.05, Comm: 0.03}
+	frontier, err := m.Pareto(16, 16, em.Eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idealFrontier, err := m.Pareto(16, 16, ideal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Imperfect efficiency can never beat the ideal frontier.
+	for _, op := range frontier {
+		best, err := FrontierSpeedupAt(idealFrontier, op.NormPower*1.0001)
+		if err != nil {
+			continue
+		}
+		if op.Speedup > best.Speedup*1.0001 {
+			t.Fatalf("fitted frontier beats ideal at power %g: %g vs %g",
+				op.NormPower, op.Speedup, best.Speedup)
+		}
+	}
+}
+
+func TestParetoValidation(t *testing.T) {
+	m := model(t, phys.Tech65())
+	if _, err := m.Pareto(0, 8, ideal); err == nil {
+		t.Error("accepted maxN=0")
+	}
+	if _, err := m.Pareto(99, 8, ideal); err == nil {
+		t.Error("accepted oversized maxN")
+	}
+	if _, err := m.Pareto(8, 1, ideal); err == nil {
+		t.Error("accepted single-step grid")
+	}
+	if _, err := m.Pareto(8, 8, nil); err == nil {
+		t.Error("accepted nil efficiency")
+	}
+}
+
+func TestFrontierSpeedupAtUnreachable(t *testing.T) {
+	m := model(t, phys.Tech65())
+	frontier, err := m.Pareto(4, 8, ideal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FrontierSpeedupAt(frontier, 1e-9); err == nil {
+		t.Error("accepted impossible budget")
+	}
+	op, err := FrontierSpeedupAt(frontier, math.Inf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Speedup != frontier[len(frontier)-1].Speedup {
+		t.Error("unbounded budget should return the fastest point")
+	}
+}

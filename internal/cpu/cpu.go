@@ -1,0 +1,236 @@
+// Package cpu models one Alpha-21264-class processor core at the fidelity
+// the paper's evaluation consumes: a 4-wide machine whose compute
+// throughput is dependence-limited, whose branches pay a misprediction
+// penalty, and whose memory accesses run through the coherent hierarchy
+// with partial miss overlap (out-of-order execution and a store buffer
+// hide part of the latency).
+//
+// The model charges time in fractional cycles and counts per-structure
+// accesses for the Wattch-style power accounting (internal/power).
+package cpu
+
+import (
+	"fmt"
+
+	"cmppower/internal/floorplan"
+	"cmppower/internal/workload"
+)
+
+// MemSystem is the interface the core uses to reach the cache hierarchy.
+// internal/cache.Hierarchy implements it.
+type MemSystem interface {
+	// Access performs a data access and returns the completion cycle.
+	Access(core int, addr uint64, write bool, now float64) float64
+}
+
+// Config holds the core's microarchitectural parameters. Per-application
+// fields (IPCNonMem, IL1MissRate) come from the workload model; the rest
+// are EV6-class constants.
+type Config struct {
+	// IssueWidth bounds IPCNonMem (EV6: 4).
+	IssueWidth int
+	// IPCNonMem is the dependence-limited IPC of non-memory instructions.
+	IPCNonMem float64
+	// BranchMissRate is the fraction of branches mispredicted.
+	BranchMissRate float64
+	// BranchPenaltyCycles is the pipeline refill cost per misprediction.
+	BranchPenaltyCycles float64
+	// IL1MissRate is the instruction-cache miss rate per instruction;
+	// each miss costs one L2 round trip (code is L2-resident).
+	IL1MissRate float64
+	// IL1MissCycles is the cost of one instruction-fetch miss.
+	IL1MissCycles float64
+	// FetchWidth groups instructions per I-cache access.
+	FetchWidth int
+	// LoadMissOverlap is the fraction of a load's beyond-L1 latency hidden
+	// by out-of-order execution and MLP.
+	LoadMissOverlap float64
+	// StoreMissOverlap is the fraction of a store's beyond-L1 latency
+	// hidden by the store buffer.
+	StoreMissOverlap float64
+	// L1HitCycles must match the hierarchy's L1 latency; it is the
+	// un-hideable part of every access.
+	L1HitCycles float64
+}
+
+// DefaultConfig returns EV6-class constants with a generic workload mix.
+func DefaultConfig() Config {
+	return Config{
+		IssueWidth:          4,
+		IPCNonMem:           2.0,
+		BranchMissRate:      0.05,
+		BranchPenaltyCycles: 7,
+		IL1MissRate:         0.001,
+		IL1MissCycles:       12,
+		FetchWidth:          4,
+		LoadMissOverlap:     0.3,
+		StoreMissOverlap:    0.8,
+		L1HitCycles:         2,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.IssueWidth < 1:
+		return fmt.Errorf("cpu: issue width %d", c.IssueWidth)
+	case c.IPCNonMem <= 0 || c.IPCNonMem > float64(c.IssueWidth):
+		return fmt.Errorf("cpu: IPCNonMem %g outside (0, %d]", c.IPCNonMem, c.IssueWidth)
+	case c.BranchMissRate < 0 || c.BranchMissRate > 1:
+		return fmt.Errorf("cpu: branch miss rate %g", c.BranchMissRate)
+	case c.BranchPenaltyCycles < 0:
+		return fmt.Errorf("cpu: branch penalty %g", c.BranchPenaltyCycles)
+	case c.IL1MissRate < 0 || c.IL1MissRate > 1:
+		return fmt.Errorf("cpu: IL1 miss rate %g", c.IL1MissRate)
+	case c.IL1MissCycles < 0:
+		return fmt.Errorf("cpu: IL1 miss cost %g", c.IL1MissCycles)
+	case c.FetchWidth < 1:
+		return fmt.Errorf("cpu: fetch width %d", c.FetchWidth)
+	case c.LoadMissOverlap < 0 || c.LoadMissOverlap >= 1:
+		return fmt.Errorf("cpu: load overlap %g outside [0,1)", c.LoadMissOverlap)
+	case c.StoreMissOverlap < 0 || c.StoreMissOverlap >= 1:
+		return fmt.Errorf("cpu: store overlap %g outside [0,1)", c.StoreMissOverlap)
+	case c.L1HitCycles <= 0:
+		return fmt.Errorf("cpu: L1 hit cycles %g", c.L1HitCycles)
+	}
+	return nil
+}
+
+// Stats are the core's accumulated performance counters.
+type Stats struct {
+	Instructions  int64
+	ComputeCycles float64
+	MemCycles     float64 // cycles charged to data accesses (post-overlap)
+	BranchCycles  float64 // misprediction penalty cycles
+	FetchCycles   float64 // instruction-miss cycles
+	Loads, Stores int64
+	IL1Accesses   int64
+	IL1Misses     float64 // statistical, hence fractional
+	SyncEvents    int64
+	IdleCycles    float64 // time parked at barriers/locks
+	FinishClock   float64
+}
+
+// Core is one processor's timing and activity state.
+type Core struct {
+	ID    int
+	cfg   Config
+	clock float64
+	stats Stats
+	// unit activity counters, indexed by floorplan.Unit.
+	activity [floorplan.UnitBus + 1]int64
+}
+
+// New builds a core.
+func New(id int, cfg Config) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if id < 0 {
+		return nil, fmt.Errorf("cpu: negative core id %d", id)
+	}
+	return &Core{ID: id, cfg: cfg}, nil
+}
+
+// Clock returns the core's current absolute cycle.
+func (c *Core) Clock() float64 { return c.clock }
+
+// AdvanceTo parks the core until cycle t (barrier/lock wait). Time spent
+// parked is recorded as idle.
+func (c *Core) AdvanceTo(t float64) {
+	if t > c.clock {
+		c.stats.IdleCycles += t - c.clock
+		c.clock = t
+	}
+}
+
+// Stats returns a snapshot of the counters with FinishClock filled in.
+func (c *Core) Stats() Stats {
+	s := c.stats
+	s.FinishClock = c.clock
+	return s
+}
+
+// Activity returns the access count of unit u.
+func (c *Core) Activity(u floorplan.Unit) int64 { return c.activity[u] }
+
+// chargeFrontEnd accounts fetch/decode/rename/issue activity and the
+// statistical instruction-cache behavior for n instructions.
+func (c *Core) chargeFrontEnd(n int, branches int) {
+	n64 := int64(n)
+	c.activity[floorplan.UnitFetch] += n64
+	c.activity[floorplan.UnitRename] += n64
+	c.activity[floorplan.UnitWindow] += n64
+	c.activity[floorplan.UnitRegfile] += n64
+	c.activity[floorplan.UnitBpred] += int64(branches)
+	il1 := (n + c.cfg.FetchWidth - 1) / c.cfg.FetchWidth
+	c.activity[floorplan.UnitIL1] += int64(il1)
+	c.stats.IL1Accesses += int64(il1)
+	misses := float64(n) * c.cfg.IL1MissRate
+	c.stats.IL1Misses += misses
+	fetchStall := misses * c.cfg.IL1MissCycles
+	c.stats.FetchCycles += fetchStall
+	c.clock += fetchStall
+}
+
+// ExecCompute executes a compute burst.
+func (c *Core) ExecCompute(ev workload.Event) {
+	if ev.Kind != workload.EvCompute || ev.N <= 0 {
+		return
+	}
+	c.chargeFrontEnd(ev.N, ev.Branches)
+	ints := ev.N - ev.FP
+	if ints < 0 {
+		ints = 0
+	}
+	c.activity[floorplan.UnitIALU] += int64(ints)
+	c.activity[floorplan.UnitFALU] += int64(ev.FP)
+
+	cycles := float64(ev.N) / c.cfg.IPCNonMem
+	penalty := float64(ev.Branches) * c.cfg.BranchMissRate * c.cfg.BranchPenaltyCycles
+	c.stats.ComputeCycles += cycles
+	c.stats.BranchCycles += penalty
+	c.clock += cycles + penalty
+	c.stats.Instructions += int64(ev.N)
+}
+
+// ExecMem executes one load or store through the memory system.
+func (c *Core) ExecMem(ev workload.Event, ms MemSystem) {
+	write := ev.Kind == workload.EvStore
+	if !write && ev.Kind != workload.EvLoad {
+		return
+	}
+	c.chargeFrontEnd(1, 0)
+	c.activity[floorplan.UnitLSQ]++
+	// The hierarchy counts D-cache accesses itself; the core tracks the
+	// instruction and the issue slot.
+	done := ms.Access(c.ID, ev.Addr, write, c.clock)
+	raw := done - c.clock
+	if raw < c.cfg.L1HitCycles {
+		raw = c.cfg.L1HitCycles
+	}
+	overlap := c.cfg.LoadMissOverlap
+	if write {
+		overlap = c.cfg.StoreMissOverlap
+	}
+	charged := c.cfg.L1HitCycles + (raw-c.cfg.L1HitCycles)*(1-overlap)
+	c.stats.MemCycles += charged
+	c.clock += charged
+	c.stats.Instructions++
+	if write {
+		c.stats.Stores++
+	} else {
+		c.stats.Loads++
+	}
+}
+
+// ExecSync charges the local cost of one synchronization instruction
+// (barrier arrival, lock acquire/release): a handful of cycles and one
+// trip through the front end and integer unit.
+func (c *Core) ExecSync(cost float64) {
+	c.chargeFrontEnd(1, 0)
+	c.activity[floorplan.UnitIALU]++
+	c.stats.SyncEvents++
+	c.stats.Instructions++
+	c.clock += cost
+}

@@ -1,0 +1,91 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+)
+
+func TestClassifyClasses(t *testing.T) {
+	// Classification needs steady-state behavior: at tiny scales cold
+	// misses dominate every app.
+	rig, err := NewRig(0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmm, err := rig.Classify(app(t, "FMM"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmm.Class != ComputeBound {
+		t.Errorf("FMM classified %s (compute %.2f, mem %.2f)", fmm.Class, fmm.ComputeShare, fmm.MemShare)
+	}
+	radix, err := rig.Classify(app(t, "Radix"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if radix.Class != MemoryBound {
+		t.Errorf("Radix classified %s (compute %.2f, mem %.2f)", radix.Class, radix.ComputeShare, radix.MemShare)
+	}
+	if radix.CPI <= fmm.CPI {
+		t.Errorf("Radix CPI %g should exceed FMM %g", radix.CPI, fmm.CPI)
+	}
+}
+
+func TestClassifySharesSumBelowOne(t *testing.T) {
+	rig := testRig(t)
+	for _, name := range []string{"Barnes", "Ocean", "Volrend"} {
+		st, err := rig.Classify(app(t, name), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := st.ComputeShare + st.MemShare + st.BranchShare + st.FetchShare + st.IdleShare
+		if sum < 0.5 || sum > 1.05 {
+			t.Errorf("%s: shares sum to %g", name, sum)
+		}
+		for _, s := range []float64{st.ComputeShare, st.MemShare, st.BranchShare, st.FetchShare, st.IdleShare} {
+			if s < 0 || math.IsNaN(s) {
+				t.Errorf("%s: bad share %g", name, s)
+			}
+		}
+	}
+}
+
+func TestClassifyIdleGrowsWithImbalance(t *testing.T) {
+	rig := testRig(t)
+	vol1, err := rig.Classify(app(t, "Volrend"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol8, err := rig.Classify(app(t, "Volrend"), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vol8.IdleShare <= vol1.IdleShare {
+		t.Errorf("imbalanced app idle share should grow with N: %g vs %g",
+			vol8.IdleShare, vol1.IdleShare)
+	}
+}
+
+func TestClassifyValidation(t *testing.T) {
+	rig := testRig(t)
+	if _, err := rig.Classify(app(t, "LU"), 6); err == nil {
+		t.Error("accepted invalid core count")
+	}
+}
+
+func TestClassifyLabelRules(t *testing.T) {
+	cases := []struct {
+		compute, mem, idle float64
+		want               WorkloadClass
+	}{
+		{0.7, 0.1, 0.05, ComputeBound},
+		{0.1, 0.7, 0.05, MemoryBound},
+		{0.2, 0.2, 0.5, SyncBound},
+		{0.4, 0.4, 0.1, Mixed},
+	}
+	for _, c := range cases {
+		if got := classify(c.compute, c.mem, c.idle); got != c.want {
+			t.Errorf("classify(%g,%g,%g)=%s, want %s", c.compute, c.mem, c.idle, got, c.want)
+		}
+	}
+}

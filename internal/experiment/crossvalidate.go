@@ -1,0 +1,139 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+
+	"cmppower/internal/core"
+	"cmppower/internal/splash"
+)
+
+// CrossRow compares the analytical model's prediction with the simulator's
+// measurement for one core count.
+type CrossRow struct {
+	N int
+	// MeasuredEff is the simulator's nominal parallel efficiency;
+	// FittedEff is the extended-Amdahl model's value at this N.
+	MeasuredEff float64
+	FittedEff   float64
+	// SimNormPower and AnalyticNormPower are the Scenario I normalized
+	// power from the simulator and from the analytical model fed with the
+	// fitted efficiency.
+	SimNormPower      float64
+	AnalyticNormPower float64
+	// SimBudgetSpeedup and AnalyticBudgetSpeedup are the Scenario II
+	// speedups under the single-core power budget.
+	SimBudgetSpeedup      float64
+	AnalyticBudgetSpeedup float64
+}
+
+// CrossValidation is the paper's central claim quantified for one
+// application: "the analytical model predicts power-performance behavior
+// reasonably well".
+type CrossValidation struct {
+	App   string
+	Model core.EfficiencyModel
+	// FitRMS is the RMS error of the efficiency fit.
+	FitRMS float64
+	Rows   []CrossRow
+}
+
+// CrossValidate runs both scenarios in the simulator, fits the measured
+// efficiency curve, feeds the fit into the analytical model, and reports
+// predictions next to measurements. The analytical model must be built for
+// the rig's technology (use core.DefaultConfig(rig.Tech)).
+func (r *Rig) CrossValidate(app splash.App, counts []int, m *core.Model) (*CrossValidation, error) {
+	if m == nil {
+		return nil, errors.New("experiment: nil analytical model")
+	}
+	if m.Tech().Name != r.Tech.Name {
+		return nil, fmt.Errorf("experiment: analytical model is %s, rig is %s", m.Tech().Name, r.Tech.Name)
+	}
+	s1, err := r.ScenarioI(app, counts)
+	if err != nil {
+		return nil, err
+	}
+	s2, err := r.ScenarioII(app, counts)
+	if err != nil {
+		return nil, err
+	}
+	var ns []int
+	var eps []float64
+	for _, row := range s1.Rows {
+		ns = append(ns, row.N)
+		eps = append(eps, row.NominalEff)
+	}
+	fit, err := core.FitEfficiency(ns, eps)
+	if err != nil {
+		return nil, err
+	}
+	cv := &CrossValidation{App: app.Name, Model: fit, FitRMS: fit.FitError(ns, eps)}
+	s2ByN := make(map[int]ScenarioIIRow, len(s2.Rows))
+	for _, row := range s2.Rows {
+		s2ByN[row.N] = row
+	}
+	for _, row := range s1.Rows {
+		cr := CrossRow{
+			N:            row.N,
+			MeasuredEff:  row.NominalEff,
+			FittedEff:    fit.Eps(row.N),
+			SimNormPower: row.NormPower,
+		}
+		epsIn := cr.FittedEff
+		if epsIn > 1 {
+			epsIn = 1 // the analytical model's ε domain
+		}
+		a1, err := m.ScenarioI(row.N, epsIn)
+		if err != nil {
+			return nil, err
+		}
+		if a1.Feasible {
+			cr.AnalyticNormPower = a1.NormPower
+		}
+		a2, err := m.ScenarioII(row.N, epsIn)
+		if err != nil {
+			return nil, err
+		}
+		cr.AnalyticBudgetSpeedup = a2.Speedup
+		if s2row, ok := s2ByN[row.N]; ok {
+			cr.SimBudgetSpeedup = s2row.ActualSpeedup
+		}
+		cv.Rows = append(cv.Rows, cr)
+	}
+	if len(cv.Rows) == 0 {
+		return nil, fmt.Errorf("experiment: no comparable configurations for %s", app.Name)
+	}
+	return cv, nil
+}
+
+// Agreement summarizes a cross-validation: the mean absolute relative
+// error of the analytical normalized-power and budget-speedup predictions
+// against the simulator.
+func (cv *CrossValidation) Agreement() (powerMARE, speedupMARE float64) {
+	var pSum, sSum float64
+	var pK, sK int
+	for _, r := range cv.Rows {
+		if r.SimNormPower > 0 && r.AnalyticNormPower > 0 {
+			pSum += abs(r.AnalyticNormPower-r.SimNormPower) / r.SimNormPower
+			pK++
+		}
+		if r.SimBudgetSpeedup > 0 && r.AnalyticBudgetSpeedup > 0 {
+			sSum += abs(r.AnalyticBudgetSpeedup-r.SimBudgetSpeedup) / r.SimBudgetSpeedup
+			sK++
+		}
+	}
+	if pK > 0 {
+		powerMARE = pSum / float64(pK)
+	}
+	if sK > 0 {
+		speedupMARE = sSum / float64(sK)
+	}
+	return powerMARE, speedupMARE
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

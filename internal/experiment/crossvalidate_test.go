@@ -1,0 +1,93 @@
+package experiment
+
+import (
+	"testing"
+
+	"cmppower/internal/core"
+	"cmppower/internal/phys"
+)
+
+func analyticModel(t *testing.T) *core.Model {
+	t.Helper()
+	m, err := core.New(core.DefaultConfig(phys.Tech65()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCrossValidateBasics(t *testing.T) {
+	rig := testRig(t)
+	m := analyticModel(t)
+	cv, err := rig.CrossValidate(app(t, "Barnes"), []int{1, 2, 4, 8}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv.App != "Barnes" {
+		t.Errorf("app=%s", cv.App)
+	}
+	if len(cv.Rows) != 3 {
+		t.Fatalf("rows=%d", len(cv.Rows))
+	}
+	if cv.FitRMS > 0.15 {
+		t.Errorf("efficiency fit RMS %g too large (model %v)", cv.FitRMS, cv.Model)
+	}
+	for _, r := range cv.Rows {
+		if r.FittedEff <= 0 || r.FittedEff > 1.2 {
+			t.Errorf("N=%d: fitted eff %g", r.N, r.FittedEff)
+		}
+		if r.AnalyticNormPower <= 0 {
+			t.Errorf("N=%d: no analytic power prediction", r.N)
+		}
+		if r.SimBudgetSpeedup <= 0 || r.AnalyticBudgetSpeedup <= 0 {
+			t.Errorf("N=%d: missing budget speedups (%g/%g)", r.N, r.SimBudgetSpeedup, r.AnalyticBudgetSpeedup)
+		}
+	}
+}
+
+func TestCrossValidateAgreementDirection(t *testing.T) {
+	// The paper's claim is qualitative agreement. Assert the analytical
+	// model points the same way as the simulator: parallel configurations
+	// of an efficient app save power in both (norm power < 1), and budget
+	// speedups exceed 1 in both.
+	rig := testRig(t)
+	m := analyticModel(t)
+	cv, err := rig.CrossValidate(app(t, "Water-Nsq"), []int{1, 4, 8}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range cv.Rows {
+		if (r.SimNormPower < 1) != (r.AnalyticNormPower < 1) {
+			t.Errorf("N=%d: power-savings direction disagrees (sim %g, analytic %g)",
+				r.N, r.SimNormPower, r.AnalyticNormPower)
+		}
+		if r.SimBudgetSpeedup > 1.2 && r.AnalyticBudgetSpeedup <= 1 {
+			t.Errorf("N=%d: speedup direction disagrees (sim %g, analytic %g)",
+				r.N, r.SimBudgetSpeedup, r.AnalyticBudgetSpeedup)
+		}
+	}
+	powerMARE, speedupMARE := cv.Agreement()
+	// "Reasonably well": within a factor of ~2 on average, usually far
+	// closer. The known modeling asymmetries (chip-wide vs system-wide
+	// DVFS, fraction-of-dynamic static power) bound how tight this can be.
+	if powerMARE > 1.0 {
+		t.Errorf("power MARE %g: analytical model not predictive at all", powerMARE)
+	}
+	if speedupMARE > 1.0 {
+		t.Errorf("speedup MARE %g: analytical model not predictive at all", speedupMARE)
+	}
+}
+
+func TestCrossValidateValidation(t *testing.T) {
+	rig := testRig(t)
+	if _, err := rig.CrossValidate(app(t, "FFT"), []int{1, 4}, nil); err == nil {
+		t.Error("accepted nil model")
+	}
+	m130, err := core.New(core.DefaultConfig(phys.Tech130()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rig.CrossValidate(app(t, "FFT"), []int{1, 4}, m130); err == nil {
+		t.Error("accepted technology mismatch")
+	}
+}

@@ -1,0 +1,335 @@
+// Package experiment implements the paper's experimental methodology (§4)
+// on top of the simulator stack: off-line profiling at nominal
+// voltage/frequency, Eq. 7 target-frequency computation for Scenario I,
+// and the profile-guided budget search of Scenario II, each followed by a
+// re-simulation at the chosen operating point with full power/thermal
+// evaluation.
+package experiment
+
+import (
+	"errors"
+	"fmt"
+
+	"cmppower/internal/cmp"
+	"cmppower/internal/dvfs"
+	"cmppower/internal/floorplan"
+	"cmppower/internal/phys"
+	"cmppower/internal/power"
+	"cmppower/internal/splash"
+	"cmppower/internal/stats"
+	"cmppower/internal/thermal"
+)
+
+// Rig bundles the experimental apparatus: the Table 1 chip, its thermal
+// model, the calibrated power meter, and the DVFS ladder.
+type Rig struct {
+	Tech       phys.Technology
+	Table      *dvfs.Table
+	FP         *floorplan.Floorplan
+	TM         *thermal.Model
+	Meter      *power.Meter
+	Cal        *power.Calibration
+	TotalCores int
+	// Scale is the workload scale factor passed to the application models.
+	Scale float64
+	// Seed drives workload randomness.
+	Seed uint64
+	// ScaleMemoryWithChip switches the simulator to system-wide DVFS
+	// (the analytical model's assumption) for ablation A3.
+	ScaleMemoryWithChip bool
+	// Prefetch enables the hierarchy's next-line prefetcher (ablation A6).
+	Prefetch bool
+	// QuantizeLadder restricts operating points to the discrete 200 MHz
+	// ladder steps instead of interpolating between them (the paper
+	// interpolates, §4.2); enables measuring the quantization loss.
+	QuantizeLadder bool
+}
+
+// NewRig builds and calibrates the default 16-core 65 nm apparatus.
+func NewRig(scale float64) (*Rig, error) {
+	return NewCustomRig(16, scale)
+}
+
+// NewCustomRig builds and calibrates an apparatus for a chip with the
+// given physical core count on the Table 1 die (used by the design-space
+// exploration: the die area and thermal envelope stay fixed while the
+// organization varies).
+func NewCustomRig(totalCores int, scale float64) (*Rig, error) {
+	if scale <= 0 {
+		return nil, fmt.Errorf("experiment: non-positive scale %g", scale)
+	}
+	tech := phys.Tech65()
+	tab, err := dvfs.PentiumMStyle(tech)
+	if err != nil {
+		return nil, err
+	}
+	fp, err := floorplan.Chip(floorplan.DefaultChipConfig(totalCores))
+	if err != nil {
+		return nil, err
+	}
+	tm, err := thermal.NewModel(fp, thermal.DefaultParams())
+	if err != nil {
+		return nil, err
+	}
+	meter, err := power.NewMeter(tech)
+	if err != nil {
+		return nil, err
+	}
+	cal, err := meter.Calibrate(fp, tm, tab.Nominal())
+	if err != nil {
+		return nil, err
+	}
+	return &Rig{
+		Tech: tech, Table: tab, FP: fp, TM: tm, Meter: meter, Cal: cal,
+		TotalCores: totalCores, Scale: scale, Seed: 1,
+	}, nil
+}
+
+// BudgetW returns the Scenario II power budget: the maximum nominal power
+// consumption of a single core, from the calibration microbenchmark
+// (paper §3.3).
+func (r *Rig) BudgetW() float64 { return r.Cal.MaxOperationalW }
+
+// pointFor picks an operating point at or below the target frequency,
+// interpolated (the paper's method) or quantized to the ladder.
+func (r *Rig) pointFor(freq float64) dvfs.OperatingPoint {
+	if r.QuantizeLadder {
+		return r.Table.Quantize(freq)
+	}
+	return r.Table.PointFor(freq)
+}
+
+// Measurement is one simulated run with its power/thermal evaluation.
+type Measurement struct {
+	App          string
+	N            int
+	Point        dvfs.OperatingPoint
+	Seconds      float64
+	Cycles       float64
+	Instructions int64
+	IPC          float64
+	PowerW       float64
+	DynW         float64
+	StaticW      float64
+	AvgCoreTempC float64
+	PeakTempC    float64
+	CoreDensity  float64 // W/m² over active core area, L2 excluded
+	BusUtil      float64
+	MemUtil      float64
+}
+
+// RunApp simulates app on n cores at operating point p and evaluates
+// power and temperature.
+func (r *Rig) RunApp(app splash.App, n int, p dvfs.OperatingPoint) (*Measurement, error) {
+	if !app.RunsOn(n) {
+		return nil, fmt.Errorf("experiment: %s does not run on %d cores", app.Name, n)
+	}
+	cfg := cmp.DefaultConfig(n, p)
+	cfg.TotalCores = r.TotalCores
+	cfg.Core = app.CoreConfig()
+	cfg.Seed = r.Seed
+	cfg.ScaleMemoryWithChip = r.ScaleMemoryWithChip
+	cfg.PrefetchNextLine = r.Prefetch
+	res, err := cmp.Run(app.Program(r.Scale), cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %s on %d cores: %w", app.Name, n, err)
+	}
+	pw, err := r.Meter.Evaluate(r.FP, r.TM, res.Activity, res.Seconds, int64(res.Cycles)+1, p, n)
+	if err != nil {
+		return nil, err
+	}
+	return &Measurement{
+		App: app.Name, N: n, Point: p,
+		Seconds: res.Seconds, Cycles: res.Cycles, Instructions: res.Instructions,
+		IPC: res.IPC(), PowerW: pw.TotalW, DynW: pw.DynW, StaticW: pw.StaticW,
+		AvgCoreTempC: pw.AvgCoreTemp, PeakTempC: pw.PeakTempC, CoreDensity: pw.CoreDensity,
+		BusUtil: res.BusUtilization, MemUtil: res.MemUtilization,
+	}, nil
+}
+
+// ScenarioIRow is one configuration of the Fig. 3 experiment.
+type ScenarioIRow struct {
+	N int
+	// NominalEff is ε_n(N) measured in the nominal-frequency profiling
+	// pass (Fig. 3, first panel).
+	NominalEff float64
+	// ActualSpeedup is T_1 / T_N at the Eq. 7 operating point (second
+	// panel; ≈1 by construction, >1 for memory-bound apps).
+	ActualSpeedup float64
+	// NormPower is P_N / P_1 (third panel).
+	NormPower float64
+	// NormDensity is core power density normalized to N=1 (fourth panel).
+	NormDensity float64
+	// AvgTempC is the average active-core temperature (fifth panel).
+	AvgTempC float64
+	// Point is the chosen operating point.
+	Point dvfs.OperatingPoint
+	// Scaled is the measurement at the scaled point.
+	Scaled *Measurement
+}
+
+// ScenarioIResult holds one application's Fig. 3 data.
+type ScenarioIResult struct {
+	App      string
+	Baseline *Measurement // single core at nominal V/f
+	Rows     []ScenarioIRow
+}
+
+// ScenarioI reproduces the paper's §4.1 experiment for one application:
+// profile at nominal frequency for every core count, derive each
+// configuration's target frequency from Eq. 7, re-simulate at the scaled
+// operating point, and report the five Fig. 3 panels.
+func (r *Rig) ScenarioI(app splash.App, coreCounts []int) (*ScenarioIResult, error) {
+	if len(coreCounts) == 0 {
+		return nil, errors.New("experiment: no core counts")
+	}
+	base, err := r.RunApp(app, 1, r.Table.Nominal())
+	if err != nil {
+		return nil, err
+	}
+	out := &ScenarioIResult{App: app.Name, Baseline: base}
+	for _, n := range coreCounts {
+		if n == 1 || !app.RunsOn(n) {
+			continue
+		}
+		prof, err := r.RunApp(app, n, r.Table.Nominal())
+		if err != nil {
+			return nil, err
+		}
+		eff := base.Seconds / (float64(n) * prof.Seconds)
+		// Eq. 7: f_N = f_1 / (N · ε_n).
+		target := r.Table.Nominal().Freq / (float64(n) * eff)
+		point := r.pointFor(target)
+		scaled, err := r.RunApp(app, n, point)
+		if err != nil {
+			return nil, err
+		}
+		row := ScenarioIRow{
+			N:             n,
+			NominalEff:    eff,
+			ActualSpeedup: base.Seconds / scaled.Seconds,
+			NormPower:     scaled.PowerW / base.PowerW,
+			AvgTempC:      scaled.AvgCoreTempC,
+			Point:         point,
+			Scaled:        scaled,
+		}
+		if base.CoreDensity > 0 {
+			row.NormDensity = scaled.CoreDensity / base.CoreDensity
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// ScenarioIIRow is one configuration of the Fig. 4 experiment.
+type ScenarioIIRow struct {
+	N int
+	// NominalSpeedup ignores the power budget (profiling pass).
+	NominalSpeedup float64
+	// ActualSpeedup is the best speedup within the budget.
+	ActualSpeedup float64
+	// Point is the chosen operating point.
+	Point dvfs.OperatingPoint
+	// PowerW is the measured power at that point.
+	PowerW float64
+	// AtNominal reports that the budget was not binding (the paper's
+	// Radix observation: low-power apps run flat out up to ~8 cores).
+	AtNominal bool
+}
+
+// ScenarioIIResult holds one application's Fig. 4 data.
+type ScenarioIIResult struct {
+	App     string
+	BudgetW float64
+	Rows    []ScenarioIIRow
+}
+
+// profilePoints is the frequency grid of the Scenario II off-line
+// profiling pass. The paper profiles every 200 MHz; we profile a coarser
+// monotone grid and interpolate linearly between points (as the paper does
+// between its profiled values).
+func (r *Rig) profilePoints() []dvfs.OperatingPoint {
+	pts := r.Table.Points()
+	var out []dvfs.OperatingPoint
+	for i := 0; i < len(pts); i += 3 {
+		out = append(out, pts[i])
+	}
+	if last := pts[len(pts)-1]; len(out) == 0 || out[len(out)-1] != last {
+		out = append(out, last)
+	}
+	return out
+}
+
+// ScenarioII reproduces the paper's §4.2 experiment for one application:
+// for each core count, find via profiling the highest operating point
+// whose measured power fits the single-core budget, then measure the
+// actual speedup there; the nominal speedup comes from the unconstrained
+// profiling pass.
+func (r *Rig) ScenarioII(app splash.App, coreCounts []int) (*ScenarioIIResult, error) {
+	if len(coreCounts) == 0 {
+		return nil, errors.New("experiment: no core counts")
+	}
+	budget := r.BudgetW()
+	base, err := r.RunApp(app, 1, r.Table.Nominal())
+	if err != nil {
+		return nil, err
+	}
+	out := &ScenarioIIResult{App: app.Name, BudgetW: budget}
+	for _, n := range coreCounts {
+		if !app.RunsOn(n) {
+			continue
+		}
+		nom, err := r.RunApp(app, n, r.Table.Nominal())
+		if err != nil {
+			return nil, err
+		}
+		row := ScenarioIIRow{N: n, NominalSpeedup: base.Seconds / nom.Seconds}
+		if nom.PowerW <= budget {
+			// Budget not binding: run flat out.
+			row.ActualSpeedup = row.NominalSpeedup
+			row.Point = r.Table.Nominal()
+			row.PowerW = nom.PowerW
+			row.AtNominal = true
+			out.Rows = append(out.Rows, row)
+			continue
+		}
+		// Profile power across the frequency grid and invert for the
+		// budget.
+		var fx, py []float64
+		for _, p := range r.profilePoints() {
+			meas, err := r.RunApp(app, n, p)
+			if err != nil {
+				return nil, err
+			}
+			fx = append(fx, p.Freq)
+			py = append(py, meas.PowerW)
+		}
+		series, err := stats.NewSeries(fx, py)
+		if err != nil {
+			return nil, err
+		}
+		targetFreq, err := series.InvertMonotone(budget)
+		if err != nil {
+			// Even the lowest point exceeds the budget: pin to the floor.
+			targetFreq = r.Table.Min().Freq
+		}
+		point := r.pointFor(targetFreq)
+		final, err := r.RunApp(app, n, point)
+		if err != nil {
+			return nil, err
+		}
+		// Guard: if interpolation undershot and the measured power still
+		// exceeds the budget, step down the ladder until it fits.
+		for final.PowerW > budget*1.02 && point.Freq > r.Table.Min().Freq {
+			point = r.Table.Quantize(point.Freq * 0.999) // next step down
+			if final, err = r.RunApp(app, n, point); err != nil {
+				return nil, err
+			}
+		}
+		row.ActualSpeedup = base.Seconds / final.Seconds
+		row.Point = point
+		row.PowerW = final.PowerW
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}

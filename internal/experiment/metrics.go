@@ -1,0 +1,88 @@
+package experiment
+
+import (
+	"fmt"
+
+	"cmppower/internal/dvfs"
+	"cmppower/internal/splash"
+)
+
+// MetricRow is one (core count, operating point) configuration evaluated
+// under the energy metrics family.
+type MetricRow struct {
+	N       int
+	Point   dvfs.OperatingPoint
+	Seconds float64
+	PowerW  float64
+	// EnergyJ is total energy = power × time.
+	EnergyJ float64
+	// EDP is the energy-delay product (J·s); ED2P weights delay twice.
+	// Lower is better for all three metrics.
+	EDP  float64
+	ED2P float64
+}
+
+// MetricSweep evaluates an application across core counts and frequencies
+// under energy, EDP and ED²P — the metric family the power-aware
+// architecture literature uses to weigh performance against energy. The
+// paper optimizes each in isolation (power at fixed performance,
+// performance at fixed power); this sweep exposes the continuum between
+// those two corners.
+type MetricSweep struct {
+	App        string
+	Rows       []MetricRow
+	BestEnergy MetricRow
+	BestEDP    MetricRow
+	BestED2P   MetricRow
+}
+
+// Metrics sweeps app over the given core counts and frequency grid
+// (ladder-interpolated points) and returns all rows plus the optimum under
+// each metric.
+func (r *Rig) Metrics(app splash.App, counts []int, freqs []float64) (*MetricSweep, error) {
+	if len(counts) == 0 || len(freqs) == 0 {
+		return nil, fmt.Errorf("experiment: empty sweep (counts=%d freqs=%d)", len(counts), len(freqs))
+	}
+	sweep := &MetricSweep{App: app.Name}
+	for _, n := range counts {
+		if !app.RunsOn(n) {
+			continue
+		}
+		for _, f := range freqs {
+			if f <= 0 {
+				return nil, fmt.Errorf("experiment: non-positive frequency %g", f)
+			}
+			point := r.Table.PointFor(f)
+			m, err := r.RunApp(app, n, point)
+			if err != nil {
+				return nil, err
+			}
+			row := MetricRow{
+				N: n, Point: point,
+				Seconds: m.Seconds, PowerW: m.PowerW,
+				EnergyJ: m.PowerW * m.Seconds,
+			}
+			row.EDP = row.EnergyJ * row.Seconds
+			row.ED2P = row.EDP * row.Seconds
+			sweep.Rows = append(sweep.Rows, row)
+		}
+	}
+	if len(sweep.Rows) == 0 {
+		return nil, fmt.Errorf("experiment: %s runs on none of the requested core counts", app.Name)
+	}
+	sweep.BestEnergy = sweep.Rows[0]
+	sweep.BestEDP = sweep.Rows[0]
+	sweep.BestED2P = sweep.Rows[0]
+	for _, row := range sweep.Rows[1:] {
+		if row.EnergyJ < sweep.BestEnergy.EnergyJ {
+			sweep.BestEnergy = row
+		}
+		if row.EDP < sweep.BestEDP.EDP {
+			sweep.BestEDP = row
+		}
+		if row.ED2P < sweep.BestED2P.ED2P {
+			sweep.BestED2P = row
+		}
+	}
+	return sweep, nil
+}

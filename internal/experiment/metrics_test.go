@@ -1,0 +1,108 @@
+package experiment
+
+import "testing"
+
+func TestMetricsSweepBasics(t *testing.T) {
+	rig := testRig(t)
+	sweep, err := rig.Metrics(app(t, "FFT"), []int{1, 4}, []float64{800e6, 1.6e9, 3.2e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Rows) != 6 {
+		t.Fatalf("rows=%d, want 6", len(sweep.Rows))
+	}
+	for _, row := range sweep.Rows {
+		if row.EnergyJ <= 0 || row.EDP <= 0 || row.ED2P <= 0 {
+			t.Errorf("non-positive metric in %+v", row)
+		}
+		if row.EDP < row.EnergyJ*row.Seconds*0.999 || row.EDP > row.EnergyJ*row.Seconds*1.001 {
+			t.Errorf("EDP inconsistent: %g vs %g", row.EDP, row.EnergyJ*row.Seconds)
+		}
+	}
+	// Delay-weighted optima cannot be slower than the pure-energy optimum.
+	if sweep.BestED2P.Seconds > sweep.BestEnergy.Seconds*1.001 {
+		t.Errorf("ED2P optimum slower than energy optimum: %g vs %g s",
+			sweep.BestED2P.Seconds, sweep.BestEnergy.Seconds)
+	}
+	if sweep.BestEDP.EDP > sweep.BestEnergy.EDP {
+		t.Error("BestEDP not optimal under EDP")
+	}
+}
+
+func TestMetricsParallelWinsUnderEDP(t *testing.T) {
+	// For a scalable app, a multi-core configuration should beat the
+	// single core under EDP (more speed at comparable energy).
+	rig := testRig(t)
+	sweep, err := rig.Metrics(app(t, "Barnes"), []int{1, 8}, []float64{1.6e9, 3.2e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.BestEDP.N != 8 {
+		t.Errorf("EDP optimum at N=%d, expected the parallel configuration", sweep.BestEDP.N)
+	}
+}
+
+func TestMetricsValidation(t *testing.T) {
+	rig := testRig(t)
+	a := app(t, "FFT")
+	if _, err := rig.Metrics(a, nil, []float64{1e9}); err == nil {
+		t.Error("accepted empty counts")
+	}
+	if _, err := rig.Metrics(a, []int{1}, nil); err == nil {
+		t.Error("accepted empty freqs")
+	}
+	if _, err := rig.Metrics(a, []int{1}, []float64{-1}); err == nil {
+		t.Error("accepted negative frequency")
+	}
+	lu := app(t, "LU")
+	if _, err := rig.Metrics(lu, []int{3, 5}, []float64{1e9}); err == nil {
+		t.Error("accepted sweep with no runnable core counts")
+	}
+}
+
+func TestThriftyBarrierSavesEnergy(t *testing.T) {
+	rig := testRig(t)
+	// Volrend is the most imbalanced model (jitter 0.38): waiters pile up
+	// at barriers, so sleeping there must save energy without changing
+	// timing.
+	res, err := rig.ThriftyBarrier(app(t, "Volrend"), 8, rig.Table.Nominal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SleepFraction <= 0 {
+		t.Fatal("no sleep recorded at barriers")
+	}
+	if res.SavingFraction <= 0 {
+		t.Errorf("thrifty barriers saved nothing: %+v", res)
+	}
+	if res.ThriftyPowerW >= res.SpinPowerW {
+		t.Errorf("thrifty power %g >= spin power %g", res.ThriftyPowerW, res.SpinPowerW)
+	}
+	// Savings are bounded by what the waiters could have burned.
+	if res.SavingFraction > res.SleepFraction {
+		t.Errorf("saving %g exceeds sleep share %g", res.SavingFraction, res.SleepFraction)
+	}
+}
+
+func TestThriftyBarrierOrdering(t *testing.T) {
+	// The imbalanced app saves more than the balanced one.
+	rig := testRig(t)
+	vol, err := rig.ThriftyBarrier(app(t, "Volrend"), 8, rig.Table.Nominal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmm, err := rig.ThriftyBarrier(app(t, "FMM"), 8, rig.Table.Nominal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vol.SleepFraction <= fmm.SleepFraction {
+		t.Errorf("Volrend sleep share %g should exceed FMM %g", vol.SleepFraction, fmm.SleepFraction)
+	}
+}
+
+func TestThriftyBarrierValidation(t *testing.T) {
+	rig := testRig(t)
+	if _, err := rig.ThriftyBarrier(app(t, "FFT"), 1, rig.Table.Nominal()); err == nil {
+		t.Error("accepted single core")
+	}
+}

@@ -1,0 +1,74 @@
+package experiment
+
+import (
+	"testing"
+
+	"cmppower/internal/splash"
+)
+
+func TestMixBasics(t *testing.T) {
+	rig := testRig(t)
+	apps := []splash.App{app(t, "FMM"), app(t, "Radix"), app(t, "FFT")}
+	res, err := rig.Mix(apps, rig.Table.Nominal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 3 {
+		t.Fatalf("jobs=%d", len(res.Jobs))
+	}
+	for _, j := range res.Jobs {
+		if j.SoloSeconds <= 0 || j.MixSeconds <= 0 {
+			t.Errorf("%s: degenerate times %+v", j.App, j)
+		}
+		// Contention can only slow a job down (small numeric slack).
+		if j.Slowdown < 0.99 {
+			t.Errorf("%s: mix ran faster than solo (%g)", j.App, j.Slowdown)
+		}
+	}
+	// Weighted speedup is bounded by the job count and should stay well
+	// above 1 (three independent cores).
+	if res.WeightedSpeedup > 3.001 || res.WeightedSpeedup < 2 {
+		t.Errorf("weighted speedup %g outside (2, 3]", res.WeightedSpeedup)
+	}
+	if res.PowerW <= 0 {
+		t.Error("no power measured")
+	}
+}
+
+func TestMixMemoryJobsContendMore(t *testing.T) {
+	// Two memory-streaming jobs hurt each other more than two
+	// compute-bound jobs do.
+	rig := testRig(t)
+	slowdown := func(name string) float64 {
+		res, err := rig.Mix([]splash.App{app(t, name), app(t, name)}, rig.Table.Nominal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst := 1.0
+		for _, j := range res.Jobs {
+			if j.Slowdown > worst {
+				worst = j.Slowdown
+			}
+		}
+		return worst
+	}
+	mem := slowdown("Ocean")
+	cpu := slowdown("Water-Sp")
+	if mem <= cpu {
+		t.Errorf("memory-bound mix slowdown %g should exceed compute-bound %g", mem, cpu)
+	}
+}
+
+func TestMixValidation(t *testing.T) {
+	rig := testRig(t)
+	if _, err := rig.Mix(nil, rig.Table.Nominal()); err == nil {
+		t.Error("accepted empty mix")
+	}
+	var many []splash.App
+	for i := 0; i < 17; i++ {
+		many = append(many, app(t, "FFT"))
+	}
+	if _, err := rig.Mix(many, rig.Table.Nominal()); err == nil {
+		t.Error("accepted more jobs than cores")
+	}
+}

@@ -1,0 +1,91 @@
+package experiment
+
+import (
+	"fmt"
+
+	"cmppower/internal/splash"
+)
+
+// OverclockRow is one overclocked configuration of the study.
+type OverclockRow struct {
+	// FreqMult is the frequency relative to nominal (1.0 = 3.2 GHz).
+	FreqMult float64
+	// Volt is the (overdriven) supply.
+	Volt float64
+	// Speedup is measured against the same core count at nominal V/f.
+	Speedup float64
+	// PowerW is the measured total power.
+	PowerW float64
+	// WithinBudget reports whether PowerW fits the single-core budget.
+	WithinBudget bool
+	// GapEfficiency is Speedup/FreqMult: 1.0 means the extra frequency
+	// translated fully into performance; memory-bound codes fall below 1
+	// because the fixed-latency memory costs more cycles at higher
+	// frequency — the offset the paper's §4.2 closing remark predicts.
+	GapEfficiency float64
+}
+
+// OverclockStudy quantifies the paper's final §4.2 observation: for
+// memory-bound applications at low core counts one could overclock the
+// chip and still meet the power budget, but the widening processor–memory
+// speed gap partially offsets the gain.
+type OverclockStudy struct {
+	App     string
+	N       int
+	BudgetW float64
+	Rows    []OverclockRow
+}
+
+// Overclock runs app on n cores at nominal frequency and at each
+// multiplier in mults (e.g. 1.125, 1.25), measuring speedup and power.
+func (r *Rig) Overclock(app splash.App, n int, mults []float64) (*OverclockStudy, error) {
+	if len(mults) == 0 {
+		return nil, fmt.Errorf("experiment: no overclock multipliers")
+	}
+	oc, err := r.Table.WithOverclock(maxOf(mults))
+	if err != nil {
+		return nil, err
+	}
+	base, err := r.RunApp(app, n, r.Table.Nominal())
+	if err != nil {
+		return nil, err
+	}
+	study := &OverclockStudy{App: app.Name, N: n, BudgetW: r.BudgetW()}
+	study.Rows = append(study.Rows, OverclockRow{
+		FreqMult: 1, Volt: r.Table.Nominal().Volt, Speedup: 1,
+		PowerW: base.PowerW, WithinBudget: base.PowerW <= r.BudgetW(), GapEfficiency: 1,
+	})
+	for _, mult := range mults {
+		if mult <= 1 {
+			return nil, fmt.Errorf("experiment: multiplier %g must exceed 1", mult)
+		}
+		point := oc.PointFor(mult * r.Tech.FNominal)
+		if point.Freq <= r.Tech.FNominal*1.001 {
+			return nil, fmt.Errorf("experiment: multiplier %g not reachable on the overclocked ladder", mult)
+		}
+		m, err := r.RunApp(app, n, point)
+		if err != nil {
+			return nil, err
+		}
+		row := OverclockRow{
+			FreqMult:     point.Freq / r.Tech.FNominal,
+			Volt:         point.Volt,
+			Speedup:      base.Seconds / m.Seconds,
+			PowerW:       m.PowerW,
+			WithinBudget: m.PowerW <= r.BudgetW(),
+		}
+		row.GapEfficiency = row.Speedup / row.FreqMult
+		study.Rows = append(study.Rows, row)
+	}
+	return study, nil
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,71 @@
+package experiment
+
+import "testing"
+
+func TestOverclockStudyRadix(t *testing.T) {
+	rig := testRig(t)
+	study, err := rig.Overclock(app(t, "Radix"), 2, []float64{1.125, 1.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(study.Rows) != 3 {
+		t.Fatalf("rows=%d", len(study.Rows))
+	}
+	base := study.Rows[0]
+	if base.FreqMult != 1 || base.Speedup != 1 {
+		t.Fatalf("baseline row %+v", base)
+	}
+	// Radix at 2 cores is power-thrifty: nominal run fits the budget, and
+	// modest overclocking should too (the paper's premise).
+	if !base.WithinBudget {
+		t.Error("Radix at 2 cores should fit the budget at nominal")
+	}
+	for _, row := range study.Rows[1:] {
+		if row.Volt <= rig.Tech.Vdd {
+			t.Errorf("overclocked point at mult %g not overdriven (V=%g)", row.FreqMult, row.Volt)
+		}
+		if row.Speedup <= 1 {
+			t.Errorf("no speedup at mult %g: %g", row.FreqMult, row.Speedup)
+		}
+		// The memory-gap offset: speedup lags the frequency multiplier.
+		if row.GapEfficiency >= 0.99 {
+			t.Errorf("mult %g: gap efficiency %g — memory offset missing", row.FreqMult, row.GapEfficiency)
+		}
+		if row.PowerW <= base.PowerW {
+			t.Errorf("overclocking did not raise power: %g vs %g", row.PowerW, base.PowerW)
+		}
+	}
+}
+
+func TestOverclockGapOrdering(t *testing.T) {
+	// Compute-bound FMM converts frequency into performance much better
+	// than memory-bound Radix.
+	rig := testRig(t)
+	fmm, err := rig.Overclock(app(t, "FMM"), 1, []float64{1.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	radix, err := rig.Overclock(app(t, "Radix"), 1, []float64{1.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe := fmm.Rows[len(fmm.Rows)-1].GapEfficiency
+	re := radix.Rows[len(radix.Rows)-1].GapEfficiency
+	if fe <= re {
+		t.Errorf("FMM gap efficiency %g should exceed Radix %g", fe, re)
+	}
+}
+
+func TestOverclockValidation(t *testing.T) {
+	rig := testRig(t)
+	a := app(t, "FFT")
+	if _, err := rig.Overclock(a, 1, nil); err == nil {
+		t.Error("accepted empty multipliers")
+	}
+	if _, err := rig.Overclock(a, 1, []float64{0.9}); err == nil {
+		t.Error("accepted sub-unity multiplier")
+	}
+	if _, err := rig.Overclock(a, 3, []float64{1.125}); err == nil {
+		t.Error("accepted invalid core count for power-of-two app")
+	}
+}

@@ -1,0 +1,108 @@
+package experiment
+
+import "testing"
+
+func TestPlacementPerm(t *testing.T) {
+	perm, err := placementPerm(Contiguous, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range perm {
+		if c != i {
+			t.Fatalf("contiguous perm %v", perm)
+		}
+	}
+	spread, err := placementPerm(Spread, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 4-thread spread prefix uses the die's four corners.
+	want := map[int]bool{0: true, 3: true, 12: true, 15: true}
+	for _, c := range spread {
+		if !want[c] {
+			t.Fatalf("spread perm %v, want corners", spread)
+		}
+	}
+	// Injectivity for every prefix size on 16 cores.
+	for n := 1; n <= 16; n++ {
+		p, err := placementPerm(Spread, n, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[int]bool{}
+		for _, c := range p {
+			if seen[c] || c < 0 || c >= 16 {
+				t.Fatalf("n=%d: bad perm %v", n, p)
+			}
+			seen[c] = true
+		}
+	}
+	// Non-16-core fallback still injective for divisible counts.
+	p, err := placementPerm(Spread, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, c := range p {
+		if seen[c] {
+			t.Fatalf("fallback perm %v collides", p)
+		}
+		seen[c] = true
+	}
+	if _, err := placementPerm("diagonal", 4, 16); err == nil {
+		t.Error("accepted unknown policy")
+	}
+	if _, err := placementPerm(Contiguous, 20, 16); err == nil {
+		t.Error("accepted too many threads")
+	}
+}
+
+func TestPlacementSpreadRunsCooler(t *testing.T) {
+	// The physical claim: scattering four hot cores across the die lowers
+	// the peak temperature versus packing them together, at identical
+	// activity and (almost) identical power.
+	rig := testRig(t)
+	study, err := rig.Placement(app(t, "FMM"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(study.Rows) != 2 {
+		t.Fatalf("rows=%d", len(study.Rows))
+	}
+	cont, spread := study.Rows[0], study.Rows[1]
+	if cont.Policy != Contiguous || spread.Policy != Spread {
+		t.Fatalf("row order %v", study.Rows)
+	}
+	if study.PeakReduction <= 0 {
+		t.Errorf("spread placement did not lower the peak: %g vs %g °C",
+			cont.PeakTempC, spread.PeakTempC)
+	}
+	// Power differs only through the (small) temperature-dependent static
+	// component — and the cooler layout burns slightly less.
+	if spread.PowerW > cont.PowerW {
+		t.Errorf("spread placement burned more: %g vs %g W", spread.PowerW, cont.PowerW)
+	}
+}
+
+func TestPlacementFullChipIsIdentical(t *testing.T) {
+	// With all 16 cores active the policies coincide (same set).
+	rig := testRig(t)
+	study, err := rig.Placement(app(t, "FFT"), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cont, spread := study.Rows[0], study.Rows[1]
+	if diff := cont.PeakTempC - spread.PeakTempC; diff > 0.2 || diff < -0.2 {
+		t.Errorf("full-chip placements differ: %g vs %g °C", cont.PeakTempC, spread.PeakTempC)
+	}
+}
+
+func TestPlacementValidation(t *testing.T) {
+	rig := testRig(t)
+	if _, err := rig.Placement(app(t, "FFT"), 1); err == nil {
+		t.Error("accepted single core")
+	}
+	if _, err := rig.Placement(app(t, "LU"), 6); err == nil {
+		t.Error("accepted invalid thread count")
+	}
+}

@@ -1,0 +1,73 @@
+package experiment
+
+import (
+	"fmt"
+
+	"cmppower/internal/splash"
+	"cmppower/internal/stats"
+)
+
+// SeedStats summarizes how sensitive an application's measurements are to
+// the workload random seed — the reproduction's error bars. The synthetic
+// models draw burst lengths, addresses and imbalance from the seed, so a
+// small spread here means the reported efficiency/power numbers are
+// properties of the model, not of one lucky stream.
+type SeedStats struct {
+	App     string
+	N       int
+	Samples int
+	// Efficiency (nominal parallel efficiency at N), seconds (at N) and
+	// watts (at N), each mean ± sample standard deviation across seeds.
+	EffMean, EffStd     float64
+	TimeMean, TimeStd   float64
+	PowerMean, PowerStd float64
+}
+
+// RelSpread returns the largest coefficient of variation among the three
+// measured quantities.
+func (s SeedStats) RelSpread() float64 {
+	worst := 0.0
+	for _, p := range [][2]float64{
+		{s.EffStd, s.EffMean}, {s.TimeStd, s.TimeMean}, {s.PowerStd, s.PowerMean},
+	} {
+		if p[1] > 0 && p[0]/p[1] > worst {
+			worst = p[0] / p[1]
+		}
+	}
+	return worst
+}
+
+// SeedStudy measures app on n cores (and its single-core baseline) at
+// nominal V/f across the given seeds.
+func (r *Rig) SeedStudy(app splash.App, n int, seeds []uint64) (*SeedStats, error) {
+	if len(seeds) < 2 {
+		return nil, fmt.Errorf("experiment: need at least 2 seeds, got %d", len(seeds))
+	}
+	if !app.RunsOn(n) || n < 2 {
+		return nil, fmt.Errorf("experiment: %s does not run on %d cores (need n >= 2)", app.Name, n)
+	}
+	savedSeed := r.Seed
+	defer func() { r.Seed = savedSeed }()
+
+	var effs, times, powers []float64
+	for _, seed := range seeds {
+		r.Seed = seed
+		base, err := r.RunApp(app, 1, r.Table.Nominal())
+		if err != nil {
+			return nil, err
+		}
+		m, err := r.RunApp(app, n, r.Table.Nominal())
+		if err != nil {
+			return nil, err
+		}
+		effs = append(effs, base.Seconds/(float64(n)*m.Seconds))
+		times = append(times, m.Seconds)
+		powers = append(powers, m.PowerW)
+	}
+	return &SeedStats{
+		App: app.Name, N: n, Samples: len(seeds),
+		EffMean: stats.Mean(effs), EffStd: stats.Std(effs),
+		TimeMean: stats.Mean(times), TimeStd: stats.Std(times),
+		PowerMean: stats.Mean(powers), PowerStd: stats.Std(powers),
+	}, nil
+}

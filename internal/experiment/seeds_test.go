@@ -1,0 +1,52 @@
+package experiment
+
+import "testing"
+
+func TestSeedStudyBasics(t *testing.T) {
+	rig := testRig(t)
+	st, err := rig.SeedStudy(app(t, "FFT"), 4, []uint64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Samples != 4 {
+		t.Fatalf("samples=%d", st.Samples)
+	}
+	if st.EffMean <= 0 || st.TimeMean <= 0 || st.PowerMean <= 0 {
+		t.Fatalf("degenerate stats %+v", st)
+	}
+	// Seeds change the streams, so some spread must exist...
+	if st.TimeStd == 0 {
+		t.Error("zero time spread across seeds is suspicious")
+	}
+	// ...but the measurements must be stable: the reproduction's results
+	// are not artifacts of one lucky seed.
+	if spread := st.RelSpread(); spread > 0.15 {
+		t.Errorf("relative spread %g across seeds; model too noisy", spread)
+	}
+	// The rig's own seed is restored.
+	if rig.Seed != 1 {
+		t.Errorf("rig seed mutated to %d", rig.Seed)
+	}
+}
+
+func TestSeedStudyValidation(t *testing.T) {
+	rig := testRig(t)
+	a := app(t, "FFT")
+	if _, err := rig.SeedStudy(a, 4, []uint64{1}); err == nil {
+		t.Error("accepted single seed")
+	}
+	if _, err := rig.SeedStudy(a, 1, []uint64{1, 2}); err == nil {
+		t.Error("accepted n=1")
+	}
+	lu := app(t, "LU")
+	if _, err := rig.SeedStudy(lu, 6, []uint64{1, 2}); err == nil {
+		t.Error("accepted invalid core count")
+	}
+}
+
+func TestRelSpreadZeroMeans(t *testing.T) {
+	var s SeedStats
+	if s.RelSpread() != 0 {
+		t.Error("zero stats should have zero spread")
+	}
+}

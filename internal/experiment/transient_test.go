@@ -1,0 +1,107 @@
+package experiment
+
+import (
+	"testing"
+
+	"cmppower/internal/phys"
+)
+
+func TestTransientWarmingCurve(t *testing.T) {
+	rig := testRig(t)
+	a := app(t, "FMM")
+	tc := DefaultTransientConfig()
+	tc.TimeDilation = 5000
+	trace, err := rig.Transient(a, 1, rig.Table.Nominal(), tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) < 4 {
+		t.Fatalf("only %d trace points", len(trace))
+	}
+	first, last := trace[0], trace[len(trace)-1]
+	// The die starts at ambient and warms monotonically (FMM's activity is
+	// steady enough for this to hold interval to interval).
+	if first.AvgCoreTempC <= phys.AmbientTempC {
+		t.Errorf("no warming in first interval: %g", first.AvgCoreTempC)
+	}
+	if last.AvgCoreTempC <= first.AvgCoreTempC {
+		t.Errorf("die did not warm across the run: %g -> %g", first.AvgCoreTempC, last.AvgCoreTempC)
+	}
+	for i, pt := range trace {
+		if pt.PeakTempC < pt.AvgCoreTempC-0.5 {
+			t.Errorf("interval %d: peak %g below average %g", i, pt.PeakTempC, pt.AvgCoreTempC)
+		}
+		if pt.TotalW < pt.DynW {
+			t.Errorf("interval %d: total %g below dynamic %g", i, pt.TotalW, pt.DynW)
+		}
+		if pt.Seconds <= 0 {
+			t.Errorf("interval %d: non-positive duration", i)
+		}
+	}
+	// With leakage tracking temperature, late intervals burn more static
+	// power than early ones at similar activity.
+	if last.TotalW-last.DynW <= 0 {
+		t.Error("no static power by the end of the warming curve")
+	}
+}
+
+func TestTransientApproachesSteadyStateEvaluation(t *testing.T) {
+	// With a huge dilation, the transient end temperature should approach
+	// the steady-state coupled evaluation of the same run.
+	rig := testRig(t)
+	a := app(t, "Water-Sp")
+	p := rig.Table.Nominal()
+	tc := DefaultTransientConfig()
+	// Dilate far past the heat sink's ~40 s equilibration.
+	tc.TimeDilation = 3e6
+	trace, err := rig.Transient(a, 1, p, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steady, err := rig.RunApp(a, 1, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := trace[len(trace)-1]
+	diff := last.AvgCoreTempC - steady.AvgCoreTempC
+	if diff < -6 || diff > 6 {
+		t.Errorf("transient end %g °C vs steady state %g °C", last.AvgCoreTempC, steady.AvgCoreTempC)
+	}
+}
+
+func TestTransientValidation(t *testing.T) {
+	rig := testRig(t)
+	a := app(t, "LU")
+	tc := DefaultTransientConfig()
+	if _, err := rig.Transient(a, 6, rig.Table.Nominal(), tc); err == nil {
+		t.Error("accepted invalid core count for power-of-two app")
+	}
+	tc.TimeDilation = 0
+	if _, err := rig.Transient(a, 4, rig.Table.Nominal(), tc); err == nil {
+		t.Error("accepted zero dilation")
+	}
+	tc = DefaultTransientConfig()
+	tc.StartTempC = 10
+	if _, err := rig.Transient(a, 4, rig.Table.Nominal(), tc); err == nil {
+		t.Error("accepted sub-ambient start temperature")
+	}
+}
+
+func TestTransientExplicitSampling(t *testing.T) {
+	rig := testRig(t)
+	a := app(t, "FFT")
+	tc := DefaultTransientConfig()
+	tc.SampleCycles = 20000
+	trace, err := rig.Transient(a, 2, rig.Table.Nominal(), tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) == 0 {
+		t.Fatal("no trace points")
+	}
+	for i := 1; i < len(trace); i++ {
+		if trace[i].StartCycle != trace[i-1].EndCycle {
+			t.Fatalf("trace not contiguous at %d", i)
+		}
+	}
+}

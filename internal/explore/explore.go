@@ -1,0 +1,172 @@
+// Package explore implements a chip design-space exploration on top of the
+// simulator: under the fixed Table 1 die area and thermal envelope, it
+// contrasts organizations with few wide cores against many narrow cores
+// (the Ekman & Stenström axis the paper discusses in Related Work) and
+// different L2 capacities.
+//
+// Every organization is separately calibrated to the same 100 °C design
+// point, so the comparison is iso-TDP: what varies is how the silicon is
+// spent — issue width per core vs core count vs cache.
+package explore
+
+import (
+	"fmt"
+
+	"cmppower/internal/cache"
+	"cmppower/internal/cmp"
+	"cmppower/internal/experiment"
+	"cmppower/internal/splash"
+)
+
+// Option is one chip organization.
+type Option struct {
+	// Name is a short label, e.g. "4x wide".
+	Name string
+	// Cores is the physical core count on the fixed die.
+	Cores int
+	// IssueWidth is each core's issue width.
+	IssueWidth int
+	// IPCBoost multiplies the application's dependence-limited IPC
+	// (capped by IssueWidth): wider cores extract more ILP.
+	IPCBoost float64
+	// L2Bytes is the shared L2 capacity.
+	L2Bytes int
+}
+
+// Validate checks the organization.
+func (o Option) Validate() error {
+	switch {
+	case o.Name == "":
+		return fmt.Errorf("explore: option needs a name")
+	case o.Cores < 1 || o.Cores > 64:
+		return fmt.Errorf("explore: %s: cores %d outside [1,64]", o.Name, o.Cores)
+	case o.IssueWidth < 1 || o.IssueWidth > 16:
+		return fmt.Errorf("explore: %s: issue width %d", o.Name, o.IssueWidth)
+	case o.IPCBoost <= 0 || o.IPCBoost > 4:
+		return fmt.Errorf("explore: %s: IPC boost %g", o.Name, o.IPCBoost)
+	case o.L2Bytes < 256<<10:
+		return fmt.Errorf("explore: %s: L2 %d too small", o.Name, o.L2Bytes)
+	}
+	return nil
+}
+
+// StandardOptions returns the default exploration set: trading core count
+// against per-core width at roughly constant area (wider cores are
+// quadratically more expensive in issue logic, so core count falls faster
+// than width rises), plus an L2-heavy variant.
+func StandardOptions() []Option {
+	return []Option{
+		{Name: "4x-wide", Cores: 4, IssueWidth: 8, IPCBoost: 1.5, L2Bytes: 4 << 20},
+		{Name: "8x-balanced", Cores: 8, IssueWidth: 6, IPCBoost: 1.25, L2Bytes: 4 << 20},
+		{Name: "16x-ev6", Cores: 16, IssueWidth: 4, IPCBoost: 1.0, L2Bytes: 4 << 20},
+		{Name: "32x-narrow", Cores: 32, IssueWidth: 2, IPCBoost: 0.6, L2Bytes: 2 << 20},
+		{Name: "8x-bigL2", Cores: 8, IssueWidth: 4, IPCBoost: 1.0, L2Bytes: 8 << 20},
+	}
+}
+
+// Outcome is one (organization, application) evaluation.
+type Outcome struct {
+	Option Option
+	App    string
+	// N is the thread count used (the largest runnable count ≤ Cores).
+	N int
+	// Seconds, PowerW, EnergyJ, EDP are measured at nominal V/f.
+	Seconds float64
+	PowerW  float64
+	EnergyJ float64
+	EDP     float64
+	// Speedup is relative to the 16x-ev6 baseline when present in the
+	// same exploration, else relative to the first option.
+	Speedup float64
+}
+
+// maxThreads returns the largest thread count ≤ cores the app supports.
+func maxThreads(app splash.App, cores int) int {
+	for n := cores; n >= 1; n-- {
+		if app.RunsOn(n) {
+			return n
+		}
+	}
+	return 1
+}
+
+// Explore evaluates every application on every organization at nominal
+// voltage/frequency and the given workload scale.
+func Explore(apps []splash.App, opts []Option, scale float64) ([]Outcome, error) {
+	if len(apps) == 0 || len(opts) == 0 {
+		return nil, fmt.Errorf("explore: empty sweep (%d apps, %d options)", len(apps), len(opts))
+	}
+	var out []Outcome
+	for _, opt := range opts {
+		if err := opt.Validate(); err != nil {
+			return nil, err
+		}
+		rig, err := experiment.NewCustomRig(opt.Cores, scale)
+		if err != nil {
+			return nil, err
+		}
+		for _, app := range apps {
+			n := maxThreads(app, opt.Cores)
+			point := rig.Table.Nominal()
+			cfg := cmp.DefaultConfig(n, point)
+			cfg.TotalCores = opt.Cores
+			cfg.Core = app.CoreConfig()
+			cfg.Core.IssueWidth = opt.IssueWidth
+			cfg.Core.IPCNonMem = cfg.Core.IPCNonMem * opt.IPCBoost
+			if lim := float64(opt.IssueWidth); cfg.Core.IPCNonMem > lim {
+				cfg.Core.IPCNonMem = lim
+			}
+			cc := cache.DefaultConfig(n, point.Freq)
+			cc.L2 = cache.Geometry{SizeBytes: opt.L2Bytes, LineBytes: 128, Ways: 8}
+			cfg.CacheOverride = &cc
+			cfg.Seed = rig.Seed
+			res, err := cmp.Run(app.Program(scale), cfg)
+			if err != nil {
+				return nil, fmt.Errorf("explore: %s on %s: %w", app.Name, opt.Name, err)
+			}
+			pw, err := rig.Meter.Evaluate(rig.FP, rig.TM, res.Activity, res.Seconds,
+				int64(res.Cycles)+1, point, n)
+			if err != nil {
+				return nil, err
+			}
+			o := Outcome{
+				Option: opt, App: app.Name, N: n,
+				Seconds: res.Seconds, PowerW: pw.TotalW,
+				EnergyJ: pw.TotalW * res.Seconds,
+			}
+			o.EDP = o.EnergyJ * o.Seconds
+			out = append(out, o)
+		}
+	}
+	// Speedups relative to the 16x-ev6 organization (or the first option).
+	refName := opts[0].Name
+	for _, opt := range opts {
+		if opt.Name == "16x-ev6" {
+			refName = opt.Name
+		}
+	}
+	ref := make(map[string]float64)
+	for _, o := range out {
+		if o.Option.Name == refName {
+			ref[o.App] = o.Seconds
+		}
+	}
+	for i := range out {
+		if base, ok := ref[out[i].App]; ok && out[i].Seconds > 0 {
+			out[i].Speedup = base / out[i].Seconds
+		}
+	}
+	return out, nil
+}
+
+// BestByEDP returns, for each application, the organization with the
+// lowest energy-delay product.
+func BestByEDP(outcomes []Outcome) map[string]Outcome {
+	best := make(map[string]Outcome)
+	for _, o := range outcomes {
+		if cur, ok := best[o.App]; !ok || o.EDP < cur.EDP {
+			best[o.App] = o
+		}
+	}
+	return best
+}

@@ -1,0 +1,281 @@
+// Package floorplan describes chip geometry: rectangular blocks for the
+// microarchitectural structures of each core, the shared L2, and the bus.
+//
+// The thermal model (internal/thermal) builds its lumped-RC network from
+// this geometry, and the power model maps activity counters onto blocks by
+// name. The default chip mirrors the paper's Table 1: a 15.6 mm × 15.6 mm
+// die with Alpha-21264-class core tiles and a large shared L2 region whose
+// power density is far below the cores (paper §3.3 excludes it from the
+// power-density and temperature statistics for exactly that reason).
+package floorplan
+
+import (
+	"fmt"
+	"math"
+)
+
+// Unit identifies the microarchitectural structure a block implements.
+// Power accounting keys activity to these units.
+type Unit int
+
+// Units of a core tile plus the shared chip structures.
+const (
+	UnitFetch Unit = iota
+	UnitBpred
+	UnitRename
+	UnitWindow
+	UnitRegfile
+	UnitIALU
+	UnitFALU
+	UnitLSQ
+	UnitIL1
+	UnitDL1
+	UnitL2
+	UnitBus
+	unitCount
+)
+
+var unitNames = [...]string{
+	UnitFetch:   "fetch",
+	UnitBpred:   "bpred",
+	UnitRename:  "rename",
+	UnitWindow:  "window",
+	UnitRegfile: "regfile",
+	UnitIALU:    "ialu",
+	UnitFALU:    "falu",
+	UnitLSQ:     "lsq",
+	UnitIL1:     "il1",
+	UnitDL1:     "dl1",
+	UnitL2:      "l2",
+	UnitBus:     "bus",
+}
+
+// String implements fmt.Stringer.
+func (u Unit) String() string {
+	if u < 0 || int(u) >= len(unitNames) {
+		return fmt.Sprintf("unit(%d)", int(u))
+	}
+	return unitNames[u]
+}
+
+// CoreUnits lists the units instantiated once per core tile.
+func CoreUnits() []Unit {
+	return []Unit{UnitFetch, UnitBpred, UnitRename, UnitWindow, UnitRegfile,
+		UnitIALU, UnitFALU, UnitLSQ, UnitIL1, UnitDL1}
+}
+
+// NumUnits returns the number of distinct unit kinds.
+func NumUnits() int { return int(unitCount) }
+
+// Block is one axis-aligned rectangle of silicon.
+type Block struct {
+	Name string  // unique, e.g. "core3.ialu" or "l2.bank1"
+	Unit Unit    // structure kind
+	Core int     // owning core index, or -1 for shared structures
+	X, Y float64 // lower-left corner, meters
+	W, H float64 // width and height, meters
+}
+
+// Area returns the block area in m².
+func (b Block) Area() float64 { return b.W * b.H }
+
+// Floorplan is a set of non-overlapping blocks covering (part of) a die.
+type Floorplan struct {
+	Blocks []Block
+	// DieW, DieH are the full die dimensions in meters.
+	DieW, DieH float64
+}
+
+// Area returns the total die area in m².
+func (f *Floorplan) Area() float64 { return f.DieW * f.DieH }
+
+// BlockArea returns the summed area of all blocks.
+func (f *Floorplan) BlockArea() float64 {
+	var a float64
+	for _, b := range f.Blocks {
+		a += b.Area()
+	}
+	return a
+}
+
+// Index returns the position of the named block, or -1.
+func (f *Floorplan) Index(name string) int {
+	for i, b := range f.Blocks {
+		if b.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// CoreBlocks returns the indices of the blocks belonging to core c.
+func (f *Floorplan) CoreBlocks(c int) []int {
+	var out []int
+	for i, b := range f.Blocks {
+		if b.Core == c {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SharedEdge returns the length (m) of the boundary shared by blocks a and
+// b, or 0 if they do not abut. Blocks that merely touch at a corner share
+// no edge.
+func SharedEdge(a, b Block) float64 {
+	const eps = 1e-9
+	// Vertical adjacency: a's right edge on b's left edge or vice versa.
+	if math.Abs((a.X+a.W)-b.X) < eps || math.Abs((b.X+b.W)-a.X) < eps {
+		lo := math.Max(a.Y, b.Y)
+		hi := math.Min(a.Y+a.H, b.Y+b.H)
+		if hi-lo > eps {
+			return hi - lo
+		}
+	}
+	// Horizontal adjacency.
+	if math.Abs((a.Y+a.H)-b.Y) < eps || math.Abs((b.Y+b.H)-a.Y) < eps {
+		lo := math.Max(a.X, b.X)
+		hi := math.Min(a.X+a.W, b.X+b.W)
+		if hi-lo > eps {
+			return hi - lo
+		}
+	}
+	return 0
+}
+
+// Adjacency lists, for every block index, its neighbors and shared-edge
+// lengths.
+type Adjacency struct {
+	Neighbor [][]int
+	Edge     [][]float64
+}
+
+// BuildAdjacency computes the block adjacency of the floorplan.
+func (f *Floorplan) BuildAdjacency() Adjacency {
+	n := len(f.Blocks)
+	adj := Adjacency{Neighbor: make([][]int, n), Edge: make([][]float64, n)}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			e := SharedEdge(f.Blocks[i], f.Blocks[j])
+			if e > 0 {
+				adj.Neighbor[i] = append(adj.Neighbor[i], j)
+				adj.Edge[i] = append(adj.Edge[i], e)
+				adj.Neighbor[j] = append(adj.Neighbor[j], i)
+				adj.Edge[j] = append(adj.Edge[j], e)
+			}
+		}
+	}
+	return adj
+}
+
+// coreLayout describes the relative placement of the units inside a core
+// tile: three rows of blocks, each entry a (unit, width-fraction) pair.
+type relBlock struct {
+	unit Unit
+	wfr  float64
+}
+
+var coreRows = []struct {
+	hfr  float64
+	cols []relBlock
+}{
+	// Front end: instruction cache, fetch logic, branch predictor.
+	{0.30, []relBlock{{UnitIL1, 0.50}, {UnitFetch, 0.25}, {UnitBpred, 0.25}}},
+	// Execution core.
+	{0.40, []relBlock{{UnitWindow, 0.25}, {UnitIALU, 0.25}, {UnitFALU, 0.25},
+		{UnitRegfile, 0.125}, {UnitRename, 0.125}}},
+	// Memory back end.
+	{0.30, []relBlock{{UnitDL1, 0.60}, {UnitLSQ, 0.40}}},
+}
+
+// CoreTile lays out one EV6-like core in the rectangle (x, y, w, h) and
+// returns its blocks, named "core<idx>.<unit>".
+func CoreTile(idx int, x, y, w, h float64) []Block {
+	var blocks []Block
+	cy := y
+	for _, row := range coreRows {
+		rh := row.hfr * h
+		cx := x
+		for _, rb := range row.cols {
+			bw := rb.wfr * w
+			blocks = append(blocks, Block{
+				Name: fmt.Sprintf("core%d.%s", idx, rb.unit),
+				Unit: rb.unit,
+				Core: idx,
+				X:    cx, Y: cy, W: bw, H: rh,
+			})
+			cx += bw
+		}
+		cy += rh
+	}
+	return blocks
+}
+
+// ChipConfig controls chip assembly.
+type ChipConfig struct {
+	NCores  int
+	DieW    float64 // meters; default 15.6 mm
+	DieH    float64 // meters; default 15.6 mm
+	L2Banks int     // default 4
+}
+
+// DefaultChipConfig returns the paper's Table 1 geometry for n cores.
+func DefaultChipConfig(n int) ChipConfig {
+	return ChipConfig{NCores: n, DieW: 15.6e-3, DieH: 15.6e-3, L2Banks: 4}
+}
+
+// Chip assembles a CMP floorplan: a grid of core tiles in the upper region,
+// a bus strip, and L2 banks across the bottom. Valid for 1..64 cores.
+func Chip(cfg ChipConfig) (*Floorplan, error) {
+	if cfg.NCores < 1 || cfg.NCores > 64 {
+		return nil, fmt.Errorf("floorplan: NCores %d outside [1,64]", cfg.NCores)
+	}
+	if cfg.DieW <= 0 || cfg.DieH <= 0 {
+		return nil, fmt.Errorf("floorplan: non-positive die dimensions %g×%g", cfg.DieW, cfg.DieH)
+	}
+	if cfg.L2Banks < 1 {
+		return nil, fmt.Errorf("floorplan: L2Banks must be >= 1, got %d", cfg.L2Banks)
+	}
+	cols := int(math.Ceil(math.Sqrt(float64(cfg.NCores))))
+	rows := (cfg.NCores + cols - 1) / cols
+
+	// Region split: cores on top ~60%, bus strip ~4%, L2 bottom ~36%.
+	coreRegionH := 0.60 * cfg.DieH
+	busH := 0.04 * cfg.DieH
+	l2H := cfg.DieH - coreRegionH - busH
+
+	tileW := cfg.DieW / float64(cols)
+	tileH := coreRegionH / float64(rows)
+
+	fp := &Floorplan{DieW: cfg.DieW, DieH: cfg.DieH}
+	idx := 0
+	for r := 0; r < rows && idx < cfg.NCores; r++ {
+		for c := 0; c < cols && idx < cfg.NCores; c++ {
+			x := float64(c) * tileW
+			y := busH + l2H + float64(r)*tileH
+			fp.Blocks = append(fp.Blocks, CoreTile(idx, x, y, tileW, tileH)...)
+			idx++
+		}
+	}
+	// Bus strip spans the die between cores and L2.
+	fp.Blocks = append(fp.Blocks, Block{
+		Name: "bus", Unit: UnitBus, Core: -1,
+		X: 0, Y: l2H, W: cfg.DieW, H: busH,
+	})
+	// L2 banks across the bottom.
+	bankW := cfg.DieW / float64(cfg.L2Banks)
+	for b := 0; b < cfg.L2Banks; b++ {
+		fp.Blocks = append(fp.Blocks, Block{
+			Name: fmt.Sprintf("l2.bank%d", b), Unit: UnitL2, Core: -1,
+			X: float64(b) * bankW, Y: 0, W: bankW, H: l2H,
+		})
+	}
+	return fp, nil
+}
+
+// CoreArea returns the area of one core tile in the given chip config, m².
+func CoreArea(cfg ChipConfig) float64 {
+	cols := int(math.Ceil(math.Sqrt(float64(cfg.NCores))))
+	rows := (cfg.NCores + cols - 1) / cols
+	return (cfg.DieW / float64(cols)) * (0.60 * cfg.DieH / float64(rows))
+}

@@ -1,0 +1,82 @@
+// Package mem models the off-chip DRAM channel.
+//
+// Its two timing properties are central to the paper's findings:
+//
+//  1. The round-trip latency is fixed in *wall-clock* time (75 ns, paper
+//     Table 1), so when the chip lowers its frequency the latency costs
+//     fewer cycles — the "narrowing processor–memory speed gap" that lets
+//     memory-bound applications exceed their nominal speedups (paper
+//     §4.1/§4.2).
+//  2. The channel has finite bandwidth, also fixed in wall-clock time, so
+//     memory contention grows with core count and erodes parallel
+//     efficiency.
+package mem
+
+import "fmt"
+
+// DRAM is a single memory channel. All times are in seconds (wall clock).
+type DRAM struct {
+	latency   float64 // round-trip latency of one access, s
+	occupancy float64 // channel occupancy per access, s
+	freeAt    float64 // absolute time the channel next idles, s
+
+	// Accesses counts reads and writebacks served.
+	Accesses int64
+	// BusySeconds accumulates channel occupancy.
+	BusySeconds float64
+	// QueueSeconds accumulates time requests spent waiting for the channel.
+	QueueSeconds float64
+}
+
+// New returns a DRAM channel with the given round-trip latency and
+// per-access channel occupancy, both in seconds.
+func New(latencySec, occupancySec float64) (*DRAM, error) {
+	if latencySec <= 0 {
+		return nil, fmt.Errorf("mem: non-positive latency %g", latencySec)
+	}
+	if occupancySec < 0 || occupancySec > latencySec {
+		return nil, fmt.Errorf("mem: occupancy %g outside [0, latency]", occupancySec)
+	}
+	return &DRAM{latency: latencySec, occupancy: occupancySec}, nil
+}
+
+// Default returns the paper's 75 ns round-trip channel with 1.2 ns of
+// per-access occupancy. The channel is heavily banked, so per-access
+// occupancy sits far below latency; the value is chosen so that one
+// memory-bound core leaves headroom while sixteen saturate the channel.
+func Default() *DRAM {
+	d, err := New(75e-9, 1.2e-9)
+	if err != nil {
+		panic(err) // constants above are valid by construction
+	}
+	return d
+}
+
+// Latency returns the round-trip latency in seconds.
+func (d *DRAM) Latency() float64 { return d.latency }
+
+// Access serves a request arriving at nowSec and returns the absolute time
+// its data is available.
+func (d *DRAM) Access(nowSec float64) float64 {
+	start := nowSec
+	if d.freeAt > start {
+		start = d.freeAt
+	}
+	d.QueueSeconds += start - nowSec
+	d.freeAt = start + d.occupancy
+	d.BusySeconds += d.occupancy
+	d.Accesses++
+	return start + d.latency
+}
+
+// Utilization returns channel busy time over elapsed seconds.
+func (d *DRAM) Utilization(elapsedSec float64) float64 {
+	if elapsedSec <= 0 {
+		return 0
+	}
+	u := d.BusySeconds / elapsedSec
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

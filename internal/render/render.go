@@ -1,0 +1,111 @@
+// Package render produces SVG visualizations of the chip: the floorplan
+// itself and per-block scalar fields (temperature, power density) painted
+// over it. Output is deterministic, dependency-free SVG suitable for
+// documentation and for inspecting thermal maps outside the terminal.
+package render
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"cmppower/internal/floorplan"
+)
+
+// Ramp maps a fraction in [0,1] to a cold→hot RGB color (blue → red via
+// green/yellow), the conventional thermal-map ramp.
+func Ramp(frac float64) (r, g, b uint8) {
+	if math.IsNaN(frac) {
+		return 128, 128, 128
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	switch {
+	case frac < 0.25: // blue -> cyan
+		t := frac / 0.25
+		return 0, uint8(255 * t), 255
+	case frac < 0.5: // cyan -> green
+		t := (frac - 0.25) / 0.25
+		return 0, 255, uint8(255 * (1 - t))
+	case frac < 0.75: // green -> yellow
+		t := (frac - 0.5) / 0.25
+		return uint8(255 * t), 255, 0
+	default: // yellow -> red
+		t := (frac - 0.75) / 0.25
+		return 255, uint8(255 * (1 - t)), 0
+	}
+}
+
+// Options controls SVG generation.
+type Options struct {
+	// WidthPx is the image width; height follows the die aspect ratio.
+	WidthPx int
+	// Title is the figure caption (also the SVG <title>).
+	Title string
+	// Unit is the value unit shown in tooltips, e.g. "°C".
+	Unit string
+	// Lo, Hi bound the color ramp. Hi must exceed Lo.
+	Lo, Hi float64
+}
+
+// DefaultOptions returns sensible bounds for temperature maps.
+func DefaultOptions(title string) Options {
+	return Options{WidthPx: 640, Title: title, Unit: "C", Lo: 45, Hi: 100}
+}
+
+// FloorplanSVG renders the floorplan with each block filled according to
+// its value (len(values) must match the block count; pass nil for a plain
+// outline drawing).
+func FloorplanSVG(fp *floorplan.Floorplan, values []float64, opts Options) (string, error) {
+	if fp == nil || len(fp.Blocks) == 0 {
+		return "", fmt.Errorf("render: empty floorplan")
+	}
+	if values != nil && len(values) != len(fp.Blocks) {
+		return "", fmt.Errorf("render: %d values for %d blocks", len(values), len(fp.Blocks))
+	}
+	if opts.WidthPx <= 0 {
+		opts.WidthPx = 640
+	}
+	if opts.Hi <= opts.Lo {
+		return "", fmt.Errorf("render: ramp bounds [%g, %g] invalid", opts.Lo, opts.Hi)
+	}
+	scale := float64(opts.WidthPx) / fp.DieW
+	hPx := int(fp.DieH * scale)
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		opts.WidthPx, hPx, opts.WidthPx, hPx)
+	fmt.Fprintf(&b, "<title>%s</title>\n", escape(opts.Title))
+	fmt.Fprintf(&b, `<rect x="0" y="0" width="%d" height="%d" fill="#202020"/>`+"\n", opts.WidthPx, hPx)
+	for i, blk := range fp.Blocks {
+		x := blk.X * scale
+		// SVG y grows downward; the floorplan's y grows upward.
+		y := float64(hPx) - (blk.Y+blk.H)*scale
+		w := blk.W * scale
+		h := blk.H * scale
+		fill := "#3a3a5a"
+		tip := blk.Name
+		if values != nil {
+			frac := (values[i] - opts.Lo) / (opts.Hi - opts.Lo)
+			r, g, bb := Ramp(frac)
+			fill = fmt.Sprintf("#%02x%02x%02x", r, g, bb)
+			tip = fmt.Sprintf("%s: %.1f %s", blk.Name, values[i], opts.Unit)
+		}
+		fmt.Fprintf(&b,
+			`<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s" stroke="#101010" stroke-width="0.5"><title>%s</title></rect>`+"\n",
+			x, y, w, h, fill, escape(tip))
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// escape makes a string safe for SVG text content.
+func escape(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	s = strings.ReplaceAll(s, ">", "&gt;")
+	return s
+}

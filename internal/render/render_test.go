@@ -1,0 +1,145 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"cmppower/internal/floorplan"
+)
+
+func chip(t *testing.T) *floorplan.Floorplan {
+	t.Helper()
+	fp, err := floorplan.Chip(floorplan.DefaultChipConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp
+}
+
+func TestRampEndpoints(t *testing.T) {
+	r, g, b := Ramp(0)
+	if r != 0 || g != 0 || b != 255 {
+		t.Errorf("Ramp(0)=(%d,%d,%d), want blue", r, g, b)
+	}
+	r, g, b = Ramp(1)
+	if r != 255 || g != 0 || b != 0 {
+		t.Errorf("Ramp(1)=(%d,%d,%d), want red", r, g, b)
+	}
+	// Clamping.
+	r0, g0, b0 := Ramp(-5)
+	if r0 != 0 || g0 != 0 || b0 != 255 {
+		t.Error("Ramp should clamp below 0")
+	}
+	r1, g1, b1 := Ramp(7)
+	if r1 != 255 || g1 != 0 || b1 != 0 {
+		t.Error("Ramp should clamp above 1")
+	}
+	// NaN is neutral grey.
+	if r, g, b := Ramp(nan()); r != 128 || g != 128 || b != 128 {
+		t.Error("Ramp(NaN) should be grey")
+	}
+}
+
+func nan() float64 {
+	var z float64
+	return z / z
+}
+
+func TestRampMonotoneWarmth(t *testing.T) {
+	// "Warmth" (r - b) must be non-decreasing along the ramp.
+	prev := -512
+	for f := 0.0; f <= 1.0; f += 0.01 {
+		r, _, b := Ramp(f)
+		warmth := int(r) - int(b)
+		if warmth < prev {
+			t.Fatalf("ramp warmth regressed at %g", f)
+		}
+		prev = warmth
+	}
+}
+
+func TestFloorplanSVGStructure(t *testing.T) {
+	fp := chip(t)
+	values := make([]float64, len(fp.Blocks))
+	for i := range values {
+		values[i] = 45 + float64(i%50)
+	}
+	svg, err := FloorplanSVG(fp, values, DefaultOptions("test chip"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(svg, "<svg ") {
+		t.Error("missing svg root")
+	}
+	// One rect per block plus the background.
+	if got := strings.Count(svg, "<rect "); got != len(fp.Blocks)+1 {
+		t.Errorf("rect count %d, want %d", got, len(fp.Blocks)+1)
+	}
+	if !strings.Contains(svg, "test chip") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(svg, "core0.ialu") {
+		t.Error("missing block tooltip")
+	}
+	if !strings.Contains(svg, "</svg>") {
+		t.Error("unterminated svg")
+	}
+}
+
+func TestFloorplanSVGPlain(t *testing.T) {
+	svg, err := FloorplanSVG(chip(t), nil, DefaultOptions("outline"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "#3a3a5a") {
+		t.Error("plain drawing should use the outline fill")
+	}
+}
+
+func TestFloorplanSVGHotVsColdDiffer(t *testing.T) {
+	fp := chip(t)
+	cold := make([]float64, len(fp.Blocks))
+	hot := make([]float64, len(fp.Blocks))
+	for i := range cold {
+		cold[i] = 45
+		hot[i] = 100
+	}
+	s1, err := FloorplanSVG(fp, cold, DefaultOptions("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := FloorplanSVG(fp, hot, DefaultOptions("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 == s2 {
+		t.Error("hot and cold maps rendered identically")
+	}
+	if !strings.Contains(s1, "#0000ff") {
+		t.Error("cold map missing blue")
+	}
+	if !strings.Contains(s2, "#ff0000") {
+		t.Error("hot map missing red")
+	}
+}
+
+func TestFloorplanSVGValidation(t *testing.T) {
+	fp := chip(t)
+	if _, err := FloorplanSVG(nil, nil, DefaultOptions("x")); err == nil {
+		t.Error("accepted nil floorplan")
+	}
+	if _, err := FloorplanSVG(fp, []float64{1}, DefaultOptions("x")); err == nil {
+		t.Error("accepted mismatched values")
+	}
+	bad := DefaultOptions("x")
+	bad.Hi = bad.Lo
+	if _, err := FloorplanSVG(fp, nil, bad); err == nil {
+		t.Error("accepted degenerate ramp bounds")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if got := escape(`a<b & c>d`); got != "a&lt;b &amp; c&gt;d" {
+		t.Errorf("escape=%q", got)
+	}
+}

@@ -1,0 +1,177 @@
+// Package report renders experiment results as aligned text tables, CSV,
+// and ASCII charts. The cmd/cmppower tool uses it to print the rows and
+// series corresponding to every table and figure of the paper.
+package report
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Table is a titled grid of string cells.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends one row; the cell count must match the header.
+func (t *Table) AddRow(cells ...string) error {
+	if len(cells) != len(t.Columns) {
+		return fmt.Errorf("report: row has %d cells, table has %d columns", len(cells), len(t.Columns))
+	}
+	t.rows = append(t.rows, cells)
+	return nil
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) error {
+	if len(t.Columns) == 0 {
+		return errors.New("report: table has no columns")
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := len(widths) - 1
+	for _, wd := range widths {
+		total += wd + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV renders the table as RFC-4180-ish CSV (quoting cells that need
+// it) with the header as the first record.
+func (t *Table) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	writeRec := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(cell, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRec(t.Columns)
+	for _, row := range t.rows {
+		writeRec(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// F formats a float with the given number of decimals.
+func F(x float64, prec int) string {
+	return strconv.FormatFloat(x, 'f', prec, 64)
+}
+
+// G formats a float compactly.
+func G(x float64) string {
+	return strconv.FormatFloat(x, 'g', 4, 64)
+}
+
+// I formats an integer.
+func I(n int) string { return strconv.Itoa(n) }
+
+// MHz formats a frequency in MHz.
+func MHz(hz float64) string {
+	return strconv.FormatFloat(hz/1e6, 'f', 0, 64)
+}
+
+// AsciiChart plots y(x) as a width×height ASCII chart with axis labels,
+// for quick visual comparison against the paper's figures.
+func AsciiChart(title string, x, y []float64, width, height int) (string, error) {
+	if len(x) != len(y) || len(x) < 2 {
+		return "", fmt.Errorf("report: chart needs matched series of >= 2 points, got %d/%d", len(x), len(y))
+	}
+	if width < 16 || height < 4 {
+		return "", fmt.Errorf("report: chart size %dx%d too small", width, height)
+	}
+	xmin, xmax := x[0], x[0]
+	ymin, ymax := y[0], y[0]
+	for i := range x {
+		xmin = math.Min(xmin, x[i])
+		xmax = math.Max(xmax, x[i])
+		ymin = math.Min(ymin, y[i])
+		ymax = math.Max(ymax, y[i])
+	}
+	if xmax == xmin {
+		return "", errors.New("report: degenerate x range")
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for i := range x {
+		c := int(math.Round((x[i] - xmin) / (xmax - xmin) * float64(width-1)))
+		r := int(math.Round((y[i] - ymin) / (ymax - ymin) * float64(height-1)))
+		row := height - 1 - r
+		grid[row][c] = '*'
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for r, line := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%7.2f ", ymax)
+		case height - 1:
+			label = fmt.Sprintf("%7.2f ", ymin)
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "        +%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "        %-10.3g%*s\n", xmin, width-2, fmt.Sprintf("%.3g", xmax))
+	return b.String(), nil
+}

@@ -1,0 +1,114 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableText(t *testing.T) {
+	tb := NewTable("Demo", "App", "N", "Power")
+	if err := tb.AddRow("FMM", "8", "0.34"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AddRow("Radix", "16", "0.22"); err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows=%d", tb.NumRows())
+	}
+	var b strings.Builder
+	if err := tb.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Demo", "App", "Power", "FMM", "Radix", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns align: header "App" padded to width of "Radix".
+	lines := strings.Split(out, "\n")
+	if !strings.HasPrefix(lines[1], "App  ") {
+		t.Errorf("unexpected header line %q", lines[1])
+	}
+}
+
+func TestTableArityChecked(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	if err := tb.AddRow("only-one"); err == nil {
+		t.Error("accepted wrong arity")
+	}
+}
+
+func TestEmptyTableText(t *testing.T) {
+	tb := &Table{}
+	var b strings.Builder
+	if err := tb.WriteText(&b); err == nil {
+		t.Error("accepted table without columns")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "name", "value")
+	if err := tb.AddRow(`with,comma`, `with "quote"`); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := "name,value\n\"with,comma\",\"with \"\"quote\"\"\"\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.23456, 2) != "1.23" {
+		t.Errorf("F=%s", F(1.23456, 2))
+	}
+	if I(42) != "42" {
+		t.Errorf("I=%s", I(42))
+	}
+	if MHz(3.2e9) != "3200" {
+		t.Errorf("MHz=%s", MHz(3.2e9))
+	}
+	if G(0.25) == "" {
+		t.Error("G empty")
+	}
+}
+
+func TestAsciiChart(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{1, 2, 4, 3, 1}
+	s, err := AsciiChart("speedup", x, y, 40, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "speedup") || !strings.Contains(s, "*") {
+		t.Errorf("chart missing content:\n%s", s)
+	}
+	if strings.Count(s, "\n") < 9 {
+		t.Errorf("chart too short:\n%s", s)
+	}
+}
+
+func TestAsciiChartValidation(t *testing.T) {
+	if _, err := AsciiChart("", []float64{1}, []float64{1}, 40, 8); err == nil {
+		t.Error("accepted single point")
+	}
+	if _, err := AsciiChart("", []float64{1, 2}, []float64{1}, 40, 8); err == nil {
+		t.Error("accepted mismatched series")
+	}
+	if _, err := AsciiChart("", []float64{1, 2}, []float64{1, 2}, 5, 2); err == nil {
+		t.Error("accepted tiny size")
+	}
+	if _, err := AsciiChart("", []float64{2, 2}, []float64{1, 2}, 40, 8); err == nil {
+		t.Error("accepted degenerate x range")
+	}
+	// Flat y is fine (range widened internally).
+	if _, err := AsciiChart("", []float64{1, 2}, []float64{3, 3}, 40, 8); err != nil {
+		t.Errorf("flat series rejected: %v", err)
+	}
+}

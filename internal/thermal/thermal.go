@@ -1,0 +1,395 @@
+// Package thermal implements a HotSpot-style lumped-RC thermal model of a
+// chip floorplan.
+//
+// Every floorplan block becomes one thermal node. Nodes couple laterally to
+// abutting blocks through the silicon, vertically through the package to a
+// shared heat-sink node, and the sink couples to ambient by a convection
+// resistance. The paper uses HotSpot [38] both to drive its analytical
+// plots (die temperature feeds back into static power) and to renormalize
+// the experimental power model so that the maximum-power point sits at
+// 100 °C; this package plays the same two roles here.
+package thermal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"cmppower/internal/floorplan"
+	"cmppower/internal/phys"
+)
+
+// Params are the physical constants of the RC network.
+type Params struct {
+	// KSi is the thermal conductivity of silicon, W/(m·K).
+	KSi float64
+	// DieThickness is the silicon thickness, m.
+	DieThickness float64
+	// RVerticalSpecific is the specific junction-to-sink resistance through
+	// TIM and spreader, K·m²/W; a block's vertical conductance is
+	// area / RVerticalSpecific.
+	RVerticalSpecific float64
+	// RConvection is the sink-to-ambient convection resistance, K/W.
+	RConvection float64
+	// AmbientC is the in-box ambient temperature, °C.
+	AmbientC float64
+	// VolHeatCapacity is the volumetric heat capacity of silicon,
+	// J/(m³·K), used by the transient solver.
+	VolHeatCapacity float64
+	// SinkHeatCapacity is the lumped sink capacity, J/K.
+	SinkHeatCapacity float64
+}
+
+// DefaultParams returns package constants representative of a 2005-class
+// air-cooled desktop part with the paper's 45 °C in-box ambient.
+func DefaultParams() Params {
+	return Params{
+		KSi:               100,
+		DieThickness:      0.5e-3,
+		RVerticalSpecific: 4e-5,
+		RConvection:       0.25,
+		AmbientC:          phys.AmbientTempC,
+		VolHeatCapacity:   1.75e6,
+		SinkHeatCapacity:  140,
+	}
+}
+
+// Model is an immutable thermal network for one floorplan.
+type Model struct {
+	fp     *floorplan.Floorplan
+	params Params
+	// gLat[i] lists lateral conductances aligned with neighbors[i].
+	neighbors [][]int
+	gLat      [][]float64
+	gVert     []float64 // block -> sink
+	gSum      []float64 // Σ lateral + vertical, per block
+	capBlock  []float64 // J/K per block
+}
+
+// NewModel builds the RC network for fp.
+func NewModel(fp *floorplan.Floorplan, p Params) (*Model, error) {
+	if fp == nil || len(fp.Blocks) == 0 {
+		return nil, errors.New("thermal: empty floorplan")
+	}
+	if p.KSi <= 0 || p.DieThickness <= 0 || p.RVerticalSpecific <= 0 ||
+		p.RConvection <= 0 || p.VolHeatCapacity <= 0 || p.SinkHeatCapacity <= 0 {
+		return nil, fmt.Errorf("thermal: non-positive parameter in %+v", p)
+	}
+	adj := fp.BuildAdjacency()
+	n := len(fp.Blocks)
+	m := &Model{
+		fp:        fp,
+		params:    p,
+		neighbors: adj.Neighbor,
+		gLat:      make([][]float64, n),
+		gVert:     make([]float64, n),
+		gSum:      make([]float64, n),
+		capBlock:  make([]float64, n),
+	}
+	cent := func(b floorplan.Block) (float64, float64) {
+		return b.X + b.W/2, b.Y + b.H/2
+	}
+	for i, b := range fp.Blocks {
+		m.gVert[i] = b.Area() / p.RVerticalSpecific
+		m.capBlock[i] = b.Area() * p.DieThickness * p.VolHeatCapacity
+		m.gLat[i] = make([]float64, len(adj.Neighbor[i]))
+		xi, yi := cent(b)
+		for k, j := range adj.Neighbor[i] {
+			xj, yj := cent(fp.Blocks[j])
+			dist := math.Hypot(xi-xj, yi-yj)
+			if dist <= 0 {
+				dist = 1e-6
+			}
+			// Cross-section = shared edge × die thickness.
+			m.gLat[i][k] = p.KSi * adj.Edge[i][k] * p.DieThickness / dist
+		}
+	}
+	for i := range fp.Blocks {
+		s := m.gVert[i]
+		for _, g := range m.gLat[i] {
+			s += g
+		}
+		m.gSum[i] = s
+	}
+	return m, nil
+}
+
+// Floorplan returns the floorplan the model was built from.
+func (m *Model) Floorplan() *floorplan.Floorplan { return m.fp }
+
+// Params returns the network constants.
+func (m *Model) Params() Params { return m.params }
+
+// NumNodes returns the number of block nodes (excluding the sink).
+func (m *Model) NumNodes() int { return len(m.fp.Blocks) }
+
+// SteadyState solves the network for the given per-block power (watts) and
+// returns per-block temperatures in °C. Power length must match the
+// floorplan block count.
+func (m *Model) SteadyState(powerW []float64) ([]float64, error) {
+	n := m.NumNodes()
+	if len(powerW) != n {
+		return nil, fmt.Errorf("thermal: power vector length %d, want %d", len(powerW), n)
+	}
+	var totalP float64
+	for _, p := range powerW {
+		if p < 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+			return nil, fmt.Errorf("thermal: invalid block power %g", p)
+		}
+		totalP += p
+	}
+	amb := m.params.AmbientC
+	// Temperatures relative to ambient, Gauss-Seidel over the blocks. In
+	// steady state every watt leaves through the sink, so the sink
+	// temperature is known exactly: tSink = totalP · RConvection.
+	t := make([]float64, n)
+	tSink := totalP * m.params.RConvection
+	for iter := 0; iter < 20000; iter++ {
+		var maxDelta float64
+		for i := 0; i < n; i++ {
+			acc := powerW[i] + m.gVert[i]*tSink
+			for k, j := range m.neighbors[i] {
+				acc += m.gLat[i][k] * t[j]
+			}
+			nt := acc / m.gSum[i]
+			if d := math.Abs(nt - t[i]); d > maxDelta {
+				maxDelta = d
+			}
+			t[i] = nt
+		}
+		if maxDelta < 1e-9 {
+			break
+		}
+	}
+	out := make([]float64, n)
+	for i := range t {
+		out[i] = amb + t[i]
+	}
+	return out, nil
+}
+
+// TransientState carries the full thermal state between TransientStep
+// calls: per-block temperatures and the heat-sink temperature, in °C. The
+// sink's time constant (seconds) is far longer than the die's
+// (milliseconds), so chained stepping must preserve it.
+type TransientState struct {
+	Block []float64
+	SinkC float64
+}
+
+// NewTransientState returns a state with every node at the ambient
+// temperature.
+func (m *Model) NewTransientState() *TransientState {
+	st := &TransientState{
+		Block: make([]float64, m.NumNodes()),
+		SinkC: m.params.AmbientC,
+	}
+	for i := range st.Block {
+		st.Block[i] = m.params.AmbientC
+	}
+	return st
+}
+
+// Transient advances the network from initial block temperatures t0 (°C)
+// under constant power for the given duration using explicit Euler with
+// internally chosen stable sub-steps. It returns final block temperatures.
+// The heat sink starts at ambient; for chained interval stepping use
+// TransientStep, which carries the sink state.
+func (m *Model) Transient(t0, powerW []float64, duration float64) ([]float64, error) {
+	n := m.NumNodes()
+	if len(t0) != n {
+		return nil, fmt.Errorf("thermal: t0 length %d, want %d", len(t0), n)
+	}
+	st := m.NewTransientState()
+	copy(st.Block, t0)
+	if err := m.TransientStep(st, powerW, duration); err != nil {
+		return nil, err
+	}
+	return st.Block, nil
+}
+
+// TransientStep advances st in place under constant power for the given
+// duration.
+func (m *Model) TransientStep(st *TransientState, powerW []float64, duration float64) error {
+	n := m.NumNodes()
+	if len(st.Block) != n || len(powerW) != n {
+		return fmt.Errorf("thermal: vector lengths state=%d power=%d, want %d", len(st.Block), len(powerW), n)
+	}
+	if duration < 0 {
+		return errors.New("thermal: negative duration")
+	}
+	amb := m.params.AmbientC
+	t := make([]float64, n)
+	for i := range t {
+		t[i] = st.Block[i] - amb
+	}
+	// Stable step: dt < min(C/Gsum)/2.
+	dt := math.Inf(1)
+	for i := 0; i < n; i++ {
+		if s := m.capBlock[i] / m.gSum[i]; s < dt {
+			dt = s
+		}
+	}
+	gConv := 1 / m.params.RConvection
+	var gVertSum float64
+	for _, g := range m.gVert {
+		gVertSum += g
+	}
+	if s := m.params.SinkHeatCapacity / (gVertSum + gConv); s < dt {
+		dt = s
+	}
+	dt *= 0.4
+	if dt <= 0 || math.IsInf(dt, 0) {
+		return errors.New("thermal: cannot choose stable step")
+	}
+	tSink := st.SinkC - amb
+	next := make([]float64, n)
+	for elapsed := 0.0; elapsed < duration; elapsed += dt {
+		step := math.Min(dt, duration-elapsed)
+		var intoSink float64
+		for i := 0; i < n; i++ {
+			flux := powerW[i] + m.gVert[i]*(tSink-t[i])
+			for k, j := range m.neighbors[i] {
+				flux += m.gLat[i][k] * (t[j] - t[i])
+			}
+			next[i] = t[i] + step*flux/m.capBlock[i]
+			intoSink += m.gVert[i] * (t[i] - tSink)
+		}
+		tSink += step * (intoSink - gConv*tSink) / m.params.SinkHeatCapacity
+		copy(t, next)
+	}
+	for i := range t {
+		st.Block[i] = amb + t[i]
+	}
+	st.SinkC = amb + tSink
+	return nil
+}
+
+// Peak returns the maximum of temps.
+func Peak(temps []float64) float64 {
+	p := math.Inf(-1)
+	for _, t := range temps {
+		if t > p {
+			p = t
+		}
+	}
+	return p
+}
+
+// AvgWeighted returns the area-weighted average temperature over the blocks
+// selected by include (all blocks when include is nil). The paper reports
+// chip average temperature excluding the L2 (paper §3.3); pass a filter for
+// that.
+func (m *Model) AvgWeighted(temps []float64, include func(floorplan.Block) bool) float64 {
+	var sum, area float64
+	for i, b := range m.fp.Blocks {
+		if include != nil && !include(b) {
+			continue
+		}
+		sum += temps[i] * b.Area()
+		area += b.Area()
+	}
+	if area == 0 {
+		return m.params.AmbientC
+	}
+	return sum / area
+}
+
+// ExcludeL2 is an AvgWeighted filter matching the paper's convention of
+// excluding the L2 (and the bus strip) from power-density and temperature
+// statistics.
+func ExcludeL2(b floorplan.Block) bool {
+	return b.Unit != floorplan.UnitL2 && b.Unit != floorplan.UnitBus
+}
+
+// ActiveCores is an AvgWeighted filter selecting blocks of cores < n,
+// for configurations where unused cores are shut down.
+func ActiveCores(n int) func(floorplan.Block) bool {
+	return func(b floorplan.Block) bool {
+		return b.Core >= 0 && b.Core < n
+	}
+}
+
+// SteadyStateCoupled solves the leakage↔temperature fixed point: dynPower
+// is the per-block dynamic power, and leak returns each block's static
+// power at a given temperature. Iterates steady-state solves until
+// temperatures move less than tol °C. Returns temperatures and the total
+// per-block power (dynamic+static) at the fixed point.
+func (m *Model) SteadyStateCoupled(dynPower []float64, leak func(block int, tempC float64) float64, tol float64) (temps, total []float64, err error) {
+	n := m.NumNodes()
+	if len(dynPower) != n {
+		return nil, nil, fmt.Errorf("thermal: dynPower length %d, want %d", len(dynPower), n)
+	}
+	if tol <= 0 {
+		tol = 0.01
+	}
+	temps = make([]float64, n)
+	for i := range temps {
+		temps[i] = m.params.AmbientC
+	}
+	total = make([]float64, n)
+	for iter := 0; iter < 100; iter++ {
+		for i := 0; i < n; i++ {
+			total[i] = dynPower[i] + leak(i, temps[i])
+		}
+		nt, serr := m.SteadyState(total)
+		if serr != nil {
+			return nil, nil, serr
+		}
+		var maxDelta float64
+		for i := range nt {
+			if d := math.Abs(nt[i] - temps[i]); d > maxDelta {
+				maxDelta = d
+			}
+		}
+		temps = nt
+		if maxDelta < tol {
+			return temps, total, nil
+		}
+	}
+	return nil, nil, errors.New("thermal: leakage fixed point did not converge (thermal runaway?)")
+}
+
+// PowerForPeak finds the scale s such that distributing s·shape watts over
+// the blocks yields the requested peak temperature; this implements the
+// paper's renormalization step ("maximum operational power ... yields the
+// maximum operating temperature of 100 °C", §3.3). shape need not be
+// normalized. Returns the scaled power vector and s.
+func (m *Model) PowerForPeak(shape []float64, peakC float64) ([]float64, float64, error) {
+	n := m.NumNodes()
+	if len(shape) != n {
+		return nil, 0, fmt.Errorf("thermal: shape length %d, want %d", len(shape), n)
+	}
+	var sum float64
+	for _, x := range shape {
+		if x < 0 {
+			return nil, 0, errors.New("thermal: negative shape entry")
+		}
+		sum += x
+	}
+	if sum == 0 {
+		return nil, 0, errors.New("thermal: zero shape")
+	}
+	if peakC <= m.params.AmbientC {
+		return nil, 0, fmt.Errorf("thermal: peak %g °C not above ambient %g °C", peakC, m.params.AmbientC)
+	}
+	// The network is linear: peak rise is proportional to scale.
+	probe := make([]float64, n)
+	for i := range shape {
+		probe[i] = shape[i] / sum // 1 W total
+	}
+	temps, err := m.SteadyState(probe)
+	if err != nil {
+		return nil, 0, err
+	}
+	risePerWatt := Peak(temps) - m.params.AmbientC
+	if risePerWatt <= 0 {
+		return nil, 0, errors.New("thermal: degenerate network (no rise)")
+	}
+	s := (peakC - m.params.AmbientC) / risePerWatt
+	out := make([]float64, n)
+	for i := range probe {
+		out[i] = probe[i] * s
+	}
+	return out, s, nil
+}

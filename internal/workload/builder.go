@@ -1,0 +1,109 @@
+package workload
+
+// Builder assembles programs fluently, managing barrier and lock ids so
+// hand-written studies cannot mismatch them:
+//
+//	prog, err := workload.Build("mykernel").
+//		SerialCompute(50000, 0.3).
+//		Sync().
+//		Repeat(4, func(b *workload.Builder) {
+//			b.Kernel(workload.Kernel{Accesses: 10000, ComputePerMem: 20,
+//				Region: workload.Region{Base: 0x10000, Size: 1 << 20,
+//					Scope: workload.Partition}, Divide: true})
+//			b.CriticalCompute(100, 0, "queue")
+//			b.Sync()
+//		}).
+//		Program()
+//
+// Every Sync() allocates a fresh barrier id; CriticalCompute reuses a
+// named lock slot. The resulting program is validated by Program().
+type Builder struct {
+	name        string
+	steps       []Step
+	nextBarrier *int // shared across nested builders
+	locks       map[string]int
+	nextLock    *int
+	err         error
+}
+
+// Build starts a program named name.
+func Build(name string) *Builder {
+	b0, l0 := 0, 0
+	return &Builder{
+		name:        name,
+		nextBarrier: &b0,
+		locks:       map[string]int{},
+		nextLock:    &l0,
+	}
+}
+
+// child creates a nested builder sharing id allocation with the parent.
+func (b *Builder) child() *Builder {
+	return &Builder{
+		name:        b.name,
+		nextBarrier: b.nextBarrier,
+		locks:       b.locks,
+		nextLock:    b.nextLock,
+	}
+}
+
+// Compute appends a divided compute burst of n instructions.
+func (b *Builder) Compute(n int, fpFrac float64) *Builder {
+	b.steps = append(b.steps, Compute{N: n, FPFrac: fpFrac, Divide: true})
+	return b
+}
+
+// SerialCompute appends a serial section of n instructions on thread 0.
+func (b *Builder) SerialCompute(n int, fpFrac float64) *Builder {
+	b.steps = append(b.steps, Serial{Body: []Step{Compute{N: n, FPFrac: fpFrac}}})
+	return b
+}
+
+// Kernel appends a memory kernel verbatim.
+func (b *Builder) Kernel(k Kernel) *Builder {
+	b.steps = append(b.steps, k)
+	return b
+}
+
+// Sync appends a barrier with a fresh id.
+func (b *Builder) Sync() *Builder {
+	b.steps = append(b.steps, Barrier{ID: *b.nextBarrier})
+	*b.nextBarrier++
+	return b
+}
+
+// CriticalCompute appends a critical section of n instructions guarded by
+// the named lock slot (the first use of a name allocates its id).
+func (b *Builder) CriticalCompute(n int, fpFrac float64, lockName string) *Builder {
+	id, ok := b.locks[lockName]
+	if !ok {
+		id = *b.nextLock
+		*b.nextLock++
+		b.locks[lockName] = id
+	}
+	b.steps = append(b.steps, Critical{Lock: id, Body: []Step{Compute{N: n, FPFrac: fpFrac}}})
+	return b
+}
+
+// Repeat appends a loop whose body is assembled by fn on a nested builder.
+func (b *Builder) Repeat(times int, fn func(*Builder)) *Builder {
+	nested := b.child()
+	fn(nested)
+	if nested.err != nil && b.err == nil {
+		b.err = nested.err
+	}
+	b.steps = append(b.steps, Loop{Times: times, Body: nested.steps})
+	return b
+}
+
+// Program finalizes and validates the program.
+func (b *Builder) Program() (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	p := &Program{Name: b.name, Steps: b.steps}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

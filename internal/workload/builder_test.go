@@ -1,0 +1,115 @@
+package workload
+
+import "testing"
+
+func TestBuilderAssemblesValidProgram(t *testing.T) {
+	prog, err := Build("built").
+		SerialCompute(5000, 0.3).
+		Sync().
+		Repeat(3, func(b *Builder) {
+			b.Kernel(Kernel{
+				Accesses: 200, ComputePerMem: 10,
+				Region: Region{Base: 0x10000, Size: 1 << 18, Scope: Partition},
+				Divide: true,
+			})
+			b.CriticalCompute(50, 0, "queue")
+			b.Sync()
+		}).
+		Compute(1000, 0).
+		Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Name != "built" {
+		t.Errorf("name=%q", prog.Name)
+	}
+	// One outer barrier plus one per loop body (ids are distinct even
+	// though the loop reuses its barrier across iterations).
+	if got := prog.MaxBarrierID(); got != 1 {
+		t.Errorf("MaxBarrierID=%d, want 1", got)
+	}
+	if got := prog.MaxLockID(); got != 0 {
+		t.Errorf("MaxLockID=%d, want 0", got)
+	}
+	counts, _, err := CountEvents(prog, 0, 4, 1, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Barrier events: 1 outer + 3 loop iterations.
+	if counts[EvBarrier] != 4 {
+		t.Errorf("barriers=%d, want 4", counts[EvBarrier])
+	}
+	if counts[EvLockAcq] != 3 {
+		t.Errorf("locks=%d, want 3", counts[EvLockAcq])
+	}
+}
+
+func TestBuilderLockSlotsReused(t *testing.T) {
+	prog, err := Build("locks").
+		CriticalCompute(10, 0, "a").
+		CriticalCompute(10, 0, "b").
+		CriticalCompute(10, 0, "a").
+		Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prog.MaxLockID(); got != 1 {
+		t.Errorf("MaxLockID=%d, want 1 (two named slots)", got)
+	}
+}
+
+func TestBuilderNestedSyncIDsUnique(t *testing.T) {
+	prog, err := Build("nested").
+		Sync().
+		Repeat(2, func(b *Builder) {
+			b.Sync()
+			b.Repeat(2, func(b2 *Builder) { b2.Sync() })
+		}).
+		Sync().
+		Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prog.MaxBarrierID(); got != 3 {
+		t.Errorf("MaxBarrierID=%d, want 3 (four distinct syncs)", got)
+	}
+}
+
+func TestBuilderRejectsInvalid(t *testing.T) {
+	_, err := Build("bad").
+		Kernel(Kernel{Accesses: -1, Region: Region{Size: 8}}).
+		Program()
+	if err == nil {
+		t.Error("accepted negative accesses")
+	}
+	if _, err := Build("").Compute(1, 0).Program(); err == nil {
+		t.Error("accepted empty name")
+	}
+}
+
+func TestBuilderProgramRunsEndToEnd(t *testing.T) {
+	prog, err := Build("e2e").
+		Compute(400, 0.5).
+		Sync().
+		Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStream(prog, 1, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawBarrier := false
+	for i := 0; i < 100; i++ {
+		ev := s.Next()
+		if ev.Kind == EvBarrier {
+			sawBarrier = true
+		}
+		if ev.Kind == EvDone {
+			break
+		}
+	}
+	if !sawBarrier {
+		t.Error("built program never synchronized")
+	}
+}

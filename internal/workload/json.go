@@ -1,0 +1,198 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON encoding of programs. Steps are polymorphic, so each step is
+// wrapped in an envelope with a "type" discriminator:
+//
+//	{"name": "my-kernel", "steps": [
+//	  {"type": "serial", "body": [{"type": "compute", "n": 1000}]},
+//	  {"type": "barrier", "id": 0},
+//	  {"type": "kernel", "accesses": 4096, "computePerMem": 10,
+//	   "region": {"base": 65536, "size": 1048576, "scope": "partition"},
+//	   "divide": true}
+//	]}
+//
+// This lets studies define custom workloads in configuration files and
+// feed them to the simulator via cmd/cmppower or the public API.
+
+type jsonProgram struct {
+	Name  string     `json:"name"`
+	Steps []jsonStep `json:"steps"`
+}
+
+type jsonStep struct {
+	Type string `json:"type"`
+	// Compute / Kernel.
+	N             int     `json:"n,omitempty"`
+	FPFrac        float64 `json:"fpFrac,omitempty"`
+	BranchFrac    float64 `json:"branchFrac,omitempty"`
+	Divide        bool    `json:"divide,omitempty"`
+	Accesses      int     `json:"accesses,omitempty"`
+	ComputePerMem float64 `json:"computePerMem,omitempty"`
+	WriteFrac     float64 `json:"writeFrac,omitempty"`
+	StrideBytes   int     `json:"strideBytes,omitempty"`
+	HotFrac       float64 `json:"hotFrac,omitempty"`
+	HotBytes      uint64  `json:"hotBytes,omitempty"`
+	Jitter        float64 `json:"jitter,omitempty"`
+	Region        *struct {
+		Base  uint64 `json:"base"`
+		Size  uint64 `json:"size"`
+		Scope string `json:"scope"`
+	} `json:"region,omitempty"`
+	// Barrier / Critical.
+	ID   int        `json:"id,omitempty"`
+	Lock int        `json:"lock,omitempty"`
+	Body []jsonStep `json:"body,omitempty"`
+	// Loop.
+	Times int `json:"times,omitempty"`
+}
+
+func scopeName(s Scope) string {
+	switch s {
+	case Partition:
+		return "partition"
+	case PerThread:
+		return "perThread"
+	default:
+		return "shared"
+	}
+}
+
+func scopeFromName(s string) (Scope, error) {
+	switch s {
+	case "shared", "":
+		return Shared, nil
+	case "partition":
+		return Partition, nil
+	case "perThread":
+		return PerThread, nil
+	}
+	return Shared, fmt.Errorf("workload: unknown region scope %q", s)
+}
+
+func encodeSteps(steps []Step) ([]jsonStep, error) {
+	var out []jsonStep
+	for _, s := range steps {
+		switch s := s.(type) {
+		case Compute:
+			out = append(out, jsonStep{Type: "compute", N: s.N, FPFrac: s.FPFrac,
+				BranchFrac: s.BranchFrac, Divide: s.Divide})
+		case Kernel:
+			js := jsonStep{Type: "kernel", Accesses: s.Accesses,
+				ComputePerMem: s.ComputePerMem, FPFrac: s.FPFrac,
+				BranchFrac: s.BranchFrac, WriteFrac: s.WriteFrac,
+				StrideBytes: s.StrideBytes, HotFrac: s.HotFrac,
+				HotBytes: s.HotBytes, Jitter: s.Jitter, Divide: s.Divide}
+			js.Region = &struct {
+				Base  uint64 `json:"base"`
+				Size  uint64 `json:"size"`
+				Scope string `json:"scope"`
+			}{Base: s.Region.Base, Size: s.Region.Size, Scope: scopeName(s.Region.Scope)}
+			out = append(out, js)
+		case Barrier:
+			out = append(out, jsonStep{Type: "barrier", ID: s.ID})
+		case Critical:
+			body, err := encodeSteps(s.Body)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, jsonStep{Type: "critical", Lock: s.Lock, Body: body})
+		case Loop:
+			body, err := encodeSteps(s.Body)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, jsonStep{Type: "loop", Times: s.Times, Body: body})
+		case Serial:
+			body, err := encodeSteps(s.Body)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, jsonStep{Type: "serial", Body: body})
+		default:
+			return nil, fmt.Errorf("workload: cannot encode step type %T", s)
+		}
+	}
+	return out, nil
+}
+
+func decodeSteps(in []jsonStep) ([]Step, error) {
+	var out []Step
+	for _, js := range in {
+		switch js.Type {
+		case "compute":
+			out = append(out, Compute{N: js.N, FPFrac: js.FPFrac,
+				BranchFrac: js.BranchFrac, Divide: js.Divide})
+		case "kernel":
+			k := Kernel{Accesses: js.Accesses, ComputePerMem: js.ComputePerMem,
+				FPFrac: js.FPFrac, BranchFrac: js.BranchFrac,
+				WriteFrac: js.WriteFrac, StrideBytes: js.StrideBytes,
+				HotFrac: js.HotFrac, HotBytes: js.HotBytes,
+				Jitter: js.Jitter, Divide: js.Divide}
+			if js.Region == nil {
+				return nil, fmt.Errorf("workload: kernel step missing region")
+			}
+			scope, err := scopeFromName(js.Region.Scope)
+			if err != nil {
+				return nil, err
+			}
+			k.Region = Region{Base: js.Region.Base, Size: js.Region.Size, Scope: scope}
+			out = append(out, k)
+		case "barrier":
+			out = append(out, Barrier{ID: js.ID})
+		case "critical":
+			body, err := decodeSteps(js.Body)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Critical{Lock: js.Lock, Body: body})
+		case "loop":
+			body, err := decodeSteps(js.Body)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Loop{Times: js.Times, Body: body})
+		case "serial":
+			body, err := decodeSteps(js.Body)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Serial{Body: body})
+		default:
+			return nil, fmt.Errorf("workload: unknown step type %q", js.Type)
+		}
+	}
+	return out, nil
+}
+
+// MarshalJSON implements json.Marshaler.
+func (p *Program) MarshalJSON() ([]byte, error) {
+	steps, err := encodeSteps(p.Steps)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(jsonProgram{Name: p.Name, Steps: steps})
+}
+
+// UnmarshalJSON implements json.Unmarshaler. The decoded program is
+// validated before being installed.
+func (p *Program) UnmarshalJSON(data []byte) error {
+	var jp jsonProgram
+	if err := json.Unmarshal(data, &jp); err != nil {
+		return err
+	}
+	steps, err := decodeSteps(jp.Steps)
+	if err != nil {
+		return err
+	}
+	np := Program{Name: jp.Name, Steps: steps}
+	if err := np.Validate(); err != nil {
+		return err
+	}
+	*p = np
+	return nil
+}

@@ -1,0 +1,179 @@
+package workload
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := validProgram()
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var got Program
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got.Name != orig.Name {
+		t.Errorf("name %q != %q", got.Name, orig.Name)
+	}
+	// Behavioral equivalence: identical event streams for several threads.
+	for tid := 0; tid < 3; tid++ {
+		s1, err := NewStream(orig, tid, 3, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := NewStream(&got, tid, 3, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 1<<18; i++ {
+			a, b := s1.Next(), s2.Next()
+			if a != b {
+				t.Fatalf("tid %d event %d differs: %+v vs %+v", tid, i, a, b)
+			}
+			if a.Kind == EvDone {
+				break
+			}
+		}
+	}
+}
+
+func TestJSONDecodesHandWritten(t *testing.T) {
+	src := `{
+	  "name": "custom",
+	  "steps": [
+	    {"type": "serial", "body": [{"type": "compute", "n": 500, "fpFrac": 0.25}]},
+	    {"type": "barrier", "id": 0},
+	    {"type": "loop", "times": 2, "body": [
+	      {"type": "kernel", "accesses": 256, "computePerMem": 8,
+	       "writeFrac": 0.3, "hotFrac": 0.8, "divide": true,
+	       "region": {"base": 65536, "size": 1048576, "scope": "partition"}},
+	      {"type": "critical", "lock": 1, "body": [{"type": "compute", "n": 32}]},
+	      {"type": "barrier", "id": 1}
+	    ]}
+	  ]
+	}`
+	var p Program
+	if err := json.Unmarshal([]byte(src), &p); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if p.Name != "custom" || len(p.Steps) != 3 {
+		t.Fatalf("decoded %+v", p)
+	}
+	if p.MaxBarrierID() != 1 || p.MaxLockID() != 1 {
+		t.Errorf("ids: barrier %d lock %d", p.MaxBarrierID(), p.MaxLockID())
+	}
+	counts, _, err := CountEvents(&p, 0, 4, 1, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[EvBarrier] != 3 {
+		t.Errorf("barriers=%d, want 3", counts[EvBarrier])
+	}
+}
+
+func TestJSONRejectsBadInput(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"bad json", `{`},
+		{"unknown step", `{"name":"x","steps":[{"type":"warp"}]}`},
+		{"kernel without region", `{"name":"x","steps":[{"type":"kernel","accesses":1}]}`},
+		{"bad scope", `{"name":"x","steps":[{"type":"kernel","accesses":1,"region":{"base":0,"size":8,"scope":"galactic"}}]}`},
+		{"invalid program", `{"name":"","steps":[{"type":"compute","n":5}]}`},
+		{"negative loop", `{"name":"x","steps":[{"type":"loop","times":-2,"body":[]}]}`},
+		{"bad nested", `{"name":"x","steps":[{"type":"serial","body":[{"type":"mystery"}]}]}`},
+	}
+	for _, c := range cases {
+		var p Program
+		if err := json.Unmarshal([]byte(c.src), &p); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestJSONScopeNames(t *testing.T) {
+	for _, scope := range []Scope{Shared, Partition, PerThread} {
+		name := scopeName(scope)
+		back, err := scopeFromName(name)
+		if err != nil || back != scope {
+			t.Errorf("scope %d round trip via %q failed", scope, name)
+		}
+	}
+	if _, err := scopeFromName("nope"); err == nil {
+		t.Error("accepted unknown scope name")
+	}
+	// Empty scope defaults to shared for terse hand-written JSON.
+	if s, err := scopeFromName(""); err != nil || s != Shared {
+		t.Error("empty scope should default to shared")
+	}
+}
+
+func TestJSONOutputReadable(t *testing.T) {
+	p := validProgram()
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"type": "serial"`, `"type": "kernel"`, `"scope": "partition"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("encoded JSON missing %s:\n%s", want, data)
+		}
+	}
+}
+
+func TestProfileThread(t *testing.T) {
+	p := validProgram()
+	prof, err := ProfileThread(p, 0, 4, 9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Instructions <= 0 || prof.Events <= 0 {
+		t.Fatalf("empty profile %+v", prof)
+	}
+	if prof.Barriers != 3 {
+		t.Errorf("barriers=%d, want 3", prof.Barriers)
+	}
+	if prof.LockAcquires != 2 {
+		t.Errorf("locks=%d, want 2", prof.LockAcquires)
+	}
+	if prof.Loads+prof.Stores == 0 {
+		t.Error("no memory accesses")
+	}
+	if r := prof.MemRatio(); r <= 0 || r >= 1 {
+		t.Errorf("MemRatio=%g", r)
+	}
+	if r := prof.WriteRatio(); r <= 0 || r >= 1 {
+		t.Errorf("WriteRatio=%g", r)
+	}
+	if prof.String() == "" {
+		t.Error("empty String")
+	}
+	// Thread 1 skips the serial section: fewer instructions.
+	prof1, err := ProfileThread(p, 1, 4, 9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof1.Instructions >= prof.Instructions {
+		t.Errorf("thread 1 instructions %d >= thread 0 %d", prof1.Instructions, prof.Instructions)
+	}
+}
+
+func TestProfileThreadLimit(t *testing.T) {
+	p := validProgram()
+	if _, err := ProfileThread(p, 0, 1, 1, 5); err == nil {
+		t.Error("limit not enforced")
+	}
+	bad := &Program{}
+	if _, err := ProfileThread(bad, 0, 1, 1, 0); err == nil {
+		t.Error("invalid program accepted")
+	}
+}
+
+func TestProfileRatiosEmpty(t *testing.T) {
+	var p Profile
+	if p.MemRatio() != 0 || p.FPRatio() != 0 || p.WriteRatio() != 0 {
+		t.Error("zero profile ratios should be 0")
+	}
+}

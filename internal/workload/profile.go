@@ -1,0 +1,87 @@
+package workload
+
+import "fmt"
+
+// Profile summarizes what one thread of a program instance executes:
+// instruction mix, memory behavior, and synchronization counts. It is a
+// static characterization tool (paper Table 2 territory) — drain-based, so
+// it reflects the exact event stream the simulator would consume.
+type Profile struct {
+	Thread        int
+	Threads       int
+	Instructions  int64
+	ComputeInstrs int64
+	FPInstrs      int64
+	BranchInstrs  int64
+	Loads         int64
+	Stores        int64
+	Barriers      int64
+	LockAcquires  int64
+	Events        int64
+}
+
+// MemRatio returns memory accesses per instruction.
+func (p Profile) MemRatio() float64 {
+	if p.Instructions == 0 {
+		return 0
+	}
+	return float64(p.Loads+p.Stores) / float64(p.Instructions)
+}
+
+// FPRatio returns floating-point instructions per instruction.
+func (p Profile) FPRatio() float64 {
+	if p.Instructions == 0 {
+		return 0
+	}
+	return float64(p.FPInstrs) / float64(p.Instructions)
+}
+
+// WriteRatio returns stores per memory access.
+func (p Profile) WriteRatio() float64 {
+	if p.Loads+p.Stores == 0 {
+		return 0
+	}
+	return float64(p.Stores) / float64(p.Loads+p.Stores)
+}
+
+// String implements fmt.Stringer.
+func (p Profile) String() string {
+	return fmt.Sprintf("thread %d/%d: %d instr (%.0f%% mem, %.0f%% fp), %d barriers, %d locks",
+		p.Thread, p.Threads, p.Instructions, 100*p.MemRatio(), 100*p.FPRatio(),
+		p.Barriers, p.LockAcquires)
+}
+
+// ProfileThread drains thread tid of n and returns its profile. The limit
+// bounds the drain as a runaway guard (0 selects a generous default).
+func ProfileThread(p *Program, tid, n int, seed uint64, limit int) (Profile, error) {
+	if limit <= 0 {
+		limit = 1 << 26
+	}
+	s, err := NewStream(p, tid, n, seed)
+	if err != nil {
+		return Profile{}, err
+	}
+	prof := Profile{Thread: tid, Threads: n}
+	for i := 0; i < limit; i++ {
+		ev := s.Next()
+		prof.Events++
+		prof.Instructions += ev.Instructions()
+		switch ev.Kind {
+		case EvCompute:
+			prof.ComputeInstrs += int64(ev.N)
+			prof.FPInstrs += int64(ev.FP)
+			prof.BranchInstrs += int64(ev.Branches)
+		case EvLoad:
+			prof.Loads++
+		case EvStore:
+			prof.Stores++
+		case EvBarrier:
+			prof.Barriers++
+		case EvLockAcq:
+			prof.LockAcquires++
+		case EvDone:
+			return prof, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("workload: profile of %q did not finish within %d events", p.Name, limit)
+}

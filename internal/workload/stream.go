@@ -1,0 +1,251 @@
+package workload
+
+import "fmt"
+
+// Stream lazily produces one thread's events for a program instance.
+// Create it with NewStream; call Next until EvDone.
+type Stream struct {
+	tid, n int
+	rng    *RNG
+	stack  []frame
+	leaf   leafEmitter
+	done   bool
+}
+
+// frame is one interpreter activation record.
+type frame struct {
+	steps    []Step
+	idx      int
+	times    int    // remaining loop iterations including the current one
+	epilogue *Event // emitted when the frame pops (Critical release)
+}
+
+// leafEmitter produces the events of one in-progress leaf step.
+type leafEmitter interface {
+	next(s *Stream) (Event, bool)
+}
+
+// NewStream instantiates the program for thread tid of n. The seed
+// determines all randomness; streams with equal (program, tid, n, seed)
+// are identical.
+func NewStream(p *Program, tid, n int, seed uint64) (*Stream, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 1 || tid < 0 || tid >= n {
+		return nil, fmt.Errorf("workload: thread %d of %d invalid", tid, n)
+	}
+	s := &Stream{
+		tid: tid,
+		n:   n,
+		// Mix the thread id into the seed so threads diverge.
+		rng: NewRNG(seed ^ (uint64(tid)+1)*0xA24BAED4963EE407),
+	}
+	s.stack = append(s.stack, frame{steps: p.Steps, times: 1})
+	return s, nil
+}
+
+// Thread returns (tid, nThreads).
+func (s *Stream) Thread() (int, int) { return s.tid, s.n }
+
+// Next returns the next event. After the program ends it keeps returning
+// EvDone.
+func (s *Stream) Next() Event {
+	for {
+		if s.leaf != nil {
+			if ev, ok := s.leaf.next(s); ok {
+				return ev
+			}
+			s.leaf = nil
+		}
+		if len(s.stack) == 0 {
+			s.done = true
+			return Event{Kind: EvDone}
+		}
+		top := &s.stack[len(s.stack)-1]
+		if top.idx >= len(top.steps) {
+			if top.times > 1 {
+				top.times--
+				top.idx = 0
+				continue
+			}
+			ep := top.epilogue
+			s.stack = s.stack[:len(s.stack)-1]
+			if ep != nil {
+				return *ep
+			}
+			continue
+		}
+		st := top.steps[top.idx]
+		top.idx++
+		switch st := st.(type) {
+		case Barrier:
+			return Event{Kind: EvBarrier, ID: st.ID}
+		case Compute:
+			n := st.N
+			if st.Divide {
+				n = divideWork(n, s.n)
+			}
+			if n <= 0 {
+				continue
+			}
+			return Event{
+				Kind:     EvCompute,
+				N:        n,
+				FP:       int(float64(n) * st.FPFrac),
+				Branches: int(float64(n) * st.BranchFrac),
+			}
+		case Kernel:
+			e := newKernelEmitter(st, s)
+			if e != nil {
+				s.leaf = e
+			}
+		case Critical:
+			s.stack = append(s.stack, frame{
+				steps:    st.Body,
+				times:    1,
+				epilogue: &Event{Kind: EvLockRel, ID: st.Lock},
+			})
+			return Event{Kind: EvLockAcq, ID: st.Lock}
+		case Loop:
+			if st.Times > 0 {
+				s.stack = append(s.stack, frame{steps: st.Body, times: st.Times})
+			}
+		case Serial:
+			if s.tid == 0 {
+				s.stack = append(s.stack, frame{steps: st.Body, times: 1})
+			}
+		}
+	}
+}
+
+// Done reports whether the stream has delivered EvDone.
+func (s *Stream) Done() bool { return s.done }
+
+// divideWork splits total units across n threads, giving every thread at
+// least one unit when total is positive.
+func divideWork(total, n int) int {
+	per := total / n
+	if per == 0 && total > 0 {
+		per = 1
+	}
+	return per
+}
+
+// kernelEmitter interleaves compute bursts with memory accesses.
+type kernelEmitter struct {
+	k         Kernel
+	remaining int
+	base      uint64
+	size      uint64
+	cursor    uint64
+	hotBase   uint64
+	hotBytes  uint64
+	// pendingAccess is set when the compute burst before an access has
+	// been emitted and the access itself is due.
+	pendingAccess bool
+}
+
+func newKernelEmitter(k Kernel, s *Stream) *kernelEmitter {
+	count := k.Accesses
+	if k.Divide {
+		count = divideWork(count, s.n)
+	}
+	if k.Jitter > 0 {
+		// Deterministic per-thread imbalance in [1-Jitter, 1+Jitter).
+		f := 1 + k.Jitter*(2*s.rng.Float64()-1)
+		count = int(float64(count) * f)
+	}
+	if count <= 0 {
+		return nil
+	}
+	base, size := k.Region.window(s.tid, s.n)
+	e := &kernelEmitter{k: k, remaining: count, base: base, size: size}
+	if k.HotFrac > 0 {
+		e.hotBytes = k.HotBytes
+		if e.hotBytes == 0 {
+			e.hotBytes = 16 << 10
+		}
+		if e.hotBytes > size {
+			e.hotBytes = size
+		}
+		// Each thread's hot window sits at its own offset so threads do
+		// not fight over one set of lines even in Shared regions (a tree
+		// walk mostly touches the thread's own subtree). Offsets wrap when
+		// the region cannot fit every thread's window disjointly.
+		span := size - e.hotBytes + 8
+		e.hotBase = base + (uint64(s.tid)*e.hotBytes)%span
+		e.hotBase &^= 7
+	}
+	if k.StrideBytes > 0 {
+		// Start each thread at a stable per-thread offset: re-executions of
+		// the same kernel (timestep loops) rescan the same strip, which is
+		// what gives iterative codes their inter-timestep cache reuse — the
+		// aggregate-L1-capacity effect depends on it.
+		e.cursor = (uint64(s.tid) * 0x9E3779B9) % size
+		e.cursor &^= 7
+	}
+	return e
+}
+
+func (e *kernelEmitter) next(s *Stream) (Event, bool) {
+	if e.remaining <= 0 {
+		return Event{}, false
+	}
+	if !e.pendingAccess && e.k.ComputePerMem > 0 {
+		// Burst length jitters ±50% around the mean for irregularity.
+		n := int(e.k.ComputePerMem * (0.5 + s.rng.Float64()))
+		e.pendingAccess = true
+		if n > 0 {
+			return Event{
+				Kind:     EvCompute,
+				N:        n,
+				FP:       int(float64(n) * e.k.FPFrac),
+				Branches: int(float64(n) * e.k.BranchFrac),
+			}, true
+		}
+	}
+	e.pendingAccess = false
+	e.remaining--
+	var addr uint64
+	switch {
+	case e.hotBytes > 0 && s.rng.Float64() < e.k.HotFrac:
+		// Temporal-locality hit in the per-thread hot window.
+		addr = e.hotBase + uint64(s.rng.Intn(int(e.hotBytes/8)))*8
+	case e.k.StrideBytes > 0:
+		addr = e.base + e.cursor
+		e.cursor = (e.cursor + uint64(e.k.StrideBytes)) % e.size
+	default:
+		slots := e.size / 8
+		if slots == 0 {
+			slots = 1
+		}
+		addr = e.base + uint64(s.rng.Intn(int(slots)))*8
+	}
+	kind := EvLoad
+	if s.rng.Float64() < e.k.WriteFrac {
+		kind = EvStore
+	}
+	return Event{Kind: kind, Addr: addr}, true
+}
+
+// CountEvents drains a fresh stream and returns per-kind event counts and
+// the total instruction count. Intended for tests and workload validation,
+// not the simulation hot path.
+func CountEvents(p *Program, tid, n int, seed uint64, limit int) (map[EventKind]int, int64, error) {
+	s, err := NewStream(p, tid, n, seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	counts := make(map[EventKind]int)
+	var instr int64
+	for i := 0; i < limit; i++ {
+		ev := s.Next()
+		counts[ev.Kind]++
+		instr += ev.Instructions()
+		if ev.Kind == EvDone {
+			return counts, instr, nil
+		}
+	}
+	return nil, 0, fmt.Errorf("workload: program %q did not finish within %d events", p.Name, limit)
+}
