@@ -1,0 +1,24 @@
+# Developer entry points. `make check` is the tier-1+ gate recorded in
+# ROADMAP.md: vet, build, and the full test suite under the race detector.
+
+GO ?= go
+
+.PHONY: check build test vet race doctor
+
+check:
+	./scripts/check.sh
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+doctor: build
+	$(GO) run ./cmd/cmppower doctor

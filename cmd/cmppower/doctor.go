@@ -1,10 +1,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"time"
 
 	"cmppower"
 	"cmppower/internal/cache"
@@ -14,9 +17,21 @@ import (
 	"cmppower/internal/workload"
 )
 
+// Doctor exit codes. The resilience section uses distinct codes so CI can
+// tell which safety net tore without parsing output; the baseline checks
+// share code 1 as before.
+const (
+	exitDoctorBaseline    = 1 // any baseline model/simulator check failed
+	exitDoctorFaultInject = 2 // fault-injector round-trip broken
+	exitDoctorDTM         = 3 // DTM failed to contain a thermal emergency
+	exitDoctorCancel      = 4 // context cancellation did not stop a run
+)
+
 // runDoctor runs the repository's end-to-end self-checks: determinism,
-// coherence fuzzing, calibration, and analytic sanity. It exits non-zero
-// on the first failure, making it suitable for CI smoke checks.
+// coherence fuzzing, calibration, analytic sanity, and the resilience
+// layer (fault injection, DTM, cancellation). It exits non-zero on
+// failure — baseline failures exit 1, resilience failures exit with that
+// check's distinct code — making it suitable for CI smoke checks.
 func runDoctor(args []string) error {
 	fs := flag.NewFlagSet("doctor", flag.ExitOnError)
 	if err := fs.Parse(args); err != nil {
@@ -25,24 +40,169 @@ func runDoctor(args []string) error {
 	checks := []struct {
 		name string
 		fn   func() error
+		code int
 	}{
-		{"simulator determinism", checkDeterminism},
-		{"MESI coherence under fuzz", checkCoherence},
-		{"power calibration at the design point", checkCalibration},
-		{"analytic Scenario II shape", checkAnalyticShape},
-		{"memory-gap effect present", checkMemoryGap},
+		{"simulator determinism", checkDeterminism, exitDoctorBaseline},
+		{"MESI coherence under fuzz", checkCoherence, exitDoctorBaseline},
+		{"power calibration at the design point", checkCalibration, exitDoctorBaseline},
+		{"analytic Scenario II shape", checkAnalyticShape, exitDoctorBaseline},
+		{"memory-gap effect present", checkMemoryGap, exitDoctorBaseline},
+		{"fault injector round-trip", checkFaultInjector, exitDoctorFaultInject},
+		{"DTM contains thermal emergency", checkDTMTrip, exitDoctorDTM},
+		{"context cancel stops a sweep", checkContextCancel, exitDoctorCancel},
 	}
-	failed := 0
+	exit := 0
 	for _, c := range checks {
 		if err := c.fn(); err != nil {
 			fmt.Printf("FAIL %-42s %v\n", c.name, err)
-			failed++
+			if exit == 0 || exit == exitDoctorBaseline {
+				// The first distinct resilience code wins over the shared
+				// baseline code.
+				if c.code != exitDoctorBaseline || exit == 0 {
+					exit = c.code
+				}
+			}
 		} else {
 			fmt.Printf("ok   %s\n", c.name)
 		}
 	}
-	if failed > 0 {
-		os.Exit(1)
+	if exit != 0 {
+		os.Exit(exit)
+	}
+	return nil
+}
+
+// checkFaultInjector round-trips the injector: the same seed must yield a
+// byte-identical fault schedule, a different seed must not, and a
+// zero-rate injector must not perturb a simulation.
+func checkFaultInjector() error {
+	mk := func(seed uint64) (*cmppower.FaultInjector, error) {
+		return cmppower.NewFaultInjector(cmppower.FaultConfig{
+			Seed: seed, SensorNoiseSigmaC: 2, DVFSFailProb: 0.3, CacheTransientProb: 0.01,
+		})
+	}
+	exercise := func(inj *cmppower.FaultInjector) {
+		for i := 0; i < 256; i++ {
+			inj.ReadSensor(i%16, 70)
+			inj.DVFSTransitionFails()
+			inj.CacheRetryCycles(i%16, uint64(i)*64)
+		}
+	}
+	a, err := mk(101)
+	if err != nil {
+		return err
+	}
+	b, err := mk(101)
+	if err != nil {
+		return err
+	}
+	c, err := mk(102)
+	if err != nil {
+		return err
+	}
+	exercise(a)
+	exercise(b)
+	exercise(c)
+	if a.Digest() != b.Digest() {
+		return fmt.Errorf("same seed produced different fault schedules")
+	}
+	if a.Digest() == c.Digest() {
+		return fmt.Errorf("different seeds produced identical fault schedules")
+	}
+	// Zero-rate injector: fault-free results bit for bit.
+	rigPlain, err := experiment.NewRig(0.1)
+	if err != nil {
+		return err
+	}
+	rigWired, err := experiment.NewRig(0.1)
+	if err != nil {
+		return err
+	}
+	if rigWired.Faults, err = cmppower.NewFaultInjector(cmppower.FaultConfig{Seed: 7}); err != nil {
+		return err
+	}
+	app, err := cmppower.AppByName("FFT")
+	if err != nil {
+		return err
+	}
+	m1, err := rigPlain.RunApp(app, 2, rigPlain.Table.Nominal())
+	if err != nil {
+		return err
+	}
+	m2, err := rigWired.RunApp(app, 2, rigWired.Table.Nominal())
+	if err != nil {
+		return err
+	}
+	if *m1 != *m2 {
+		return fmt.Errorf("zero-rate injector perturbed a run: %+v vs %+v", m1, m2)
+	}
+	return nil
+}
+
+// checkDTMTrip overclocks the chip 30% past its calibrated envelope and
+// verifies the DTM controller trips and keeps the sensed die temperature
+// at or under the 100 °C limit.
+func checkDTMTrip() error {
+	rig, err := experiment.NewRig(0.15)
+	if err != nil {
+		return err
+	}
+	if rig.Table, err = rig.Table.WithOverclock(1.3); err != nil {
+		return err
+	}
+	dtm := cmppower.DefaultDTMConfig()
+	rig.DTM = &dtm
+	app, err := cmppower.AppByName("LU")
+	if err != nil {
+		return err
+	}
+	m, err := rig.RunApp(app, 2, rig.Table.Nominal())
+	if err != nil {
+		return err
+	}
+	st := m.DTM
+	if st == nil {
+		return fmt.Errorf("no DTM stats attached")
+	}
+	if st.Emergencies == 0 {
+		return fmt.Errorf("overclocked stress run tripped no emergencies")
+	}
+	if st.PeakReadingC > cmppower.MaxDieTempC {
+		return fmt.Errorf("DTM let the die reach %.1f °C > %.0f °C limit", st.PeakReadingC, float64(cmppower.MaxDieTempC))
+	}
+	if st.ThrottleResidency <= 0 || st.PerfLossFrac <= 0 {
+		return fmt.Errorf("throttling left no metric trace: %+v", st)
+	}
+	return nil
+}
+
+// checkContextCancel verifies a cancelled context aborts a sweep promptly
+// with the cancellation surfaced.
+func checkContextCancel() error {
+	rig, err := experiment.NewRig(0.15)
+	if err != nil {
+		return err
+	}
+	app, err := cmppower.AppByName("Ocean")
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err = rig.RunAppCtx(ctx, app, 4, rig.Table.Nominal())
+	if !errors.Is(err, context.Canceled) {
+		return fmt.Errorf("cancelled run returned %v, want context.Canceled in the chain", err)
+	}
+	var re *cmppower.RunError
+	if !errors.As(err, &re) {
+		return fmt.Errorf("cancellation not wrapped in *RunError: %v", err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		return fmt.Errorf("cancellation took %v", el)
+	}
+	if _, err := rig.ScenarioICtx(ctx, app, []int{1, 2}); !errors.Is(err, context.Canceled) {
+		return fmt.Errorf("cancelled scenario returned %v", err)
 	}
 	return nil
 }

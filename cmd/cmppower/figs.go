@@ -168,6 +168,10 @@ func runFig3(args []string) error {
 	scale := fs.Float64("scale", 1.0, "workload scale factor")
 	seed := fs.Uint64("seed", 1, "workload seed")
 	csv := fs.Bool("csv", false, "emit CSV")
+	faultSpec := fs.String("faults", "", "fault-injection spec, e.g. sensor-noise=2,dvfs-fail=0.1 (see README)")
+	timeout := fs.Duration("timeout", 0, "abort the whole sweep after this duration (0 = none)")
+	dtm := fs.Bool("dtm", false, "run the DTM controller on every run and report its summary")
+	retries := fs.Int("retries", 3, "attempts per app for injected-transient failures")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -180,21 +184,30 @@ func runFig3(args []string) error {
 		return err
 	}
 	rig.Seed = *seed
+	if err := applyResilienceFlags(rig, *faultSpec, *seed, *dtm); err != nil {
+		return err
+	}
+	ctx, cancel := runContext(*timeout)
+	defer cancel()
+	rc := cmppower.DefaultRetryConfig()
+	rc.Attempts = *retries
+	outcomes, sweepErr := rig.SweepScenarioI(ctx, apps, []int{1, 2, 4, 8, 16}, rc)
 	t := report.NewTable(
 		"Figure 3: Scenario I on the 16-way CMP (performance target = 1 core at nominal V/f)",
 		"app", "N", "nominal-eff", "actual-speedup", "norm-power", "norm-density", "avg-temp(C)", "f(MHz)", "V")
-	for _, app := range apps {
-		res, err := rig.ScenarioI(app, []int{1, 2, 4, 8, 16})
-		if err != nil {
-			return err
+	for _, o := range outcomes {
+		if o.Err != nil {
+			fmt.Fprintf(os.Stderr, "fig3: %s failed after %d attempt(s): %v\n", o.App, o.Attempts, o.Err)
+			continue
 		}
-		if err := t.AddRow(app.Name, "1", "1.000", "1.00", "1.00", "1.00",
+		res := o.I
+		if err := t.AddRow(o.App, "1", "1.000", "1.00", "1.00", "1.00",
 			report.F(res.Baseline.AvgCoreTempC, 1),
 			report.MHz(res.Baseline.Point.Freq), report.F(res.Baseline.Point.Volt, 3)); err != nil {
 			return err
 		}
 		for _, row := range res.Rows {
-			if err := t.AddRow(app.Name, report.I(row.N),
+			if err := t.AddRow(o.App, report.I(row.N),
 				report.F(row.NominalEff, 3), report.F(row.ActualSpeedup, 2),
 				report.F(row.NormPower, 3), report.F(row.NormDensity, 3),
 				report.F(row.AvgTempC, 1),
@@ -203,7 +216,15 @@ func runFig3(args []string) error {
 			}
 		}
 	}
-	return emit(t, *csv)
+	if err := emit(t, *csv); err != nil {
+		return err
+	}
+	for _, o := range outcomes {
+		if o.Err == nil {
+			printDTMSummary(o.App, o.I.DTM)
+		}
+	}
+	return sweepErr
 }
 
 // runFig4 regenerates paper Figure 4: nominal vs actual speedup under the
@@ -215,6 +236,10 @@ func runFig4(args []string) error {
 	seed := fs.Uint64("seed", 1, "workload seed")
 	csv := fs.Bool("csv", false, "emit CSV")
 	chart := fs.Bool("chart", false, "render ASCII charts")
+	faultSpec := fs.String("faults", "", "fault-injection spec, e.g. sensor-noise=2,dvfs-fail=0.1 (see README)")
+	timeout := fs.Duration("timeout", 0, "abort the whole sweep after this duration (0 = none)")
+	dtm := fs.Bool("dtm", false, "run the DTM controller on every run and report its summary")
+	retries := fs.Int("retries", 3, "attempts per app for injected-transient failures")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -227,18 +252,27 @@ func runFig4(args []string) error {
 		return err
 	}
 	rig.Seed = *seed
+	if err := applyResilienceFlags(rig, *faultSpec, *seed, *dtm); err != nil {
+		return err
+	}
+	ctx, cancel := runContext(*timeout)
+	defer cancel()
+	rc := cmppower.DefaultRetryConfig()
+	rc.Attempts = *retries
 	counts := []int{1, 2, 4, 8, 16}
+	outcomes, sweepErr := rig.SweepScenarioII(ctx, apps, counts, rc)
 	t := report.NewTable(
 		fmt.Sprintf("Figure 4: speedup under the 1-core power budget (%.1f W)", rig.BudgetW()),
 		"app", "N", "nominal", "actual", "f(MHz)", "power(W)", "at-nominal")
-	for _, app := range apps {
-		res, err := rig.ScenarioII(app, counts)
-		if err != nil {
-			return err
+	for _, o := range outcomes {
+		if o.Err != nil {
+			fmt.Fprintf(os.Stderr, "fig4: %s failed after %d attempt(s): %v\n", o.App, o.Attempts, o.Err)
+			continue
 		}
+		res := o.II
 		var xs, nom, act []float64
 		for _, row := range res.Rows {
-			if err := t.AddRow(app.Name, report.I(row.N),
+			if err := t.AddRow(o.App, report.I(row.N),
 				report.F(row.NominalSpeedup, 2), report.F(row.ActualSpeedup, 2),
 				report.MHz(row.Point.Freq), report.F(row.PowerW, 2),
 				fmt.Sprint(row.AtNominal)); err != nil {
@@ -249,17 +283,25 @@ func runFig4(args []string) error {
 			act = append(act, row.ActualSpeedup)
 		}
 		if *chart && len(xs) >= 2 {
-			s, err := report.AsciiChart(app.Name+" nominal speedup", xs, nom, 48, 8)
+			s, err := report.AsciiChart(o.App+" nominal speedup", xs, nom, 48, 8)
 			if err != nil {
 				return err
 			}
 			fmt.Println(s)
-			s, err = report.AsciiChart(app.Name+" actual speedup (budgeted)", xs, act, 48, 8)
+			s, err = report.AsciiChart(o.App+" actual speedup (budgeted)", xs, act, 48, 8)
 			if err != nil {
 				return err
 			}
 			fmt.Println(s)
 		}
 	}
-	return emit(t, *csv)
+	if err := emit(t, *csv); err != nil {
+		return err
+	}
+	for _, o := range outcomes {
+		if o.Err == nil {
+			printDTMSummary(o.App, o.II.DTM)
+		}
+	}
+	return sweepErr
 }

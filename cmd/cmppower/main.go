@@ -5,8 +5,8 @@
 //
 //	cmppower fig1   [-tech 65|130|both] [-csv] [-points N]
 //	cmppower fig2   [-tech 65|130|both] [-csv] [-chart]
-//	cmppower fig3   [-apps list] [-scale S] [-csv]
-//	cmppower fig4   [-apps list] [-scale S] [-csv] [-chart]
+//	cmppower fig3   [-apps list] [-scale S] [-csv] [-faults SPEC] [-timeout D] [-dtm] [-retries N]
+//	cmppower fig4   [-apps list] [-scale S] [-csv] [-chart] [-faults SPEC] [-timeout D] [-dtm] [-retries N]
 //	cmppower table1
 //	cmppower table2
 //	cmppower sweep  [-app NAME] [-scale S]          (raw N×frequency sweep)
@@ -119,7 +119,9 @@ Commands:
   pareto   Analytical speedup/power Pareto frontier
   svg      Thermal-map SVG of one run
   all      Regenerate every artifact into a directory
-  doctor   End-to-end self-checks (determinism, coherence, calibration)
+  doctor   End-to-end self-checks (determinism, coherence, calibration,
+           fault injection, DTM, cancellation; distinct exit codes per
+           resilience failure: 2=injector, 3=DTM, 4=cancellation)
   cachesweep  L1 capacity sensitivity across core counts
 
 Run 'cmppower <command> -h' for flags.

@@ -36,6 +36,7 @@ import (
 	"cmppower/internal/core"
 	"cmppower/internal/dvfs"
 	"cmppower/internal/experiment"
+	"cmppower/internal/faults"
 	"cmppower/internal/phys"
 	"cmppower/internal/splash"
 	"cmppower/internal/workload"
@@ -182,6 +183,55 @@ type OverclockStudy = experiment.OverclockStudy
 
 // OverclockRow is one overclocked configuration of an OverclockStudy.
 type OverclockRow = experiment.OverclockRow
+
+// FaultConfig parameterizes deterministic fault injection: stuck/noisy
+// thermal sensors, DVFS transition failures, transient ECC-style cache
+// errors and run-level failures, all driven by one seed.
+type FaultConfig = faults.Config
+
+// FaultInjector is a seeded deterministic fault source. Attach one to an
+// Experiment's Faults field; a nil injector (or one with every rate at
+// zero) reproduces fault-free results bit for bit.
+type FaultInjector = faults.Injector
+
+// FaultEvent is one entry of an injector's fault schedule.
+type FaultEvent = faults.Event
+
+// NewFaultInjector validates cfg and builds an injector.
+func NewFaultInjector(cfg FaultConfig) (*FaultInjector, error) {
+	return faults.New(cfg)
+}
+
+// IsTransientFault reports whether err (or anything it wraps) is an
+// injected transient failure worth retrying.
+func IsTransientFault(err error) bool { return faults.IsTransient(err) }
+
+// RunError is the typed failure of one simulated run, carrying the run's
+// provenance (app, core count, operating point, seed, failing step).
+type RunError = experiment.RunError
+
+// RetryConfig bounds the sweep runner's retry-with-backoff loop for
+// injected-transient failures.
+type RetryConfig = experiment.RetryConfig
+
+// DefaultRetryConfig returns the standard 3-attempt exponential backoff.
+func DefaultRetryConfig() RetryConfig { return experiment.DefaultRetryConfig() }
+
+// SweepOutcome is one application's result (or typed failure) in a
+// fault-isolated sweep (Experiment.SweepScenarioI/II).
+type SweepOutcome = experiment.SweepOutcome
+
+// DTMConfig parameterizes the dynamic thermal-management controller.
+type DTMConfig = experiment.DTMConfig
+
+// DefaultDTMConfig returns the standard DTM controller parameters.
+func DefaultDTMConfig() DTMConfig { return experiment.DefaultDTMConfig() }
+
+// DTMStats are one run's thermal-management metrics.
+type DTMStats = experiment.DTMStats
+
+// DTMSummary aggregates DTMStats over every run of a scenario.
+type DTMSummary = experiment.DTMSummary
 
 // SimConfig configures one raw simulator run.
 type SimConfig = cmp.Config

@@ -21,6 +21,20 @@ type Config struct {
 	// path. Helps streaming access patterns; consumes bus and memory
 	// bandwidth.
 	PrefetchNextLine bool
+	// Fault, when non-nil, injects transient ECC-style errors: the hook is
+	// consulted once per data access and a non-zero return is the retry
+	// penalty in cycles charged to that access (the data is corrected, so
+	// no state changes — only time and the ECCRetries counters).
+	Fault FaultHook
+}
+
+// FaultHook injects transient, ECC-correctable errors into the hierarchy.
+// Implementations must be deterministic for reproducible runs; see
+// internal/faults for the canonical injector.
+type FaultHook interface {
+	// CacheRetryCycles returns the retry penalty (cycles) for one access
+	// by core to lineAddr, or 0 for a fault-free access.
+	CacheRetryCycles(core int, lineAddr uint64) float64
 }
 
 // DefaultConfig returns the paper's Table 1 hierarchy for n cores at
@@ -74,6 +88,10 @@ type Stats struct {
 	WBToL2    int64 // L1 dirty writebacks
 	WBToMem   int64 // L2 dirty writebacks
 	Prefetch  int64 // next-line prefetches issued
+	// ECCRetries counts injected transient errors that were corrected by a
+	// retry; ECCRetryCycles is their total latency cost.
+	ECCRetries     int64
+	ECCRetryCycles float64
 }
 
 // Hierarchy is the shared-memory system of one chip at one operating point.
@@ -147,6 +165,15 @@ func (h *Hierarchy) Access(core int, addr uint64, write bool, now float64) float
 	l1 := h.l1d[core]
 	la := l1.LineAddr(addr)
 	h.st.L1DAccess[core]++
+	if h.cfg.Fault != nil {
+		// Transient ECC error: the access is retried after correction, so
+		// the whole transaction starts late by the retry penalty.
+		if pen := h.cfg.Fault.CacheRetryCycles(core, la); pen > 0 {
+			h.st.ECCRetries++
+			h.st.ECCRetryCycles += pen
+			now += pen
+		}
+	}
 
 	if st := l1.Lookup(la); st != Invalid {
 		// Tagged prefetching: the first demand hit on a prefetched line

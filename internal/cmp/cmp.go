@@ -10,6 +10,7 @@
 package cmp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -72,6 +73,13 @@ type Config struct {
 	// wait cycles are recorded as sleep and charged at the meter's
 	// SleepResidual instead of the clock-gate residual.
 	ThriftyBarriers bool
+	// Ctx, when non-nil, is polled once per engine event: a cancelled or
+	// expired context aborts the run within one simulation step, returning
+	// the context's error. Nil contexts cost nothing.
+	Ctx context.Context
+	// CacheFault forwards a transient-error hook into the cache hierarchy
+	// (see cache.FaultHook and internal/faults). Nil injects nothing.
+	CacheFault cache.FaultHook
 }
 
 // DefaultConfig returns a run configuration for n active cores on the
@@ -305,6 +313,7 @@ func runEngine(cfg Config, sources []eventSource, nBarriers, nLocks, barrierQuor
 	if cfg.PrefetchNextLine {
 		ccfg.PrefetchNextLine = true
 	}
+	ccfg.Fault = cfg.CacheFault
 	if cfg.Core.L1HitCycles != ccfg.L1HitCycles {
 		return nil, fmt.Errorf("cmp: core L1 hit (%g) and hierarchy L1 hit (%g) disagree",
 			cfg.Core.L1HitCycles, ccfg.L1HitCycles)
@@ -382,7 +391,18 @@ func runEngine(cfg Config, sources []eventSource, nBarriers, nLocks, barrierQuor
 		lastMark = watermark
 		return nil
 	}
+	var cancel <-chan struct{}
+	if cfg.Ctx != nil {
+		cancel = cfg.Ctx.Done()
+	}
 	for doneCount < cfg.NCores {
+		if cancel != nil {
+			select {
+			case <-cancel:
+				return nil, fmt.Errorf("cmp: run cancelled after %d events: %w", events, cfg.Ctx.Err())
+			default:
+			}
+		}
 		// Pick the runnable core with the smallest clock (ties: lowest id).
 		pick := -1
 		for i := 0; i < cfg.NCores; i++ {

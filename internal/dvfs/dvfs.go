@@ -179,6 +179,26 @@ func NewSetting(t *Table) *Setting {
 // Set moves the chip to operating point p.
 func (s *Setting) Set(p OperatingPoint) { s.Point = p }
 
+// TransitionFault decides whether a requested DVFS transition fails to
+// latch (fault injection); nil means transitions always succeed. See
+// internal/faults for the canonical implementation.
+type TransitionFault interface {
+	DVFSTransitionFails() bool
+}
+
+// Request attempts to move the chip to operating point p. With a fault
+// source attached the transition may fail, leaving the previous point in
+// effect — callers (e.g. a DTM controller) are expected to retry at their
+// next decision interval. It returns the point in effect and whether the
+// transition latched.
+func (s *Setting) Request(p OperatingPoint, tf TransitionFault) (OperatingPoint, bool) {
+	if tf != nil && tf.DVFSTransitionFails() {
+		return s.Point, false
+	}
+	s.Point = p
+	return p, true
+}
+
 // CycleTime returns the duration of one chip cycle in seconds.
 func (s *Setting) CycleTime() float64 { return 1 / s.Point.Freq }
 

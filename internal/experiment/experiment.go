@@ -7,11 +7,14 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 
 	"cmppower/internal/cmp"
 	"cmppower/internal/dvfs"
+	"cmppower/internal/faults"
 	"cmppower/internal/floorplan"
 	"cmppower/internal/phys"
 	"cmppower/internal/power"
@@ -43,6 +46,17 @@ type Rig struct {
 	// ladder steps instead of interpolating between them (the paper
 	// interpolates, §4.2); enables measuring the quantization loss.
 	QuantizeLadder bool
+	// Faults, when non-nil, injects deterministic faults into every run:
+	// stuck/noisy thermal sensors and DVFS failures feed the DTM
+	// controller, transient ECC errors feed the cache hierarchy, and
+	// run-level failures feed the sweep runner's retry logic. A nil
+	// injector reproduces fault-free results bit for bit.
+	Faults *faults.Injector
+	// DTM, when non-nil, enables the dynamic thermal-management controller:
+	// every RunApp additionally replays the run's activity through the
+	// transient thermal network under the controller and attaches the
+	// resulting DTMStats to the Measurement.
+	DTM *DTMConfig
 }
 
 // NewRig builds and calibrates the default 16-core 65 nm apparatus.
@@ -116,35 +130,87 @@ type Measurement struct {
 	CoreDensity  float64 // W/m² over active core area, L2 excluded
 	BusUtil      float64
 	MemUtil      float64
+	// ECCRetries counts injected transient cache errors corrected during
+	// the run (0 without fault injection).
+	ECCRetries int64
+	// DTM holds the thermal-management controller's metrics when the rig
+	// runs with a DTMConfig attached; nil otherwise.
+	DTM *DTMStats
 }
 
 // RunApp simulates app on n cores at operating point p and evaluates
 // power and temperature.
 func (r *Rig) RunApp(app splash.App, n int, p dvfs.OperatingPoint) (*Measurement, error) {
-	if !app.RunsOn(n) {
-		return nil, fmt.Errorf("experiment: %s does not run on %d cores", app.Name, n)
-	}
+	return r.RunAppCtx(context.Background(), app, n, p)
+}
+
+// runConfig assembles the simulator configuration for one run, threading
+// the rig's fault injector and the caller's context into the engine.
+func (r *Rig) runConfig(ctx context.Context, app splash.App, n int, p dvfs.OperatingPoint) cmp.Config {
 	cfg := cmp.DefaultConfig(n, p)
 	cfg.TotalCores = r.TotalCores
 	cfg.Core = app.CoreConfig()
 	cfg.Seed = r.Seed
 	cfg.ScaleMemoryWithChip = r.ScaleMemoryWithChip
 	cfg.PrefetchNextLine = r.Prefetch
+	// Background().Done() is nil, so the engine's poll stays free for
+	// uncancellable runs.
+	cfg.Ctx = ctx
+	if r.Faults != nil {
+		cfg.CacheFault = r.Faults
+	}
+	return cfg
+}
+
+// RunAppCtx is RunApp under a context: cancellation aborts the simulation
+// within one engine step. Failures downstream of argument validation are
+// returned as *RunError values carrying the run's provenance.
+func (r *Rig) RunAppCtx(ctx context.Context, app splash.App, n int, p dvfs.OperatingPoint) (m *Measurement, err error) {
+	if !app.RunsOn(n) {
+		return nil, fmt.Errorf("experiment: %s does not run on %d cores", app.Name, n)
+	}
+	fail := func(step string, err error) error {
+		return &RunError{App: app.Name, N: n, Point: p, Seed: r.Seed, Step: step, Err: err}
+	}
+	// A panic anywhere downstream becomes a typed error with the run's
+	// provenance instead of unwinding the caller's sweep.
+	defer func() {
+		if v := recover(); v != nil {
+			m, err = nil, fail("panic", &PanicError{Value: v, Stack: debug.Stack()})
+		}
+	}()
+	if r.Faults != nil {
+		// Run-level injected failures surface before the simulation: a
+		// transient one is retryable (see RetryConfig), a hard one is not.
+		if err := r.Faults.RunOutcome(app.Name, n); err != nil {
+			return nil, fail("inject", err)
+		}
+	}
+	cfg := r.runConfig(ctx, app, n, p)
 	res, err := cmp.Run(app.Program(r.Scale), cfg)
 	if err != nil {
-		return nil, fmt.Errorf("experiment: %s on %d cores: %w", app.Name, n, err)
+		return nil, fail("simulate", err)
 	}
 	pw, err := r.Meter.Evaluate(r.FP, r.TM, res.Activity, res.Seconds, int64(res.Cycles)+1, p, n)
 	if err != nil {
-		return nil, err
+		return nil, fail("evaluate", err)
 	}
-	return &Measurement{
+	m = &Measurement{
 		App: app.Name, N: n, Point: p,
 		Seconds: res.Seconds, Cycles: res.Cycles, Instructions: res.Instructions,
 		IPC: res.IPC(), PowerW: pw.TotalW, DynW: pw.DynW, StaticW: pw.StaticW,
 		AvgCoreTempC: pw.AvgCoreTemp, PeakTempC: pw.PeakTempC, CoreDensity: pw.CoreDensity,
 		BusUtil: res.BusUtilization, MemUtil: res.MemUtilization,
-	}, nil
+		ECCRetries: res.CacheStats.ECCRetries,
+	}
+	if r.DTM != nil {
+		st, err := r.runDTM(ctx, app, n, p, res.Cycles)
+		if err != nil {
+			return nil, fail("dtm", err)
+		}
+		m.DTM = st
+	}
+	return m, nil
 }
 
 // ScenarioIRow is one configuration of the Fig. 3 experiment.
@@ -173,6 +239,9 @@ type ScenarioIResult struct {
 	App      string
 	Baseline *Measurement // single core at nominal V/f
 	Rows     []ScenarioIRow
+	// DTM aggregates the thermal-management metrics over every run of the
+	// scenario when the rig has a DTMConfig attached; nil otherwise.
+	DTM *DTMSummary
 }
 
 // ScenarioI reproduces the paper's §4.1 experiment for one application:
@@ -180,10 +249,16 @@ type ScenarioIResult struct {
 // configuration's target frequency from Eq. 7, re-simulate at the scaled
 // operating point, and report the five Fig. 3 panels.
 func (r *Rig) ScenarioI(app splash.App, coreCounts []int) (*ScenarioIResult, error) {
+	return r.ScenarioICtx(context.Background(), app, coreCounts)
+}
+
+// ScenarioICtx is ScenarioI under a context: cancellation aborts the
+// in-flight simulation within one engine step and stops the scenario.
+func (r *Rig) ScenarioICtx(ctx context.Context, app splash.App, coreCounts []int) (*ScenarioIResult, error) {
 	if len(coreCounts) == 0 {
 		return nil, errors.New("experiment: no core counts")
 	}
-	base, err := r.RunApp(app, 1, r.Table.Nominal())
+	base, err := r.RunAppCtx(ctx, app, 1, r.Table.Nominal())
 	if err != nil {
 		return nil, err
 	}
@@ -192,7 +267,7 @@ func (r *Rig) ScenarioI(app splash.App, coreCounts []int) (*ScenarioIResult, err
 		if n == 1 || !app.RunsOn(n) {
 			continue
 		}
-		prof, err := r.RunApp(app, n, r.Table.Nominal())
+		prof, err := r.RunAppCtx(ctx, app, n, r.Table.Nominal())
 		if err != nil {
 			return nil, err
 		}
@@ -200,7 +275,7 @@ func (r *Rig) ScenarioI(app splash.App, coreCounts []int) (*ScenarioIResult, err
 		// Eq. 7: f_N = f_1 / (N · ε_n).
 		target := r.Table.Nominal().Freq / (float64(n) * eff)
 		point := r.pointFor(target)
-		scaled, err := r.RunApp(app, n, point)
+		scaled, err := r.RunAppCtx(ctx, app, n, point)
 		if err != nil {
 			return nil, err
 		}
@@ -217,6 +292,13 @@ func (r *Rig) ScenarioI(app splash.App, coreCounts []int) (*ScenarioIResult, err
 			row.NormDensity = scaled.CoreDensity / base.CoreDensity
 		}
 		out.Rows = append(out.Rows, row)
+	}
+	if r.DTM != nil {
+		ms := []*Measurement{base}
+		for _, row := range out.Rows {
+			ms = append(ms, row.Scaled)
+		}
+		out.DTM = summarizeDTM(ms)
 	}
 	return out, nil
 }
@@ -242,6 +324,9 @@ type ScenarioIIResult struct {
 	App     string
 	BudgetW float64
 	Rows    []ScenarioIIRow
+	// DTM aggregates the thermal-management metrics over every run of the
+	// scenario when the rig has a DTMConfig attached; nil otherwise.
+	DTM *DTMSummary
 }
 
 // profilePoints is the frequency grid of the Scenario II off-line
@@ -266,20 +351,27 @@ func (r *Rig) profilePoints() []dvfs.OperatingPoint {
 // actual speedup there; the nominal speedup comes from the unconstrained
 // profiling pass.
 func (r *Rig) ScenarioII(app splash.App, coreCounts []int) (*ScenarioIIResult, error) {
+	return r.ScenarioIICtx(context.Background(), app, coreCounts)
+}
+
+// ScenarioIICtx is ScenarioII under a context: cancellation aborts the
+// in-flight simulation within one engine step and stops the scenario.
+func (r *Rig) ScenarioIICtx(ctx context.Context, app splash.App, coreCounts []int) (*ScenarioIIResult, error) {
 	if len(coreCounts) == 0 {
 		return nil, errors.New("experiment: no core counts")
 	}
 	budget := r.BudgetW()
-	base, err := r.RunApp(app, 1, r.Table.Nominal())
+	base, err := r.RunAppCtx(ctx, app, 1, r.Table.Nominal())
 	if err != nil {
 		return nil, err
 	}
 	out := &ScenarioIIResult{App: app.Name, BudgetW: budget}
+	kept := []*Measurement{base}
 	for _, n := range coreCounts {
 		if !app.RunsOn(n) {
 			continue
 		}
-		nom, err := r.RunApp(app, n, r.Table.Nominal())
+		nom, err := r.RunAppCtx(ctx, app, n, r.Table.Nominal())
 		if err != nil {
 			return nil, err
 		}
@@ -291,13 +383,14 @@ func (r *Rig) ScenarioII(app splash.App, coreCounts []int) (*ScenarioIIResult, e
 			row.PowerW = nom.PowerW
 			row.AtNominal = true
 			out.Rows = append(out.Rows, row)
+			kept = append(kept, nom)
 			continue
 		}
 		// Profile power across the frequency grid and invert for the
 		// budget.
 		var fx, py []float64
 		for _, p := range r.profilePoints() {
-			meas, err := r.RunApp(app, n, p)
+			meas, err := r.RunAppCtx(ctx, app, n, p)
 			if err != nil {
 				return nil, err
 			}
@@ -314,7 +407,7 @@ func (r *Rig) ScenarioII(app splash.App, coreCounts []int) (*ScenarioIIResult, e
 			targetFreq = r.Table.Min().Freq
 		}
 		point := r.pointFor(targetFreq)
-		final, err := r.RunApp(app, n, point)
+		final, err := r.RunAppCtx(ctx, app, n, point)
 		if err != nil {
 			return nil, err
 		}
@@ -322,7 +415,7 @@ func (r *Rig) ScenarioII(app splash.App, coreCounts []int) (*ScenarioIIResult, e
 		// exceeds the budget, step down the ladder until it fits.
 		for final.PowerW > budget*1.02 && point.Freq > r.Table.Min().Freq {
 			point = r.Table.Quantize(point.Freq * 0.999) // next step down
-			if final, err = r.RunApp(app, n, point); err != nil {
+			if final, err = r.RunAppCtx(ctx, app, n, point); err != nil {
 				return nil, err
 			}
 		}
@@ -330,6 +423,10 @@ func (r *Rig) ScenarioII(app splash.App, coreCounts []int) (*ScenarioIIResult, e
 		row.Point = point
 		row.PowerW = final.PowerW
 		out.Rows = append(out.Rows, row)
+		kept = append(kept, final)
+	}
+	if r.DTM != nil {
+		out.DTM = summarizeDTM(kept)
 	}
 	return out, nil
 }

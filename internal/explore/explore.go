@@ -10,6 +10,7 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 
 	"cmppower/internal/cache"
@@ -93,11 +94,20 @@ func maxThreads(app splash.App, cores int) int {
 // Explore evaluates every application on every organization at nominal
 // voltage/frequency and the given workload scale.
 func Explore(apps []splash.App, opts []Option, scale float64) ([]Outcome, error) {
+	return ExploreCtx(context.Background(), apps, opts, scale)
+}
+
+// ExploreCtx is Explore under a context: cancellation aborts the in-flight
+// simulation within one engine step and stops the sweep.
+func ExploreCtx(ctx context.Context, apps []splash.App, opts []Option, scale float64) ([]Outcome, error) {
 	if len(apps) == 0 || len(opts) == 0 {
 		return nil, fmt.Errorf("explore: empty sweep (%d apps, %d options)", len(apps), len(opts))
 	}
 	var out []Outcome
 	for _, opt := range opts {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if err := opt.Validate(); err != nil {
 			return nil, err
 		}
@@ -120,6 +130,7 @@ func Explore(apps []splash.App, opts []Option, scale float64) ([]Outcome, error)
 			cc.L2 = cache.Geometry{SizeBytes: opt.L2Bytes, LineBytes: 128, Ways: 8}
 			cfg.CacheOverride = &cc
 			cfg.Seed = rig.Seed
+			cfg.Ctx = ctx
 			res, err := cmp.Run(app.Program(scale), cfg)
 			if err != nil {
 				return nil, fmt.Errorf("explore: %s on %s: %w", app.Name, opt.Name, err)

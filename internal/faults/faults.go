@@ -1,0 +1,420 @@
+// Package faults provides a deterministic, seedable fault injector for the
+// simulator stack and the experiment harness.
+//
+// The paper's methodology assumes a chip operating at the edge of its
+// power/thermal envelope with ideal instrumentation; production thermal
+// management runs against noisy or stuck sensors, DVFS transitions that
+// occasionally fail to latch, and transient (ECC-correctable) storage
+// errors. This package models those failure classes so the harness can be
+// exercised under them, with two hard guarantees:
+//
+//  1. Determinism — every fault decision comes from per-domain splitmix64
+//     streams derived from one seed, so the same seed against the same
+//     call sequence yields a byte-identical fault schedule.
+//  2. Zero-cost when disabled — a nil *Injector, or any domain whose rate
+//     is zero, consumes no random numbers and perturbs nothing, so a
+//     zero-fault configuration reproduces fault-free results bit for bit.
+//
+// The injector is wired in through tiny interfaces owned by the substrate
+// packages (thermal.SensorReader, dvfs.TransitionFault, cache.FaultHook),
+// keeping the dependency arrow pointing at the substrates. Injectors are
+// not safe for concurrent use; the experiment harness runs sequentially.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"cmppower/internal/workload"
+)
+
+// Domain identifies the subsystem a fault is injected into.
+type Domain uint8
+
+// Fault domains.
+const (
+	DomainSensor Domain = iota
+	DomainDVFS
+	DomainCache
+	DomainRun
+)
+
+// String implements fmt.Stringer.
+func (d Domain) String() string {
+	switch d {
+	case DomainSensor:
+		return "sensor"
+	case DomainDVFS:
+		return "dvfs"
+	case DomainCache:
+		return "cache"
+	case DomainRun:
+		return "run"
+	}
+	return fmt.Sprintf("domain(%d)", uint8(d))
+}
+
+// Kind identifies one fault class.
+type Kind uint8
+
+// Fault kinds.
+const (
+	// KindSensorStuck: a thermal sensor latches its first reading forever.
+	KindSensorStuck Kind = iota
+	// KindSensorNoise: Gaussian noise added to a sensor reading.
+	KindSensorNoise
+	// KindDVFSFail: a requested DVFS transition does not latch.
+	KindDVFSFail
+	// KindCacheTransient: an ECC-correctable cache error costing a retry.
+	KindCacheTransient
+	// KindRunTransient: a whole run fails with a retryable error.
+	KindRunTransient
+	// KindRunHard: a whole run fails permanently.
+	KindRunHard
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindSensorStuck:
+		return "sensor-stuck"
+	case KindSensorNoise:
+		return "sensor-noise"
+	case KindDVFSFail:
+		return "dvfs-fail"
+	case KindCacheTransient:
+		return "cache-transient"
+	case KindRunTransient:
+		return "run-transient"
+	case KindRunHard:
+		return "run-hard"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Config sets the per-domain fault rates. The zero value injects nothing.
+type Config struct {
+	// Seed derives every fault-decision stream.
+	Seed uint64
+	// SensorStuckProb is the chance, decided at a sensor's first read, that
+	// the sensor is stuck at that first reading forever.
+	SensorStuckProb float64
+	// SensorNoiseSigmaC is the standard deviation (°C) of Gaussian noise
+	// added to every non-stuck sensor reading. 0 disables noise.
+	SensorNoiseSigmaC float64
+	// DVFSFailProb is the per-transition chance that a requested operating
+	// point change fails to latch (the previous point stays in effect).
+	DVFSFailProb float64
+	// CacheTransientProb is the per-access chance of an ECC-correctable
+	// error in the cache hierarchy.
+	CacheTransientProb float64
+	// CacheRetryCycles is the retry penalty charged per transient cache
+	// error; defaults to 40 cycles when CacheTransientProb > 0.
+	CacheRetryCycles float64
+	// RunTransientProb is the per-run chance of a retryable harness failure
+	// (the sweep runner's bounded retry is expected to absorb these).
+	RunTransientProb float64
+	// RunHardProb is the per-run chance of a permanent failure.
+	RunHardProb float64
+	// MaxScheduleEvents bounds the recorded schedule (default 4096); later
+	// events are counted but not individually recorded.
+	MaxScheduleEvents int
+}
+
+// Validate checks that every rate is a probability and every magnitude
+// non-negative.
+func (c Config) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"SensorStuckProb", c.SensorStuckProb},
+		{"DVFSFailProb", c.DVFSFailProb},
+		{"CacheTransientProb", c.CacheTransientProb},
+		{"RunTransientProb", c.RunTransientProb},
+		{"RunHardProb", c.RunHardProb},
+	} {
+		if p.v < 0 || p.v > 1 || math.IsNaN(p.v) {
+			return fmt.Errorf("faults: %s %g outside [0,1]", p.name, p.v)
+		}
+	}
+	if c.SensorNoiseSigmaC < 0 || math.IsNaN(c.SensorNoiseSigmaC) {
+		return fmt.Errorf("faults: SensorNoiseSigmaC %g negative", c.SensorNoiseSigmaC)
+	}
+	if c.CacheRetryCycles < 0 || math.IsNaN(c.CacheRetryCycles) {
+		return fmt.Errorf("faults: CacheRetryCycles %g negative", c.CacheRetryCycles)
+	}
+	if c.MaxScheduleEvents < 0 {
+		return fmt.Errorf("faults: MaxScheduleEvents %d negative", c.MaxScheduleEvents)
+	}
+	return nil
+}
+
+// Enabled reports whether any fault class has a non-zero rate.
+func (c Config) Enabled() bool {
+	return c.SensorStuckProb > 0 || c.SensorNoiseSigmaC > 0 ||
+		c.DVFSFailProb > 0 || c.CacheTransientProb > 0 ||
+		c.RunTransientProb > 0 || c.RunHardProb > 0
+}
+
+// Event is one recorded fault injection.
+type Event struct {
+	Seq    int64  // global injection order
+	Domain Domain //
+	Kind   Kind   //
+	Detail string // e.g. "block 3 stuck at 87.2C", "run FMM/8"
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	return fmt.Sprintf("#%d %s/%s %s", e.Seq, e.Domain, e.Kind, e.Detail)
+}
+
+// TransientError is the typed, retryable error injected for run-level
+// transient failures. The sweep runner's bounded retry absorbs it.
+type TransientError struct {
+	App string
+	N   int
+	Seq int64
+}
+
+// Error implements error.
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("faults: injected transient failure #%d in run %s/%d", e.Seq, e.App, e.N)
+}
+
+// HardError is the typed, permanent error injected for run-level hard
+// failures; retrying does not help.
+type HardError struct {
+	App string
+	N   int
+	Seq int64
+}
+
+// Error implements error.
+func (e *HardError) Error() string {
+	return fmt.Sprintf("faults: injected hard failure #%d in run %s/%d", e.Seq, e.App, e.N)
+}
+
+// IsTransient reports whether err is (or wraps) an injected transient
+// failure, i.e. whether a retry can succeed.
+func IsTransient(err error) bool {
+	var te *TransientError
+	return errors.As(err, &te)
+}
+
+// stuckState is one sensor's latched fate, decided at its first read.
+type stuckState struct {
+	stuck bool
+	value float64
+}
+
+// Injector draws fault decisions from per-domain deterministic streams.
+// The zero rate in any domain short-circuits before consuming randomness.
+// Not safe for concurrent use.
+type Injector struct {
+	cfg        Config
+	sensorRNG  *workload.RNG
+	dvfsRNG    *workload.RNG
+	cacheRNG   *workload.RNG
+	runRNG     *workload.RNG
+	gaussSpare float64
+	haveSpare  bool
+
+	sensors map[int]*stuckState
+
+	seq     int64
+	events  []Event
+	dropped int64
+	counts  map[Kind]int64
+}
+
+// New builds an injector from cfg.
+func New(cfg Config) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.CacheTransientProb > 0 && cfg.CacheRetryCycles == 0 {
+		cfg.CacheRetryCycles = 40
+	}
+	if cfg.MaxScheduleEvents == 0 {
+		cfg.MaxScheduleEvents = 4096
+	}
+	// Distinct per-domain streams keep the domains independent: injecting
+	// in one domain never perturbs another domain's schedule.
+	return &Injector{
+		cfg:       cfg,
+		sensorRNG: workload.NewRNG(cfg.Seed ^ 0x53454E53), // "SENS"
+		dvfsRNG:   workload.NewRNG(cfg.Seed ^ 0x44564653), // "DVFS"
+		cacheRNG:  workload.NewRNG(cfg.Seed ^ 0x43414348), // "CACH"
+		runRNG:    workload.NewRNG(cfg.Seed ^ 0x52554E46), // "RUNF"
+		sensors:   make(map[int]*stuckState),
+		counts:    make(map[Kind]int64),
+	}, nil
+}
+
+// Config returns the injector's configuration.
+func (in *Injector) Config() Config {
+	if in == nil {
+		return Config{}
+	}
+	return in.cfg
+}
+
+// record appends an event to the bounded schedule.
+func (in *Injector) record(d Domain, k Kind, detail string) {
+	in.seq++
+	in.counts[k]++
+	if len(in.events) < in.cfg.MaxScheduleEvents {
+		in.events = append(in.events, Event{Seq: in.seq, Domain: d, Kind: k, Detail: detail})
+	} else {
+		in.dropped++
+	}
+}
+
+// gauss returns a standard normal deviate (Box–Muller, deterministic).
+func (in *Injector) gauss() float64 {
+	if in.haveSpare {
+		in.haveSpare = false
+		return in.gaussSpare
+	}
+	// Box–Muller needs u1 in (0,1]; Float64 returns [0,1).
+	u1 := 1 - in.sensorRNG.Float64()
+	u2 := in.sensorRNG.Float64()
+	r := math.Sqrt(-2 * math.Log(u1))
+	in.gaussSpare = r * math.Sin(2*math.Pi*u2)
+	in.haveSpare = true
+	return r * math.Cos(2*math.Pi*u2)
+}
+
+// ReadSensor perturbs a true block temperature reading; it implements
+// thermal.SensorReader. A nil injector is an ideal sensor bank.
+func (in *Injector) ReadSensor(block int, trueC float64) float64 {
+	if in == nil {
+		return trueC
+	}
+	if in.cfg.SensorStuckProb > 0 {
+		st, ok := in.sensors[block]
+		if !ok {
+			st = &stuckState{}
+			if in.sensorRNG.Float64() < in.cfg.SensorStuckProb {
+				st.stuck = true
+				st.value = trueC
+				in.record(DomainSensor, KindSensorStuck,
+					fmt.Sprintf("block %d stuck at %.1fC", block, trueC))
+			}
+			in.sensors[block] = st
+		}
+		if st.stuck {
+			return st.value
+		}
+	}
+	if in.cfg.SensorNoiseSigmaC > 0 {
+		in.counts[KindSensorNoise]++
+		return trueC + in.cfg.SensorNoiseSigmaC*in.gauss()
+	}
+	return trueC
+}
+
+// DVFSTransitionFails decides whether the next requested operating-point
+// change fails to latch; it implements dvfs.TransitionFault.
+func (in *Injector) DVFSTransitionFails() bool {
+	if in == nil || in.cfg.DVFSFailProb == 0 {
+		return false
+	}
+	if in.dvfsRNG.Float64() < in.cfg.DVFSFailProb {
+		in.record(DomainDVFS, KindDVFSFail, "transition dropped")
+		return true
+	}
+	return false
+}
+
+// CacheRetryCycles returns the ECC retry penalty (cycles) for one cache
+// access, or 0; it implements cache.FaultHook.
+func (in *Injector) CacheRetryCycles(core int, lineAddr uint64) float64 {
+	if in == nil || in.cfg.CacheTransientProb == 0 {
+		return 0
+	}
+	if in.cacheRNG.Float64() < in.cfg.CacheTransientProb {
+		in.record(DomainCache, KindCacheTransient,
+			fmt.Sprintf("core %d line %#x", core, lineAddr))
+		return in.cfg.CacheRetryCycles
+	}
+	return 0
+}
+
+// RunOutcome draws the fate of one whole run: nil, a *TransientError
+// (retryable), or a *HardError (permanent).
+func (in *Injector) RunOutcome(app string, n int) error {
+	if in == nil || (in.cfg.RunHardProb == 0 && in.cfg.RunTransientProb == 0) {
+		return nil
+	}
+	u := in.runRNG.Float64()
+	if u < in.cfg.RunHardProb {
+		in.record(DomainRun, KindRunHard, fmt.Sprintf("run %s/%d", app, n))
+		return &HardError{App: app, N: n, Seq: in.seq}
+	}
+	if u < in.cfg.RunHardProb+in.cfg.RunTransientProb {
+		in.record(DomainRun, KindRunTransient, fmt.Sprintf("run %s/%d", app, n))
+		return &TransientError{App: app, N: n, Seq: in.seq}
+	}
+	return nil
+}
+
+// Schedule returns the recorded fault events in injection order (bounded
+// by Config.MaxScheduleEvents).
+func (in *Injector) Schedule() []Event {
+	if in == nil {
+		return nil
+	}
+	return append([]Event(nil), in.events...)
+}
+
+// Injected returns the total number of injected faults, including those
+// beyond the recorded schedule bound.
+func (in *Injector) Injected() int64 {
+	if in == nil {
+		return 0
+	}
+	return in.seq
+}
+
+// Counts returns per-kind injection counts (sensor noise counts every
+// perturbed reading).
+func (in *Injector) Counts() map[Kind]int64 {
+	if in == nil {
+		return nil
+	}
+	out := make(map[Kind]int64, len(in.counts))
+	for k, v := range in.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Digest serializes the fault schedule and counters into one canonical
+// string: two injectors that behaved identically produce byte-identical
+// digests (the doctor's round-trip check compares these).
+func (in *Injector) Digest() string {
+	if in == nil {
+		return "faults: none"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%#x injected=%d dropped=%d\n", in.cfg.Seed, in.seq, in.dropped)
+	kinds := make([]int, 0, len(in.counts))
+	for k := range in.counts {
+		kinds = append(kinds, int(k))
+	}
+	sort.Ints(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "count %s=%d\n", Kind(k), in.counts[Kind(k)])
+	}
+	for _, e := range in.events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

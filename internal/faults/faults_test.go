@@ -1,0 +1,210 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+)
+
+// drive pushes one fixed call sequence through an injector and returns a
+// transcript of every returned value.
+func drive(in *Injector) string {
+	s := ""
+	for i := 0; i < 50; i++ {
+		s += fmt.Sprintf("s%d=%.6f;", i, in.ReadSensor(i%7, 80+float64(i)))
+	}
+	for i := 0; i < 50; i++ {
+		s += fmt.Sprintf("d%d=%v;", i, in.DVFSTransitionFails())
+	}
+	for i := 0; i < 200; i++ {
+		s += fmt.Sprintf("c%d=%g;", i, in.CacheRetryCycles(i%4, uint64(i)))
+	}
+	for i := 0; i < 30; i++ {
+		err := in.RunOutcome("App", i%5)
+		s += fmt.Sprintf("r%d=%v;", i, err)
+	}
+	return s
+}
+
+func fullConfig(seed uint64) Config {
+	return Config{
+		Seed:               seed,
+		SensorStuckProb:    0.3,
+		SensorNoiseSigmaC:  2.0,
+		DVFSFailProb:       0.2,
+		CacheTransientProb: 0.1,
+		CacheRetryCycles:   40,
+		RunTransientProb:   0.2,
+		RunHardProb:        0.1,
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	a, err := New(fullConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(fullConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, tb := drive(a), drive(b)
+	if ta != tb {
+		t.Fatalf("same seed diverged:\n%s\nvs\n%s", ta, tb)
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatalf("same seed, different digests:\n%s\nvs\n%s", a.Digest(), b.Digest())
+	}
+	if a.Injected() == 0 {
+		t.Fatal("full config injected nothing")
+	}
+	c, err := New(fullConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drive(c) == ta {
+		t.Fatal("different seeds produced identical transcripts")
+	}
+}
+
+func TestZeroConfigIsPassThrough(t *testing.T) {
+	in, err := New(Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inj := range []*Injector{in, nil} {
+		if got := inj.ReadSensor(0, 91.5); got != 91.5 {
+			t.Fatalf("zero-fault sensor read %g, want 91.5", got)
+		}
+		if inj.DVFSTransitionFails() {
+			t.Fatal("zero-fault DVFS transition failed")
+		}
+		if got := inj.CacheRetryCycles(0, 0x40); got != 0 {
+			t.Fatalf("zero-fault cache retry %g, want 0", got)
+		}
+		if err := inj.RunOutcome("FFT", 4); err != nil {
+			t.Fatalf("zero-fault run outcome %v", err)
+		}
+		if inj.Injected() != 0 {
+			t.Fatalf("zero-fault injector recorded %d events", inj.Injected())
+		}
+	}
+}
+
+func TestStuckSensorLatchesFirstReading(t *testing.T) {
+	in, err := New(Config{Seed: 1, SensorStuckProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := in.ReadSensor(2, 66)
+	if first != 66 {
+		t.Fatalf("stuck sensor first read %g, want 66", first)
+	}
+	if got := in.ReadSensor(2, 104); got != 66 {
+		t.Fatalf("stuck sensor moved to %g, want latched 66", got)
+	}
+	if got := in.Counts()[KindSensorStuck]; got != 1 {
+		t.Fatalf("stuck count %d, want 1", got)
+	}
+}
+
+func TestSensorNoiseIsBoundedAndNonDegenerate(t *testing.T) {
+	in, err := New(Config{Seed: 5, SensorNoiseSigmaC: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum, sumSq float64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		d := in.ReadSensor(0, 90) - 90
+		sum += d
+		sumSq += d * d
+	}
+	mean := sum / n
+	sigma := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean) > 0.2 || sigma < 1.0 || sigma > 2.0 {
+		t.Fatalf("noise mean %g sigma %g, want ~0 and ~1.5", mean, sigma)
+	}
+}
+
+func TestRunOutcomeErrorTyping(t *testing.T) {
+	hard, err := New(Config{Seed: 1, RunHardProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	herr := hard.RunOutcome("LU", 8)
+	var he *HardError
+	if !errors.As(herr, &he) || he.App != "LU" || he.N != 8 {
+		t.Fatalf("hard outcome %v, want *HardError{LU,8}", herr)
+	}
+	if IsTransient(herr) {
+		t.Fatal("hard error classified transient")
+	}
+
+	trans, err := New(Config{Seed: 1, RunTransientProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	terr := trans.RunOutcome("FFT", 2)
+	if !IsTransient(terr) {
+		t.Fatalf("transient outcome %v not classified transient", terr)
+	}
+	if IsTransient(fmt.Errorf("wrapping: %w", terr)) != true {
+		t.Fatal("wrapped transient not detected")
+	}
+	if IsTransient(errors.New("plain")) {
+		t.Fatal("plain error classified transient")
+	}
+}
+
+func TestCacheRetryDefaultsAndCertainty(t *testing.T) {
+	in, err := New(Config{Seed: 1, CacheTransientProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.CacheRetryCycles(3, 0x80); got != 40 {
+		t.Fatalf("default retry penalty %g, want 40", got)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{SensorStuckProb: -0.1},
+		{DVFSFailProb: 1.5},
+		{SensorNoiseSigmaC: -1},
+		{CacheRetryCycles: -2},
+		{MaxScheduleEvents: -1},
+		{RunHardProb: math.NaN()},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("config %d validated: %+v", i, c)
+		}
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+	if (Config{}).Enabled() {
+		t.Fatal("zero config reports enabled")
+	}
+	if !(Config{SensorNoiseSigmaC: 0.5}).Enabled() {
+		t.Fatal("noisy config reports disabled")
+	}
+}
+
+func TestScheduleBound(t *testing.T) {
+	in, err := New(Config{Seed: 1, CacheTransientProb: 1, MaxScheduleEvents: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		in.CacheRetryCycles(0, uint64(i))
+	}
+	if len(in.Schedule()) != 10 {
+		t.Fatalf("schedule length %d, want 10", len(in.Schedule()))
+	}
+	if in.Injected() != 100 {
+		t.Fatalf("injected %d, want 100", in.Injected())
+	}
+}

@@ -14,6 +14,18 @@ package mem
 
 import "fmt"
 
+// ParamError reports an invalid DRAM parameterization: which parameter
+// was out of range and the value given. It is the typed form of every
+// error New returns.
+type ParamError struct {
+	Param string  // "latency" or "occupancy"
+	Value float64 // the offending value, seconds
+	Msg   string
+}
+
+// Error implements error.
+func (e *ParamError) Error() string { return e.Msg }
+
 // DRAM is a single memory channel. All times are in seconds (wall clock).
 type DRAM struct {
 	latency   float64 // round-trip latency of one access, s
@@ -29,13 +41,16 @@ type DRAM struct {
 }
 
 // New returns a DRAM channel with the given round-trip latency and
-// per-access channel occupancy, both in seconds.
+// per-access channel occupancy, both in seconds. Failures are
+// *ParamError values naming the offending parameter.
 func New(latencySec, occupancySec float64) (*DRAM, error) {
 	if latencySec <= 0 {
-		return nil, fmt.Errorf("mem: non-positive latency %g", latencySec)
+		return nil, &ParamError{Param: "latency", Value: latencySec,
+			Msg: fmt.Sprintf("mem: non-positive latency %g", latencySec)}
 	}
 	if occupancySec < 0 || occupancySec > latencySec {
-		return nil, fmt.Errorf("mem: occupancy %g outside [0, latency]", occupancySec)
+		return nil, &ParamError{Param: "occupancy", Value: occupancySec,
+			Msg: fmt.Sprintf("mem: occupancy %g outside [0, latency]", occupancySec)}
 	}
 	return &DRAM{latency: latencySec, occupancy: occupancySec}, nil
 }
@@ -44,10 +59,15 @@ func New(latencySec, occupancySec float64) (*DRAM, error) {
 // per-access occupancy. The channel is heavily banked, so per-access
 // occupancy sits far below latency; the value is chosen so that one
 // memory-bound core leaves headroom while sixteen saturate the channel.
+//
+// The panic below is a documented programmer-error invariant, not a
+// runtime error path: the constants are fixed at compile time and valid
+// by construction, so reaching it means the source was edited
+// inconsistently.
 func Default() *DRAM {
 	d, err := New(75e-9, 1.2e-9)
 	if err != nil {
-		panic(err) // constants above are valid by construction
+		panic(err)
 	}
 	return d
 }

@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"errors"
 	"math"
 	"testing"
 )
@@ -74,5 +75,19 @@ func TestBandwidthPressureGrowsWithLoad(t *testing.T) {
 	want := 99*6e-9 + 75e-9
 	if math.Abs(last-want) > 1e-15 {
 		t.Errorf("100th access done=%g, want %g", last, want)
+	}
+}
+
+func TestNewReturnsTypedErrors(t *testing.T) {
+	_, err := New(-1, 0)
+	var pe *ParamError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *ParamError, got %T: %v", err, err)
+	}
+	if pe.Param != "latency" || pe.Value != -1 {
+		t.Errorf("provenance %+v", pe)
+	}
+	if _, err = New(75e-9, 100e-9); !errors.As(err, &pe) || pe.Param != "occupancy" {
+		t.Errorf("occupancy error %v", err)
 	}
 }

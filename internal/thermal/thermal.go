@@ -265,6 +265,28 @@ func (m *Model) TransientStep(st *TransientState, powerW []float64, duration flo
 	return nil
 }
 
+// SensorReader models an on-die temperature sensor bank: it maps a block's
+// true model temperature to the reading a thermal-management controller
+// observes. Fault injectors implement it (stuck or noisy sensors); nil
+// means ideal sensors. See internal/faults for the canonical injector.
+type SensorReader interface {
+	ReadSensor(block int, trueC float64) float64
+}
+
+// Sense reads every block temperature through r and returns the observed
+// readings; a nil reader is an ideal sensor bank (readings == temps).
+func Sense(temps []float64, r SensorReader) []float64 {
+	out := make([]float64, len(temps))
+	if r == nil {
+		copy(out, temps)
+		return out
+	}
+	for i, t := range temps {
+		out[i] = r.ReadSensor(i, t)
+	}
+	return out
+}
+
 // Peak returns the maximum of temps.
 func Peak(temps []float64) float64 {
 	p := math.Inf(-1)

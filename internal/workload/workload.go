@@ -10,10 +10,25 @@
 // this IR.
 package workload
 
-import (
-	"errors"
-	"fmt"
-)
+import "fmt"
+
+// ValidationError is the typed failure of Program.Validate: one
+// structurally invalid step (or a program-level defect). Callers that
+// build programs dynamically — the JSON loader, the mix scheduler — can
+// pick out the offending step instead of string-matching.
+type ValidationError struct {
+	// Program is the program's name ("" when the name itself is the
+	// defect).
+	Program string
+	// Step is the index of the offending step within its enclosing step
+	// list, or -1 for program-level defects.
+	Step int
+	// Msg is the human-readable description.
+	Msg string
+}
+
+// Error implements error.
+func (e *ValidationError) Error() string { return e.Msg }
 
 // RNG is a splitmix64 pseudo-random generator: tiny, fast, and stable
 // across platforms (determinism is a design requirement; see DESIGN.md).
@@ -36,7 +51,10 @@ func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) / float64(1<<53)
 }
 
-// Intn returns a uniform value in [0, n). n must be positive.
+// Intn returns a uniform value in [0, n). n must be positive: a
+// non-positive n is a programmer error (there is no sensible value to
+// return), so Intn panics rather than returning a typed error — this is
+// the documented exception to the package's error discipline.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("workload: Intn with non-positive n")
@@ -213,71 +231,81 @@ type Program struct {
 }
 
 // Validate checks structural soundness: positive counts, valid fractions,
-// non-negative ids, sensible regions.
+// non-negative ids, sensible regions. Failures are *ValidationError
+// values carrying the offending step index.
 func (p *Program) Validate() error {
 	if p.Name == "" {
-		return errors.New("workload: program needs a name")
+		return &ValidationError{Step: -1, Msg: "workload: program needs a name"}
 	}
-	return validateSteps(p.Steps, 0)
+	if err := validateSteps(p.Steps, 0); err != nil {
+		err.Program = p.Name
+		return err
+	}
+	return nil
 }
 
-func validateSteps(steps []Step, depth int) error {
+// stepErr builds a ValidationError for step i.
+func stepErr(i int, format string, args ...any) *ValidationError {
+	return &ValidationError{Step: i, Msg: fmt.Sprintf(format, args...)}
+}
+
+func validateSteps(steps []Step, depth int) *ValidationError {
 	if depth > 32 {
-		return errors.New("workload: step nesting too deep")
+		return &ValidationError{Step: -1, Msg: "workload: step nesting too deep"}
 	}
 	for i, s := range steps {
 		switch s := s.(type) {
 		case Compute:
 			if s.N < 0 {
-				return fmt.Errorf("workload: step %d: negative compute count", i)
+				return stepErr(i, "workload: step %d: negative compute count", i)
 			}
-			if err := checkFrac("FPFrac", s.FPFrac); err != nil {
+			if err := checkFrac(i, "FPFrac", s.FPFrac); err != nil {
 				return err
 			}
-			if err := checkFrac("BranchFrac", s.BranchFrac); err != nil {
+			if err := checkFrac(i, "BranchFrac", s.BranchFrac); err != nil {
 				return err
 			}
 		case Kernel:
 			if s.Accesses < 0 {
-				return fmt.Errorf("workload: step %d: negative access count", i)
+				return stepErr(i, "workload: step %d: negative access count", i)
 			}
 			if s.ComputePerMem < 0 {
-				return fmt.Errorf("workload: step %d: negative ComputePerMem", i)
+				return stepErr(i, "workload: step %d: negative ComputePerMem", i)
 			}
 			if s.Region.Size == 0 {
-				return fmt.Errorf("workload: step %d: empty region", i)
+				return stepErr(i, "workload: step %d: empty region", i)
 			}
 			if s.StrideBytes < 0 {
-				return fmt.Errorf("workload: step %d: negative stride", i)
+				return stepErr(i, "workload: step %d: negative stride", i)
 			}
 			for _, f := range []struct {
 				n string
 				v float64
 			}{{"FPFrac", s.FPFrac}, {"BranchFrac", s.BranchFrac}, {"WriteFrac", s.WriteFrac}} {
-				if err := checkFrac(f.n, f.v); err != nil {
+				if err := checkFrac(i, f.n, f.v); err != nil {
 					return err
 				}
 			}
 			if s.Jitter < 0 || s.Jitter >= 1 {
-				return fmt.Errorf("workload: step %d: jitter %g outside [0,1)", i, s.Jitter)
+				return stepErr(i, "workload: step %d: jitter %g outside [0,1)", i, s.Jitter)
 			}
-			if err := checkFrac("HotFrac", s.HotFrac); err != nil {
+			if err := checkFrac(i, "HotFrac", s.HotFrac); err != nil {
 				return err
 			}
 		case Barrier:
 			if s.ID < 0 {
-				return fmt.Errorf("workload: step %d: negative barrier id", i)
+				return stepErr(i, "workload: step %d: negative barrier id", i)
 			}
 		case Critical:
 			if s.Lock < 0 {
-				return fmt.Errorf("workload: step %d: negative lock id", i)
+				return stepErr(i, "workload: step %d: negative lock id", i)
 			}
 			if err := validateSteps(s.Body, depth+1); err != nil {
 				return err
 			}
 		case Loop:
 			if s.Times < 0 {
-				return fmt.Errorf("workload: step %d: negative loop count", i)
+				return stepErr(i, "workload: step %d: negative loop count", i)
 			}
 			if err := validateSteps(s.Body, depth+1); err != nil {
 				return err
@@ -287,15 +315,15 @@ func validateSteps(steps []Step, depth int) error {
 				return err
 			}
 		default:
-			return fmt.Errorf("workload: step %d: unknown step type %T", i, s)
+			return stepErr(i, "workload: step %d: unknown step type %T", i, s)
 		}
 	}
 	return nil
 }
 
-func checkFrac(name string, v float64) error {
+func checkFrac(step int, name string, v float64) *ValidationError {
 	if v < 0 || v > 1 {
-		return fmt.Errorf("workload: %s %g outside [0,1]", name, v)
+		return stepErr(step, "workload: %s %g outside [0,1]", name, v)
 	}
 	return nil
 }

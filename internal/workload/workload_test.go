@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 )
@@ -377,5 +378,27 @@ func TestQuickStreamWellFormed(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestValidateReturnsTypedErrors(t *testing.T) {
+	p := Program{Name: "x", Steps: []Step{Compute{N: 1}, Kernel{Accesses: -1, Region: Region{Size: 8}}}}
+	err := p.Validate()
+	var ve *ValidationError
+	if !errors.As(err, &ve) {
+		t.Fatalf("want *ValidationError, got %T: %v", err, err)
+	}
+	if ve.Step != 1 || ve.Program != "x" {
+		t.Errorf("provenance %+v", ve)
+	}
+	// Program-level defects carry Step == -1 and no name.
+	err = (&Program{Steps: []Step{Compute{N: 1}}}).Validate()
+	if !errors.As(err, &ve) || ve.Step != -1 {
+		t.Errorf("nameless program: %v", err)
+	}
+	// Nested defects report the index within the enclosing body.
+	err = (&Program{Name: "y", Steps: []Step{Loop{Times: 1, Body: []Step{Compute{N: 1}, Compute{N: -1}}}}}).Validate()
+	if !errors.As(err, &ve) || ve.Step != 1 {
+		t.Errorf("nested defect: %+v", ve)
 	}
 }

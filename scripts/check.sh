@@ -1,0 +1,17 @@
+#!/bin/sh
+# Tier-1+ verification gate (see ROADMAP.md): vet, build, then the full
+# test suite under the race detector. Fails fast on the first broken step.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "check: all gates passed"
