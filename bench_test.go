@@ -10,6 +10,8 @@
 package cmppower_test
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"cmppower"
@@ -132,6 +134,70 @@ func BenchmarkFig4ScenarioII(b *testing.B) {
 	}
 	b.ReportMetric(fmmGap, "fmm-gap@16")
 	b.ReportMetric(radixGap, "radix-gap@16")
+}
+
+// BenchmarkParallelSweep runs the full 12-app Scenario I sweep at fixed
+// worker counts. On a multi-core host the 8-worker case demonstrates the
+// wall-clock win of the pooled engine (the sweep is embarrassingly
+// parallel per app); on a single-CPU host all worker counts degenerate to
+// the serial time. Every iteration builds a fresh rig so the memo cache
+// never carries over between iterations — the comparison isolates the
+// worker pool, not memoization (BenchmarkMemoizedRerun covers that).
+func BenchmarkParallelSweep(b *testing.B) {
+	counts := []int{1, 2, 4, 8, 16}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("j=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rig, err := cmppower.NewExperiment(0.1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				outs, err := rig.SweepScenarioIWith(context.Background(), cmppower.Apps(), counts,
+					cmppower.SweepConfig{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, o := range outs {
+					if o.Err != nil {
+						b.Fatal(o.Err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMemoizedRerun measures the memo cache: Scenario I followed by
+// Scenario II on the same rig, where II's per-app nominal profiling runs
+// are all served from the cache, against the same pair with the cache off.
+func BenchmarkMemoizedRerun(b *testing.B) {
+	counts := []int{1, 2, 4, 8, 16}
+	apps := cmppower.Apps()[:4]
+	for _, noMemo := range []bool{false, true} {
+		name := "memo"
+		if noMemo {
+			name = "nomemo"
+		}
+		b.Run(name, func(b *testing.B) {
+			var stats cmppower.MemoStats
+			for i := 0; i < b.N; i++ {
+				rig, err := cmppower.NewExperiment(0.1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg := cmppower.SweepConfig{Workers: 1, NoMemo: noMemo}
+				if _, err := rig.SweepScenarioIWith(context.Background(), apps, counts, cfg); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := rig.SweepScenarioIIWith(context.Background(), apps, counts, cfg); err != nil {
+					b.Fatal(err)
+				}
+				stats = rig.MemoStats()
+			}
+			b.ReportMetric(float64(stats.Hits), "memo-hits/op")
+			b.ReportMetric(float64(stats.Misses), "memo-misses/op")
+		})
+	}
 }
 
 // BenchmarkTable2Catalog measures workload instantiation (Table 2): the

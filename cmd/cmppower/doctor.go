@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"reflect"
 	"time"
 
 	"cmppower"
@@ -25,6 +26,7 @@ const (
 	exitDoctorFaultInject = 2 // fault-injector round-trip broken
 	exitDoctorDTM         = 3 // DTM failed to contain a thermal emergency
 	exitDoctorCancel      = 4 // context cancellation did not stop a run
+	exitDoctorParallel    = 5 // parallel sweep diverged from serial sweep
 )
 
 // runDoctor runs the repository's end-to-end self-checks: determinism,
@@ -34,6 +36,7 @@ const (
 // check's distinct code — making it suitable for CI smoke checks.
 func runDoctor(args []string) error {
 	fs := flag.NewFlagSet("doctor", flag.ExitOnError)
+	jobs := fs.Int("j", 0, "check worker count; 0 = GOMAXPROCS (report order is fixed)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -50,10 +53,19 @@ func runDoctor(args []string) error {
 		{"fault injector round-trip", checkFaultInjector, exitDoctorFaultInject},
 		{"DTM contains thermal emergency", checkDTMTrip, exitDoctorDTM},
 		{"context cancel stops a sweep", checkContextCancel, exitDoctorCancel},
+		{"parallel sweep matches serial", checkParallelDeterminism, exitDoctorParallel},
+	}
+	// Every check builds its own rigs and injectors, so they fan out over
+	// the worker pool; results are collected and reported in list order.
+	failures := make([]error, len(checks))
+	if err := experiment.RunIndexed(context.Background(), *jobs, len(checks), func(i int) {
+		failures[i] = checks[i].fn()
+	}); err != nil {
+		return err
 	}
 	exit := 0
-	for _, c := range checks {
-		if err := c.fn(); err != nil {
+	for i, c := range checks {
+		if err := failures[i]; err != nil {
 			fmt.Printf("FAIL %-42s %v\n", c.name, err)
 			if exit == 0 || exit == exitDoctorBaseline {
 				// The first distinct resilience code wins over the shared
@@ -68,6 +80,42 @@ func runDoctor(args []string) error {
 	}
 	if exit != 0 {
 		os.Exit(exit)
+	}
+	return nil
+}
+
+// checkParallelDeterminism runs a small faulty sweep serially and across a
+// worker pool and requires bit-identical outcomes: the parallel engine's
+// central guarantee.
+func checkParallelDeterminism() error {
+	sweep := func(workers int) ([]cmppower.SweepOutcome, error) {
+		rig, err := experiment.NewRig(0.1)
+		if err != nil {
+			return nil, err
+		}
+		rig.Seed = 11
+		if rig.Faults, err = cmppower.NewFaultInjector(cmppower.FaultConfig{
+			Seed: 11, SensorNoiseSigmaC: 1.5, DVFSFailProb: 0.05,
+		}); err != nil {
+			return nil, err
+		}
+		apps, err := appsFor("FFT,LU,Radix")
+		if err != nil {
+			return nil, err
+		}
+		return rig.SweepScenarioIWith(context.Background(), apps, []int{1, 2, 4},
+			cmppower.SweepConfig{Retry: cmppower.DefaultRetryConfig(), Workers: workers})
+	}
+	serial, err := sweep(1)
+	if err != nil {
+		return err
+	}
+	parallel, err := sweep(4)
+	if err != nil {
+		return err
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		return fmt.Errorf("sweep outcomes differ between -j 1 and -j 4")
 	}
 	return nil
 }

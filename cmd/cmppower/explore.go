@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +19,7 @@ func runExplore(args []string) error {
 	appSel := fs.String("apps", "Barnes,FMM,Ocean,Radix", "comma-separated application names, or all")
 	scale := fs.Float64("scale", 0.3, "workload scale factor")
 	csv := fs.Bool("csv", false, "emit CSV")
+	jobs := fs.Int("j", 0, "worker count; 0 = GOMAXPROCS (output is identical for every -j)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -31,7 +33,7 @@ func runExplore(args []string) error {
 		}
 		apps = publicApps
 	}
-	outs, err := explore.Explore(apps, explore.StandardOptions(), *scale)
+	outs, err := explore.ExploreWith(context.Background(), apps, explore.StandardOptions(), *scale, *jobs)
 	if err != nil {
 		return err
 	}
@@ -51,8 +53,16 @@ func runExplore(args []string) error {
 		return err
 	}
 	fmt.Println()
-	for app, o := range explore.BestByEDP(outs) {
-		fmt.Printf("%-10s best EDP: %s\n", app, o.Option.Name)
+	// Print in app-catalog (outcome) order, not map order, so the output
+	// is deterministic run to run.
+	best := explore.BestByEDP(outs)
+	seen := make(map[string]bool)
+	for _, o := range outs {
+		if seen[o.App] {
+			continue
+		}
+		seen[o.App] = true
+		fmt.Printf("%-10s best EDP: %s\n", o.App, best[o.App].Option.Name)
 	}
 	return nil
 }

@@ -172,6 +172,7 @@ func runFig3(args []string) error {
 	timeout := fs.Duration("timeout", 0, "abort the whole sweep after this duration (0 = none)")
 	dtm := fs.Bool("dtm", false, "run the DTM controller on every run and report its summary")
 	retries := fs.Int("retries", 3, "attempts per app for injected-transient failures")
+	jobs := fs.Int("j", 0, "sweep worker count; 0 = GOMAXPROCS (output is identical for every -j)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -191,7 +192,8 @@ func runFig3(args []string) error {
 	defer cancel()
 	rc := cmppower.DefaultRetryConfig()
 	rc.Attempts = *retries
-	outcomes, sweepErr := rig.SweepScenarioI(ctx, apps, []int{1, 2, 4, 8, 16}, rc)
+	outcomes, sweepErr := rig.SweepScenarioIWith(ctx, apps, []int{1, 2, 4, 8, 16},
+		cmppower.SweepConfig{Retry: rc, Workers: *jobs})
 	t := report.NewTable(
 		"Figure 3: Scenario I on the 16-way CMP (performance target = 1 core at nominal V/f)",
 		"app", "N", "nominal-eff", "actual-speedup", "norm-power", "norm-density", "avg-temp(C)", "f(MHz)", "V")
@@ -240,6 +242,7 @@ func runFig4(args []string) error {
 	timeout := fs.Duration("timeout", 0, "abort the whole sweep after this duration (0 = none)")
 	dtm := fs.Bool("dtm", false, "run the DTM controller on every run and report its summary")
 	retries := fs.Int("retries", 3, "attempts per app for injected-transient failures")
+	jobs := fs.Int("j", 0, "sweep worker count; 0 = GOMAXPROCS (output is identical for every -j)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -260,7 +263,8 @@ func runFig4(args []string) error {
 	rc := cmppower.DefaultRetryConfig()
 	rc.Attempts = *retries
 	counts := []int{1, 2, 4, 8, 16}
-	outcomes, sweepErr := rig.SweepScenarioII(ctx, apps, counts, rc)
+	outcomes, sweepErr := rig.SweepScenarioIIWith(ctx, apps, counts,
+		cmppower.SweepConfig{Retry: rc, Workers: *jobs})
 	t := report.NewTable(
 		fmt.Sprintf("Figure 4: speedup under the 1-core power budget (%.1f W)", rig.BudgetW()),
 		"app", "N", "nominal", "actual", "f(MHz)", "power(W)", "at-nominal")

@@ -5,15 +5,15 @@
 //
 //	cmppower fig1   [-tech 65|130|both] [-csv] [-points N]
 //	cmppower fig2   [-tech 65|130|both] [-csv] [-chart]
-//	cmppower fig3   [-apps list] [-scale S] [-csv] [-faults SPEC] [-timeout D] [-dtm] [-retries N]
-//	cmppower fig4   [-apps list] [-scale S] [-csv] [-chart] [-faults SPEC] [-timeout D] [-dtm] [-retries N]
+//	cmppower fig3   [-apps list] [-scale S] [-csv] [-faults SPEC] [-timeout D] [-dtm] [-retries N] [-j N]
+//	cmppower fig4   [-apps list] [-scale S] [-csv] [-chart] [-faults SPEC] [-timeout D] [-dtm] [-retries N] [-j N]
 //	cmppower table1
 //	cmppower table2
 //	cmppower sweep  [-app NAME] [-scale S]          (raw N×frequency sweep)
 //	cmppower ablate [-what leakage|vmin|sysdvfs]
 //	cmppower trace  [-app NAME] [-n N] [-dilate D] [-chart]
 //	cmppower validate [-apps list] [-scale S]
-//	cmppower explore [-apps list] [-scale S]
+//	cmppower explore [-apps list] [-scale S] [-j N]
 //	cmppower edp    [-app NAME] [-scale S]
 //	cmppower events [-app NAME] [-n N] [-last K] [-jsonl]
 //	cmppower mix    [-apps list] [-freq MHz]
@@ -22,7 +22,10 @@
 //	cmppower pareto [-tech 65|130] [-serial s] [-comm c] [-chart]
 //	cmppower svg    [-app NAME] [-n N] [-out FILE]
 //	cmppower all    [-out DIR] [-scale S]
-//	cmppower doctor
+//	cmppower doctor [-j N]
+//
+// Sweep-style commands accept -j to fan work across a bounded worker pool
+// (0 = GOMAXPROCS); output is bit-identical for every -j.
 //
 // See EXPERIMENTS.md for the expected shapes and the paper-vs-measured
 // record.
@@ -120,8 +123,9 @@ Commands:
   svg      Thermal-map SVG of one run
   all      Regenerate every artifact into a directory
   doctor   End-to-end self-checks (determinism, coherence, calibration,
-           fault injection, DTM, cancellation; distinct exit codes per
-           resilience failure: 2=injector, 3=DTM, 4=cancellation)
+           fault injection, DTM, cancellation, parallel-sweep determinism;
+           distinct exit codes per resilience failure: 2=injector, 3=DTM,
+           4=cancellation, 5=parallel-divergence)
   cachesweep  L1 capacity sensitivity across core counts
 
 Run 'cmppower <command> -h' for flags.

@@ -221,6 +221,14 @@ func DefaultRetryConfig() RetryConfig { return experiment.DefaultRetryConfig() }
 // fault-isolated sweep (Experiment.SweepScenarioI/II).
 type SweepOutcome = experiment.SweepOutcome
 
+// SweepConfig configures a parallel sweep: retry policy, worker count
+// (<= 0 means GOMAXPROCS) and run memoization. Sweep output is
+// bit-identical for every worker count.
+type SweepConfig = experiment.SweepConfig
+
+// MemoStats reports an Experiment's run-memoization counters.
+type MemoStats = experiment.MemoStats
+
 // DTMConfig parameterizes the dynamic thermal-management controller.
 type DTMConfig = experiment.DTMConfig
 

@@ -120,9 +120,15 @@ func (t *Table) Min() OperatingPoint { return t.points[0] }
 // PointFor returns a continuous operating point for frequency f: voltage is
 // linearly interpolated between the bracketing ladder steps (the paper
 // approximates values between profiled points by linear scaling, §4.2).
-// f is clamped to the ladder's range.
+// f is clamped to the ladder's range: an Eq. 7 target below the ladder
+// minimum returns the floor, one above nominal returns the nominal point
+// ("run flat out"). A NaN target — a degenerate efficiency measurement —
+// also clamps to nominal instead of producing a NaN voltage.
 func (t *Table) PointFor(f float64) OperatingPoint {
 	pts := t.points
+	if math.IsNaN(f) {
+		return pts[len(pts)-1]
+	}
 	if f <= pts[0].Freq {
 		return pts[0]
 	}
@@ -136,10 +142,14 @@ func (t *Table) PointFor(f float64) OperatingPoint {
 }
 
 // Quantize returns the highest ladder step with frequency <= f, or the
-// lowest step when f is below the whole ladder. Use it when the platform
-// only supports discrete steps.
+// lowest step when f is below the whole ladder. A NaN target clamps to
+// the nominal (top) step, mirroring PointFor. Use Quantize when the
+// platform only supports discrete steps.
 func (t *Table) Quantize(f float64) OperatingPoint {
 	pts := t.points
+	if math.IsNaN(f) {
+		return pts[len(pts)-1]
+	}
 	i := sort.Search(len(pts), func(i int) bool { return pts[i].Freq > f })
 	if i == 0 {
 		return pts[0]

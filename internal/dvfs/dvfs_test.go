@@ -133,6 +133,54 @@ func TestPointForClamps(t *testing.T) {
 	}
 }
 
+// TestDegenerateTargets pins the clamping contract for targets outside
+// the ladder or not even finite: an Eq. 7 target below the ladder floors,
+// one above nominal (or +Inf) runs flat out, and a NaN target — a
+// degenerate efficiency measurement — clamps to nominal instead of
+// producing a NaN voltage or panicking.
+func TestDegenerateTargets(t *testing.T) {
+	tab := mustPentiumM(t)
+	nan := math.NaN()
+	for _, tc := range []struct {
+		name string
+		f    float64
+		want OperatingPoint
+	}{
+		{"NaN", nan, tab.Nominal()},
+		{"+Inf", math.Inf(1), tab.Nominal()},
+		{"-Inf", math.Inf(-1), tab.Min()},
+		{"zero", 0, tab.Min()},
+		{"negative", -3.2e9, tab.Min()},
+		{"exact-min", tab.Min().Freq, tab.Min()},
+		{"exact-nominal", tab.Nominal().Freq, tab.Nominal()},
+	} {
+		if p := tab.PointFor(tc.f); p != tc.want {
+			t.Errorf("PointFor(%s)=%v, want %v", tc.name, p, tc.want)
+		}
+		if math.IsNaN(tab.PointFor(tc.f).Volt) {
+			t.Errorf("PointFor(%s) produced NaN voltage", tc.name)
+		}
+	}
+	if q := tab.Quantize(nan); q != tab.Nominal() {
+		t.Errorf("Quantize(NaN)=%v, want nominal", q)
+	}
+	if q := tab.Quantize(math.Inf(1)); q != tab.Nominal() {
+		t.Errorf("Quantize(+Inf)=%v, want nominal", q)
+	}
+	if q := tab.Quantize(math.Inf(-1)); q != tab.Min() {
+		t.Errorf("Quantize(-Inf)=%v, want min", q)
+	}
+	// Exact rung frequencies must come back exactly, not interpolated.
+	for _, p := range tab.Points() {
+		if got := tab.PointFor(p.Freq); got != p {
+			t.Errorf("PointFor(rung %v)=%v", p, got)
+		}
+		if got := tab.Quantize(p.Freq); got != p {
+			t.Errorf("Quantize(rung %v)=%v", p, got)
+		}
+	}
+}
+
 func TestQuantizeAndStepAbove(t *testing.T) {
 	tab := mustPentiumM(t)
 	q := tab.Quantize(1.9e9)

@@ -171,7 +171,7 @@ func stepDownFrom(t *dvfs.Table, freq float64, rungs int) dvfs.OperatingPoint {
 // activity-counter power over an RC network — that is the same
 // approximation the paper itself makes when it re-simulates profiled
 // workloads at scaled operating points.
-func (r *Rig) runDTM(ctx context.Context, app splash.App, n int, req dvfs.OperatingPoint, runCycles float64) (*DTMStats, error) {
+func (r *Rig) runDTM(ctx context.Context, app splash.App, n int, req dvfs.OperatingPoint, runCycles float64, seed uint64) (*DTMStats, error) {
 	dc := *r.DTM
 	if dc == (DTMConfig{}) {
 		dc = DefaultDTMConfig()
@@ -179,7 +179,7 @@ func (r *Rig) runDTM(ctx context.Context, app splash.App, n int, req dvfs.Operat
 	if err := dc.Validate(); err != nil {
 		return nil, err
 	}
-	cfg := r.runConfig(ctx, app, n, req)
+	cfg := r.runConfig(ctx, app, n, req, seed)
 	cfg.SampleCycles = runCycles / float64(dc.Intervals)
 	if cfg.SampleCycles < 1 {
 		cfg.SampleCycles = 1

@@ -57,6 +57,35 @@ type Rig struct {
 	// transient thermal network under the controller and attaches the
 	// resulting DTMStats to the Measurement.
 	DTM *DTMConfig
+
+	// memo, when non-nil, caches successful Measurements keyed by the full
+	// run identity (see memoKey). Clones share their parent's cache, so a
+	// parallel sweep dedupes the baseline/profiling runs repeated within
+	// and across Scenario I and II. Enable with EnableMemo.
+	memo *memoCache
+}
+
+// Clone returns an independent copy of the rig for concurrent use. The
+// immutable apparatus (technology, DVFS table, floorplan, thermal model,
+// meter, calibration) is shared; mutable per-run state is not: the clone
+// gets its own forked fault-injector streams (see faults.Injector.Fork)
+// and its own copy of the DTM configuration. A memo cache, when enabled,
+// IS shared — it is concurrency-safe and exists to dedupe runs across
+// clones. The clone's fault schedule is deterministic in the parent's
+// fault seed alone, never in scheduling order.
+func (r *Rig) Clone() *Rig { return r.cloneFor("clone") }
+
+// cloneFor is Clone with an explicit salt for the forked fault streams;
+// the parallel sweep engine salts by (scenario, app) so every work item
+// draws an independent, schedule-order-free fault stream.
+func (r *Rig) cloneFor(salt string) *Rig {
+	c := *r
+	c.Faults = r.Faults.Fork(salt)
+	if r.DTM != nil {
+		dtm := *r.DTM
+		c.DTM = &dtm
+	}
+	return &c
 }
 
 // NewRig builds and calibrates the default 16-core 65 nm apparatus.
@@ -145,12 +174,13 @@ func (r *Rig) RunApp(app splash.App, n int, p dvfs.OperatingPoint) (*Measurement
 }
 
 // runConfig assembles the simulator configuration for one run, threading
-// the rig's fault injector and the caller's context into the engine.
-func (r *Rig) runConfig(ctx context.Context, app splash.App, n int, p dvfs.OperatingPoint) cmp.Config {
+// the run's seed, the rig's fault injector and the caller's context into
+// the engine.
+func (r *Rig) runConfig(ctx context.Context, app splash.App, n int, p dvfs.OperatingPoint, seed uint64) cmp.Config {
 	cfg := cmp.DefaultConfig(n, p)
 	cfg.TotalCores = r.TotalCores
 	cfg.Core = app.CoreConfig()
-	cfg.Seed = r.Seed
+	cfg.Seed = seed
 	cfg.ScaleMemoryWithChip = r.ScaleMemoryWithChip
 	cfg.PrefetchNextLine = r.Prefetch
 	// Background().Done() is nil, so the engine's poll stays free for
@@ -165,12 +195,33 @@ func (r *Rig) runConfig(ctx context.Context, app splash.App, n int, p dvfs.Opera
 // RunAppCtx is RunApp under a context: cancellation aborts the simulation
 // within one engine step. Failures downstream of argument validation are
 // returned as *RunError values carrying the run's provenance.
-func (r *Rig) RunAppCtx(ctx context.Context, app splash.App, n int, p dvfs.OperatingPoint) (m *Measurement, err error) {
+func (r *Rig) RunAppCtx(ctx context.Context, app splash.App, n int, p dvfs.OperatingPoint) (*Measurement, error) {
+	return r.RunAppSeeded(ctx, app, n, p, r.Seed)
+}
+
+// RunAppSeeded is RunAppCtx with the workload seed passed explicitly
+// instead of read from the rig: seed studies and any other caller that
+// varies the seed per run use it so the shared Rig is never mutated —
+// the rig stays safe for concurrent cloned use. When a memo cache is
+// enabled (EnableMemo) and fault injection is off, identical runs are
+// served from the cache; fault injection bypasses the cache entirely
+// because the injector's streams make runs order-dependent.
+func (r *Rig) RunAppSeeded(ctx context.Context, app splash.App, n int, p dvfs.OperatingPoint, seed uint64) (*Measurement, error) {
 	if !app.RunsOn(n) {
 		return nil, fmt.Errorf("experiment: %s does not run on %d cores", app.Name, n)
 	}
+	if r.memo != nil && r.memoizable() {
+		return r.memo.do(ctx, r.memoKeyFor(app.Name, n, p, seed), func() (*Measurement, error) {
+			return r.runApp(ctx, app, n, p, seed)
+		})
+	}
+	return r.runApp(ctx, app, n, p, seed)
+}
+
+// runApp is the uncached run path behind RunAppSeeded.
+func (r *Rig) runApp(ctx context.Context, app splash.App, n int, p dvfs.OperatingPoint, seed uint64) (m *Measurement, err error) {
 	fail := func(step string, err error) error {
-		return &RunError{App: app.Name, N: n, Point: p, Seed: r.Seed, Step: step, Err: err}
+		return &RunError{App: app.Name, N: n, Point: p, Seed: seed, Step: step, Err: err}
 	}
 	// A panic anywhere downstream becomes a typed error with the run's
 	// provenance instead of unwinding the caller's sweep.
@@ -186,7 +237,7 @@ func (r *Rig) RunAppCtx(ctx context.Context, app splash.App, n int, p dvfs.Opera
 			return nil, fail("inject", err)
 		}
 	}
-	cfg := r.runConfig(ctx, app, n, p)
+	cfg := r.runConfig(ctx, app, n, p, seed)
 	res, err := cmp.Run(app.Program(r.Scale), cfg)
 	if err != nil {
 		return nil, fail("simulate", err)
@@ -204,7 +255,7 @@ func (r *Rig) RunAppCtx(ctx context.Context, app splash.App, n int, p dvfs.Opera
 		ECCRetries: res.CacheStats.ECCRetries,
 	}
 	if r.DTM != nil {
-		st, err := r.runDTM(ctx, app, n, p, res.Cycles)
+		st, err := r.runDTM(ctx, app, n, p, res.Cycles, seed)
 		if err != nil {
 			return nil, fail("dtm", err)
 		}

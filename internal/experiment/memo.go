@@ -1,0 +1,168 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"cmppower/internal/dvfs"
+)
+
+// memoKey is the full identity of one simulated run: two runs with equal
+// keys produce bit-identical Measurements, so a cached result can stand
+// in for a re-simulation. Everything that feeds the simulator or the
+// power/thermal evaluation is part of the key — the application, the
+// active and physical core counts, the exact operating point, the
+// workload seed and scale, the simulator mode flags, the DTM controller
+// configuration, and a digest of the fault-injection configuration.
+type memoKey struct {
+	app        string
+	n          int
+	freq       float64
+	volt       float64
+	seed       uint64
+	scale      float64
+	totalCores int
+	sysDVFS    bool
+	prefetch   bool
+	dtmOn      bool
+	dtm        DTMConfig
+	faults     string
+}
+
+// memoKeyFor builds the cache key for one run on this rig.
+func (r *Rig) memoKeyFor(app string, n int, p dvfs.OperatingPoint, seed uint64) memoKey {
+	k := memoKey{
+		app: app, n: n, freq: p.Freq, volt: p.Volt,
+		seed: seed, scale: r.Scale, totalCores: r.TotalCores,
+		sysDVFS: r.ScaleMemoryWithChip, prefetch: r.Prefetch,
+	}
+	if r.DTM != nil {
+		k.dtmOn, k.dtm = true, *r.DTM
+	}
+	if r.Faults != nil {
+		// Config digest, not schedule digest: the key must be computable
+		// before the run. Only ever consulted with injection disabled (see
+		// memoizable), where the digest is constant.
+		k.faults = fmt.Sprintf("%+v", r.Faults.Config())
+	}
+	return k
+}
+
+// memoizable reports whether runs on this rig are a pure function of
+// their memoKey. Active fault injection makes them order-dependent —
+// every run advances the injector's streams — so such runs always
+// re-simulate.
+func (r *Rig) memoizable() bool {
+	return r.Faults == nil || !r.Faults.Config().Enabled()
+}
+
+// EnableMemo attaches a measurement memo cache to the rig (idempotent).
+// Clones made afterwards share it, which is how a parallel sweep dedupes
+// the single-core baseline and nominal profiling runs that Scenario I
+// and Scenario II repeat. The cache holds successful Measurements only;
+// failures are never cached, so retries always re-simulate.
+func (r *Rig) EnableMemo() {
+	if r.memo == nil {
+		r.memo = newMemoCache()
+	}
+}
+
+// MemoStats reports the memo cache's traffic.
+type MemoStats struct {
+	// Hits counts runs served from the cache instead of re-simulated.
+	Hits int64
+	// Misses counts runs that were simulated and stored.
+	Misses int64
+	// Entries is the number of distinct cached measurements.
+	Entries int
+}
+
+// MemoStats returns the cache counters (zero without EnableMemo).
+func (r *Rig) MemoStats() MemoStats {
+	if r.memo == nil {
+		return MemoStats{}
+	}
+	return r.memo.stats()
+}
+
+// memoEntry is one in-flight or completed cached run. ready is closed
+// once m/err are final.
+type memoEntry struct {
+	ready chan struct{}
+	m     *Measurement
+	err   error
+}
+
+// memoCache is a concurrency-safe, single-flight measurement cache:
+// concurrent requests for the same key simulate once and share the
+// result, each caller receiving its own copy.
+type memoCache struct {
+	mu     sync.Mutex
+	m      map[memoKey]*memoEntry
+	hits   int64
+	misses int64
+}
+
+func newMemoCache() *memoCache {
+	return &memoCache{m: make(map[memoKey]*memoEntry)}
+}
+
+func (c *memoCache) stats() MemoStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return MemoStats{Hits: c.hits, Misses: c.misses, Entries: len(c.m)}
+}
+
+// do returns the cached measurement for k, computing it via compute on
+// first request. Duplicate concurrent requests block until the first
+// completes (or their own context cancels). Errors are propagated to
+// every waiter but never cached: the entry is removed so a later request
+// re-simulates.
+func (c *memoCache) do(ctx context.Context, k memoKey, compute func() (*Measurement, error)) (*Measurement, error) {
+	c.mu.Lock()
+	if e, ok := c.m[k]; ok {
+		c.mu.Unlock()
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if e.err != nil {
+			return nil, e.err
+		}
+		c.mu.Lock()
+		c.hits++
+		c.mu.Unlock()
+		return e.m.clone(), nil
+	}
+	e := &memoEntry{ready: make(chan struct{})}
+	c.m[k] = e
+	c.misses++
+	c.mu.Unlock()
+
+	m, err := compute()
+	if err != nil {
+		e.err = err
+		c.mu.Lock()
+		delete(c.m, k)
+		c.mu.Unlock()
+		close(e.ready)
+		return nil, err
+	}
+	// The cache keeps a pristine copy; the caller gets its own.
+	e.m = m.clone()
+	close(e.ready)
+	return m, nil
+}
+
+// clone returns a deep copy of the measurement so cached values can never
+// alias a caller's result.
+func (m *Measurement) clone() *Measurement {
+	c := *m
+	if m.DTM != nil {
+		dtm := *m.DTM
+		c.DTM = &dtm
+	}
+	return &c
+}

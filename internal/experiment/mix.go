@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"cmppower/internal/cmp"
@@ -48,19 +49,16 @@ func (r *Rig) Mix(apps []splash.App, p dvfs.OperatingPoint) (*MixResult, error) 
 		return nil, fmt.Errorf("experiment: %d jobs exceed %d cores", len(apps), r.TotalCores)
 	}
 	// Solo baselines at the same operating point, each with the same
-	// derived seed its job will use inside the mix.
-	savedSeed := r.Seed
-	defer func() { r.Seed = savedSeed }()
+	// derived seed its job will use inside the mix. The derived seed is
+	// passed per run so the shared rig is never mutated.
 	solo := make([]float64, len(apps))
 	for i, app := range apps {
-		r.Seed = cmp.MultiSeed(savedSeed, i)
-		m, err := r.RunApp(app, 1, p)
+		m, err := r.RunAppSeeded(context.Background(), app, 1, p, cmp.MultiSeed(r.Seed, i))
 		if err != nil {
 			return nil, err
 		}
 		solo[i] = m.Seconds
 	}
-	r.Seed = savedSeed
 	// The mix: one single-threaded program per core with the app's own
 	// core tuning.
 	n := len(apps)

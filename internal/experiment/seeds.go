@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"cmppower/internal/splash"
@@ -46,17 +47,15 @@ func (r *Rig) SeedStudy(app splash.App, n int, seeds []uint64) (*SeedStats, erro
 	if !app.RunsOn(n) || n < 2 {
 		return nil, fmt.Errorf("experiment: %s does not run on %d cores (need n >= 2)", app.Name, n)
 	}
-	savedSeed := r.Seed
-	defer func() { r.Seed = savedSeed }()
-
+	// The seed is passed explicitly per run — the rig is never mutated, so
+	// a seed study is safe to run alongside any concurrent use of clones.
 	var effs, times, powers []float64
 	for _, seed := range seeds {
-		r.Seed = seed
-		base, err := r.RunApp(app, 1, r.Table.Nominal())
+		base, err := r.RunAppSeeded(context.Background(), app, 1, r.Table.Nominal(), seed)
 		if err != nil {
 			return nil, err
 		}
-		m, err := r.RunApp(app, n, r.Table.Nominal())
+		m, err := r.RunAppSeeded(context.Background(), app, n, r.Table.Nominal(), seed)
 		if err != nil {
 			return nil, err
 		}

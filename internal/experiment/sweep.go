@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime/debug"
 	"time"
@@ -90,7 +91,10 @@ func protect(fn func() error) (err error) {
 
 // attempt runs fn under panic protection with bounded retry-with-backoff
 // for transient failures. It returns the number of attempts made and the
-// final error (nil on success).
+// final error (nil on success). Cancellation during a backoff wait joins
+// the context error with the transient failure that was about to be
+// retried, so errors.Is(err, context.Canceled) and errors.As for the
+// *RunError provenance both keep working.
 func attempt(ctx context.Context, rc RetryConfig, fn func() error) (int, error) {
 	delay := rc.Backoff
 	for attempts := 1; ; attempts++ {
@@ -100,7 +104,7 @@ func attempt(ctx context.Context, rc RetryConfig, fn func() error) (int, error) 
 		}
 		select {
 		case <-ctx.Done():
-			return attempts, ctx.Err()
+			return attempts, errors.Join(ctx.Err(), err)
 		case <-time.After(delay):
 		}
 		if delay *= 2; delay > rc.MaxBackoff {
@@ -125,47 +129,15 @@ type SweepOutcome struct {
 // *RunError where provenance is known) while the remaining apps still
 // run; injected-transient failures are retried per RetryConfig. Only
 // context cancellation stops the sweep early, returning the outcomes
-// gathered so far alongside ctx.Err().
+// gathered so far alongside ctx.Err(). It is the single-worker form of
+// SweepScenarioIWith, so each app still draws its own (scenario, app)-
+// salted fault stream and outcomes match any other worker count.
 func (r *Rig) SweepScenarioI(ctx context.Context, apps []splash.App, coreCounts []int, rc RetryConfig) ([]SweepOutcome, error) {
-	rc = rc.withDefaults()
-	out := make([]SweepOutcome, 0, len(apps))
-	for _, app := range apps {
-		if err := ctx.Err(); err != nil {
-			return out, err
-		}
-		o := SweepOutcome{App: app.Name}
-		o.Attempts, o.Err = attempt(ctx, rc, func() error {
-			res, err := r.ScenarioICtx(ctx, app, coreCounts)
-			o.I = res
-			return err
-		})
-		out = append(out, o)
-		if o.Err != nil && ctx.Err() != nil {
-			return out, ctx.Err()
-		}
-	}
-	return out, nil
+	return r.SweepScenarioIWith(ctx, apps, coreCounts, SweepConfig{Retry: rc, Workers: 1})
 }
 
 // SweepScenarioII is SweepScenarioI for the Scenario II (power-budget)
 // experiment.
 func (r *Rig) SweepScenarioII(ctx context.Context, apps []splash.App, coreCounts []int, rc RetryConfig) ([]SweepOutcome, error) {
-	rc = rc.withDefaults()
-	out := make([]SweepOutcome, 0, len(apps))
-	for _, app := range apps {
-		if err := ctx.Err(); err != nil {
-			return out, err
-		}
-		o := SweepOutcome{App: app.Name}
-		o.Attempts, o.Err = attempt(ctx, rc, func() error {
-			res, err := r.ScenarioIICtx(ctx, app, coreCounts)
-			o.II = res
-			return err
-		})
-		out = append(out, o)
-		if o.Err != nil && ctx.Err() != nil {
-			return out, ctx.Err()
-		}
-	}
-	return out, nil
+	return r.SweepScenarioIIWith(ctx, apps, coreCounts, SweepConfig{Retry: rc, Workers: 1})
 }

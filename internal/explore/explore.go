@@ -100,54 +100,39 @@ func Explore(apps []splash.App, opts []Option, scale float64) ([]Outcome, error)
 // ExploreCtx is Explore under a context: cancellation aborts the in-flight
 // simulation within one engine step and stops the sweep.
 func ExploreCtx(ctx context.Context, apps []splash.App, opts []Option, scale float64) ([]Outcome, error) {
+	return ExploreWith(ctx, apps, opts, scale, 1)
+}
+
+// ExploreWith is ExploreCtx across a bounded worker pool: every chip
+// organization is one work item (each already builds and calibrates its
+// own rig, so items share nothing mutable), fanned out over the given
+// number of workers (<= 0 means GOMAXPROCS) and merged back in option
+// order. Outcomes are bit-identical for every worker count.
+func ExploreWith(ctx context.Context, apps []splash.App, opts []Option, scale float64, workers int) ([]Outcome, error) {
 	if len(apps) == 0 || len(opts) == 0 {
 		return nil, fmt.Errorf("explore: empty sweep (%d apps, %d options)", len(apps), len(opts))
 	}
-	var out []Outcome
 	for _, opt := range opts {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
 		if err := opt.Validate(); err != nil {
 			return nil, err
 		}
-		rig, err := experiment.NewCustomRig(opt.Cores, scale)
+	}
+	perOpt := make([][]Outcome, len(opts))
+	errs := make([]error, len(opts))
+	poolErr := experiment.RunIndexed(ctx, workers, len(opts), func(i int) {
+		perOpt[i], errs[i] = exploreOption(ctx, apps, opts[i], scale)
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		for _, app := range apps {
-			n := maxThreads(app, opt.Cores)
-			point := rig.Table.Nominal()
-			cfg := cmp.DefaultConfig(n, point)
-			cfg.TotalCores = opt.Cores
-			cfg.Core = app.CoreConfig()
-			cfg.Core.IssueWidth = opt.IssueWidth
-			cfg.Core.IPCNonMem = cfg.Core.IPCNonMem * opt.IPCBoost
-			if lim := float64(opt.IssueWidth); cfg.Core.IPCNonMem > lim {
-				cfg.Core.IPCNonMem = lim
-			}
-			cc := cache.DefaultConfig(n, point.Freq)
-			cc.L2 = cache.Geometry{SizeBytes: opt.L2Bytes, LineBytes: 128, Ways: 8}
-			cfg.CacheOverride = &cc
-			cfg.Seed = rig.Seed
-			cfg.Ctx = ctx
-			res, err := cmp.Run(app.Program(scale), cfg)
-			if err != nil {
-				return nil, fmt.Errorf("explore: %s on %s: %w", app.Name, opt.Name, err)
-			}
-			pw, err := rig.Meter.Evaluate(rig.FP, rig.TM, res.Activity, res.Seconds,
-				int64(res.Cycles)+1, point, n)
-			if err != nil {
-				return nil, err
-			}
-			o := Outcome{
-				Option: opt, App: app.Name, N: n,
-				Seconds: res.Seconds, PowerW: pw.TotalW,
-				EnergyJ: pw.TotalW * res.Seconds,
-			}
-			o.EDP = o.EnergyJ * o.Seconds
-			out = append(out, o)
-		}
+	}
+	if poolErr != nil {
+		return nil, poolErr
+	}
+	var out []Outcome
+	for _, outs := range perOpt {
+		out = append(out, outs...)
 	}
 	// Speedups relative to the 16x-ev6 organization (or the first option).
 	refName := opts[0].Name
@@ -166,6 +151,50 @@ func ExploreCtx(ctx context.Context, apps []splash.App, opts []Option, scale flo
 		if base, ok := ref[out[i].App]; ok && out[i].Seconds > 0 {
 			out[i].Speedup = base / out[i].Seconds
 		}
+	}
+	return out, nil
+}
+
+// exploreOption evaluates every application on one organization: one
+// sweep work item, with its own freshly calibrated rig.
+func exploreOption(ctx context.Context, apps []splash.App, opt Option, scale float64) ([]Outcome, error) {
+	rig, err := experiment.NewCustomRig(opt.Cores, scale)
+	if err != nil {
+		return nil, err
+	}
+	var out []Outcome
+	for _, app := range apps {
+		n := maxThreads(app, opt.Cores)
+		point := rig.Table.Nominal()
+		cfg := cmp.DefaultConfig(n, point)
+		cfg.TotalCores = opt.Cores
+		cfg.Core = app.CoreConfig()
+		cfg.Core.IssueWidth = opt.IssueWidth
+		cfg.Core.IPCNonMem = cfg.Core.IPCNonMem * opt.IPCBoost
+		if lim := float64(opt.IssueWidth); cfg.Core.IPCNonMem > lim {
+			cfg.Core.IPCNonMem = lim
+		}
+		cc := cache.DefaultConfig(n, point.Freq)
+		cc.L2 = cache.Geometry{SizeBytes: opt.L2Bytes, LineBytes: 128, Ways: 8}
+		cfg.CacheOverride = &cc
+		cfg.Seed = rig.Seed
+		cfg.Ctx = ctx
+		res, err := cmp.Run(app.Program(scale), cfg)
+		if err != nil {
+			return nil, fmt.Errorf("explore: %s on %s: %w", app.Name, opt.Name, err)
+		}
+		pw, err := rig.Meter.Evaluate(rig.FP, rig.TM, res.Activity, res.Seconds,
+			int64(res.Cycles)+1, point, n)
+		if err != nil {
+			return nil, err
+		}
+		o := Outcome{
+			Option: opt, App: app.Name, N: n,
+			Seconds: res.Seconds, PowerW: pw.TotalW,
+			EnergyJ: pw.TotalW * res.Seconds,
+		}
+		o.EDP = o.EnergyJ * o.Seconds
+		out = append(out, o)
 	}
 	return out, nil
 }

@@ -1,6 +1,8 @@
 package explore
 
 import (
+	"context"
+	"reflect"
 	"testing"
 
 	"cmppower/internal/splash"
@@ -119,5 +121,43 @@ func TestExploreValidation(t *testing.T) {
 	}
 	if _, err := Explore(apps(t, "FFT"), []Option{{}}, 0.1); err == nil {
 		t.Error("accepted invalid option")
+	}
+}
+
+// TestExploreWithMatchesSerial: the pooled exploration must be
+// bit-identical to the serial one for every worker count, including the
+// post-pass speedup normalization that depends on the full result set.
+func TestExploreWithMatchesSerial(t *testing.T) {
+	as := apps(t, "FFT", "Radix")
+	opts := StandardOptions()[:3]
+	serial, err := ExploreWith(context.Background(), as, opts, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range []int{2, 4, 8} {
+		parallel, err := ExploreWith(context.Background(), as, opts, 0.1, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Fatalf("workers=%d outcomes diverged from serial:\n%+v\nvs\n%+v", j, serial, parallel)
+		}
+	}
+	// The legacy entry point is the single-worker form.
+	legacy, err := Explore(as, opts, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, legacy) {
+		t.Fatal("Explore diverged from ExploreWith(..., 1)")
+	}
+}
+
+// TestExploreWithCancellation: a dead context aborts the exploration.
+func TestExploreWithCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ExploreWith(ctx, apps(t, "FFT"), StandardOptions()[:2], 0.1, 2); err == nil {
+		t.Fatal("cancelled exploration returned nil error")
 	}
 }

@@ -264,6 +264,37 @@ func (in *Injector) Config() Config {
 	return in.cfg
 }
 
+// Fork returns a fresh injector with the same configuration whose streams
+// derive from the parent's seed XOR a hash of salt. Forked injectors are
+// mutually independent and independent of the parent's stream positions,
+// so a sweep that forks one injector per work item gets a fault schedule
+// that is deterministic in (seed, salt) alone — the same schedule whether
+// the items run serially or on any number of workers, in any order. A nil
+// injector forks to nil.
+func (in *Injector) Fork(salt string) *Injector {
+	if in == nil {
+		return nil
+	}
+	cfg := in.cfg
+	cfg.Seed ^= fnv64(salt)
+	out, err := New(cfg)
+	if err != nil {
+		// cfg was validated when the parent was built; New cannot fail.
+		panic(err)
+	}
+	return out
+}
+
+// fnv64 is the FNV-1a 64-bit hash of s.
+func fnv64(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
 // record appends an event to the bounded schedule.
 func (in *Injector) record(d Domain, k Kind, detail string) {
 	in.seq++

@@ -208,3 +208,49 @@ func TestScheduleBound(t *testing.T) {
 		t.Fatalf("injected %d, want 100", in.Injected())
 	}
 }
+
+// TestForkDeterministicAndIndependent: a fork is a pure function of
+// (parent seed, salt) — equal salts agree, different salts (and different
+// parent seeds) diverge, and draining a fork never advances its parent.
+func TestForkDeterministicAndIndependent(t *testing.T) {
+	parent, err := New(fullConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := drive(parent.Fork("scenarioI/FFT"))
+	b := drive(parent.Fork("scenarioI/FFT"))
+	if a != b {
+		t.Error("equal-salt forks produced different transcripts")
+	}
+	if c := drive(parent.Fork("scenarioI/LU")); c == a {
+		t.Error("different salts produced identical transcripts")
+	}
+	other, err := New(fullConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := drive(other.Fork("scenarioI/FFT")); d == a {
+		t.Error("different parent seeds produced identical fork transcripts")
+	}
+	// The parent's own streams must be untouched by forking and by
+	// transcripts drawn from its forks.
+	if parent.Injected() != 0 {
+		t.Errorf("forking consumed %d events from the parent", parent.Injected())
+	}
+	fresh, err := New(fullConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drive(parent) != drive(fresh) {
+		t.Error("fork usage perturbed the parent's streams")
+	}
+}
+
+// TestForkNil: forking a nil injector stays nil (a fault-free rig clones
+// to a fault-free rig).
+func TestForkNil(t *testing.T) {
+	var in *Injector
+	if got := in.Fork("x"); got != nil {
+		t.Errorf("nil fork returned %v", got)
+	}
+}
