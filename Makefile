@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race doctor
+.PHONY: check build test vet race doctor bench bench-check
 
 check:
 	./scripts/check.sh
@@ -22,3 +22,14 @@ race:
 
 doctor: build
 	$(GO) run ./cmd/cmppower doctor
+
+# Regenerate the committed benchmark baseline (slow; run on a quiet host).
+bench: build
+	$(GO) run ./cmd/cmppower bench -out BENCH_3.json
+	@cat BENCH_3.json
+
+# CI regression gate: quick re-measure, then compare speedup ratios
+# against the committed baseline (fails on >20% regression).
+bench-check: build
+	$(GO) run ./cmd/cmppower bench -quick -out /tmp/bench-current.json
+	$(GO) run ./scripts/benchgate BENCH_3.json /tmp/bench-current.json

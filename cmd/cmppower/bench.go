@@ -1,0 +1,218 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cmppower"
+	"cmppower/internal/floorplan"
+	"cmppower/internal/thermal"
+	"cmppower/internal/workload"
+)
+
+// benchReport is the BENCH_<n>.json schema: the recorded performance
+// trajectory of the two hot loops plus one end-to-end figure. Absolute
+// rates are machine-dependent and only comparable on one host; the
+// Speedup ratios (fast path vs in-binary reference implementation) are
+// what the CI regression gate compares, since both sides of a ratio move
+// together with host speed. No timestamps: the file must be diffable.
+type benchReport struct {
+	Schema  int           `json:"schema"`
+	Engine  engineBench   `json:"engine"`
+	Thermal thermalBench  `json:"thermal"`
+	Fig3    endToEndBench `json:"fig3"`
+}
+
+type engineBench struct {
+	Workload string `json:"workload"`
+	Events   int64  `json:"events"`
+	// Batched is the fused fast-path throughput, Unbatched the
+	// event-at-a-time reference loop (the seed engine's structure) in the
+	// same binary. Best of the measured repetitions, events per second.
+	BatchedEventsPerSec   float64 `json:"batched_events_per_sec"`
+	UnbatchedEventsPerSec float64 `json:"unbatched_events_per_sec"`
+	Speedup               float64 `json:"speedup"`
+}
+
+type thermalBench struct {
+	Network string `json:"network"`
+	Nodes   int    `json:"nodes"`
+	// Factored is the LDLᵀ direct SteadyState, Reference the Gauss-Seidel
+	// solver it replaced. Solves per second.
+	FactoredSolvesPerSec  float64 `json:"factored_solves_per_sec"`
+	ReferenceSolvesPerSec float64 `json:"reference_solves_per_sec"`
+	Speedup               float64 `json:"speedup"`
+}
+
+type endToEndBench struct {
+	Config  string  `json:"config"`
+	Seconds float64 `json:"seconds"`
+}
+
+// runBench measures engine and thermal throughput plus an end-to-end
+// fig3 sweep and emits the report as JSON (stdout, or -out FILE).
+// -quick cuts repetitions for CI; the ratios it reports are the same
+// quantities, just noisier.
+func runBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "fewer repetitions (CI mode)")
+	out := fs.String("out", "", "write JSON to this file instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rep := benchReport{Schema: 3}
+
+	engineReps, thermalSolves, refSolves := 6, 20000, 300
+	if *quick {
+		engineReps, thermalSolves, refSolves = 3, 5000, 100
+	}
+
+	eng, err := benchEngine(engineReps)
+	if err != nil {
+		return err
+	}
+	rep.Engine = eng
+
+	th, err := benchThermal(thermalSolves, refSolves)
+	if err != nil {
+		return err
+	}
+	rep.Thermal = th
+
+	e2e, err := benchFig3()
+	if err != nil {
+		return err
+	}
+	rep.Fig3 = e2e
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out != "" {
+		return os.WriteFile(*out, data, 0o644)
+	}
+	_, err = os.Stdout.Write(data)
+	return err
+}
+
+// benchEngine times one representative simulator run — Ocean at scale
+// 0.5 on 16 cores, the fig3 configuration's heaviest point — through the
+// batched fast path and the reference loop, best of reps.
+func benchEngine(reps int) (engineBench, error) {
+	app, err := cmppower.AppByName("Ocean")
+	if err != nil {
+		return engineBench{}, err
+	}
+	tab, err := cmppower.NewDVFSTable(cmppower.Tech65())
+	if err != nil {
+		return engineBench{}, err
+	}
+	var events int64
+	run := func(unbatched bool) (float64, error) {
+		cfg := cmppower.DefaultSimConfig(16, tab.Nominal())
+		cfg.Core = app.CoreConfig()
+		cfg.Unbatched = unbatched
+		cfg.Ctx = context.Background() // the experiment rig always sets one
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < reps; i++ {
+			start := time.Now()
+			res, err := cmppower.Simulate(app.Program(0.5), cfg)
+			if err != nil {
+				return 0, err
+			}
+			if el := time.Since(start); el < best {
+				best = el
+			}
+			events = res.Events
+		}
+		return float64(events) / best.Seconds(), nil
+	}
+	batched, err := run(false)
+	if err != nil {
+		return engineBench{}, err
+	}
+	unbatched, err := run(true)
+	if err != nil {
+		return engineBench{}, err
+	}
+	return engineBench{
+		Workload:              "Ocean scale=0.5, 16 cores, nominal V/f",
+		Events:                events,
+		BatchedEventsPerSec:   batched,
+		UnbatchedEventsPerSec: unbatched,
+		Speedup:               batched / unbatched,
+	}, nil
+}
+
+// benchThermal times repeated SteadyState solves of the 16-core chip
+// network under a fixed random power vector — the SteadyStateCoupled /
+// PowerForPeak / sweep hot path.
+func benchThermal(fastSolves, refSolves int) (thermalBench, error) {
+	fp, err := floorplan.Chip(floorplan.DefaultChipConfig(16))
+	if err != nil {
+		return thermalBench{}, err
+	}
+	m, err := thermal.NewModel(fp, thermal.DefaultParams())
+	if err != nil {
+		return thermalBench{}, err
+	}
+	pw := make([]float64, m.NumNodes())
+	rng := workload.NewRNG(7)
+	for i := range pw {
+		pw[i] = 2 * rng.Float64()
+	}
+	time0 := time.Now()
+	for i := 0; i < fastSolves; i++ {
+		if _, err := m.SteadyState(pw); err != nil {
+			return thermalBench{}, err
+		}
+	}
+	fast := float64(fastSolves) / time.Since(time0).Seconds()
+	time0 = time.Now()
+	for i := 0; i < refSolves; i++ {
+		if _, err := m.SteadyStateReference(pw); err != nil {
+			return thermalBench{}, err
+		}
+	}
+	ref := float64(refSolves) / time.Since(time0).Seconds()
+	return thermalBench{
+		Network:               "16-core chip floorplan, LDLT vs Gauss-Seidel",
+		Nodes:                 m.NumNodes(),
+		FactoredSolvesPerSec:  fast,
+		ReferenceSolvesPerSec: ref,
+		Speedup:               fast / ref,
+	}, nil
+}
+
+// benchFig3 times a small end-to-end fig3 sweep: two applications across
+// the full core-count axis, serial workers, everything included (engine,
+// energy, thermal, reporting inputs).
+func benchFig3() (endToEndBench, error) {
+	const config = "scale=0.25, apps=FFT+LU, N=1..16, j=1"
+	apps, err := appsFor("FFT,LU")
+	if err != nil {
+		return endToEndBench{}, err
+	}
+	rig, err := cmppower.NewExperiment(0.25)
+	if err != nil {
+		return endToEndBench{}, err
+	}
+	start := time.Now()
+	outcomes, err := rig.SweepScenarioIWith(context.Background(), apps, []int{1, 2, 4, 8, 16},
+		cmppower.SweepConfig{Retry: cmppower.DefaultRetryConfig(), Workers: 1})
+	if err != nil {
+		return endToEndBench{}, err
+	}
+	for _, o := range outcomes {
+		if o.Err != nil {
+			return endToEndBench{}, fmt.Errorf("bench fig3: %s: %w", o.App, o.Err)
+		}
+	}
+	return endToEndBench{Config: config, Seconds: time.Since(start).Seconds()}, nil
+}

@@ -6,7 +6,6 @@ import (
 	"flag"
 	"fmt"
 	"math"
-	"os"
 	"reflect"
 	"time"
 
@@ -27,6 +26,7 @@ const (
 	exitDoctorDTM         = 3 // DTM failed to contain a thermal emergency
 	exitDoctorCancel      = 4 // context cancellation did not stop a run
 	exitDoctorParallel    = 5 // parallel sweep diverged from serial sweep
+	exitDoctorBatched     = 6 // batched engine diverged from the reference loop
 )
 
 // runDoctor runs the repository's end-to-end self-checks: determinism,
@@ -54,6 +54,7 @@ func runDoctor(args []string) error {
 		{"DTM contains thermal emergency", checkDTMTrip, exitDoctorDTM},
 		{"context cancel stops a sweep", checkContextCancel, exitDoctorCancel},
 		{"parallel sweep matches serial", checkParallelDeterminism, exitDoctorParallel},
+		{"batched engine matches reference loop", checkBatchedEngine, exitDoctorBatched},
 	}
 	// Every check builds its own rigs and injectors, so they fan out over
 	// the worker pool; results are collected and reported in list order.
@@ -79,7 +80,52 @@ func runDoctor(args []string) error {
 		}
 	}
 	if exit != 0 {
-		os.Exit(exit)
+		nfail := 0
+		for _, err := range failures {
+			if err != nil {
+				nfail++
+			}
+		}
+		// The code travels as an error so main's profile teardown runs.
+		return &exitError{code: exit, msg: fmt.Sprintf("%d check(s) failed", nfail)}
+	}
+	return nil
+}
+
+// checkBatchedEngine runs a smoke workload through the batched fast path
+// and the event-at-a-time reference loop and requires identical results —
+// the fast path's bit-identity guarantee, self-verifying in the field.
+// The workload deliberately mixes compute, memory, barriers, and critical
+// sections (FFT has all four) at a core count where arbitration matters.
+func checkBatchedEngine() error {
+	app, err := cmppower.AppByName("FFT")
+	if err != nil {
+		return err
+	}
+	tab, err := cmppower.NewDVFSTable(cmppower.Tech65())
+	if err != nil {
+		return err
+	}
+	run := func(unbatched bool) (*cmppower.SimResult, error) {
+		cfg := cmppower.DefaultSimConfig(4, tab.Nominal())
+		cfg.Core = app.CoreConfig()
+		cfg.Unbatched = unbatched
+		return cmppower.Simulate(app.Program(0.1), cfg)
+	}
+	fast, err := run(false)
+	if err != nil {
+		return err
+	}
+	ref, err := run(true)
+	if err != nil {
+		return err
+	}
+	if fast.Cycles != ref.Cycles || fast.Instructions != ref.Instructions ||
+		!reflect.DeepEqual(fast.PerCore, ref.PerCore) ||
+		!reflect.DeepEqual(fast.Activity, ref.Activity) ||
+		!reflect.DeepEqual(fast.CacheStats, ref.CacheStats) {
+		return fmt.Errorf("batched engine diverged: %g cyc / %d instr vs %g cyc / %d instr",
+			fast.Cycles, fast.Instructions, ref.Cycles, ref.Instructions)
 	}
 	return nil
 }

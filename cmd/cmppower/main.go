@@ -23,25 +23,101 @@
 //	cmppower svg    [-app NAME] [-n N] [-out FILE]
 //	cmppower all    [-out DIR] [-scale S]
 //	cmppower doctor [-j N]
+//	cmppower bench  [-quick] [-out FILE]
 //
 // Sweep-style commands accept -j to fan work across a bounded worker pool
 // (0 = GOMAXPROCS); output is bit-identical for every -j.
+//
+// Global flags, given before the command, profile any invocation:
+//
+//	cmppower -cpuprofile cpu.prof -memprofile mem.prof fig3 -scale 0.2
 //
 // See EXPERIMENTS.md for the expected shapes and the paper-vs-measured
 // record.
 package main
 
 import (
+	"errors"
+	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 )
 
+// exitError carries a specific process exit code through the normal error
+// return path, so global teardown (profile flushing) still runs; a bare
+// os.Exit inside a command would discard an in-flight CPU profile.
+type exitError struct {
+	code int
+	msg  string
+}
+
+func (e *exitError) Error() string { return e.msg }
+
+// exitCodeOf extracts a command's requested exit code, if any.
+func exitCodeOf(err error) (int, bool) {
+	var ee *exitError
+	if errors.As(err, &ee) {
+		return ee.code, true
+	}
+	return 0, false
+}
+
 func main() {
-	if len(os.Args) < 2 {
+	// Global flags precede the command; flag parsing stops at the first
+	// non-flag argument, so command flags are untouched.
+	top := flag.NewFlagSet("cmppower", flag.ExitOnError)
+	cpuProfile := top.String("cpuprofile", "", "write a CPU profile of the whole command to `file`")
+	memProfile := top.String("memprofile", "", "write a heap allocation profile to `file` at exit")
+	top.Usage = func() {
 		usage()
 		os.Exit(2)
 	}
-	cmd, args := os.Args[1], os.Args[2:]
+	_ = top.Parse(os.Args[1:])
+	args := top.Args()
+	if len(args) < 1 {
+		usage()
+		os.Exit(2)
+	}
+	var cpuOut *os.File
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cmppower: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cmppower: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		cpuOut = f
+	}
+	// Commands exit through run so the profiles are flushed before the
+	// process terminates (os.Exit skips deferred calls).
+	code := run(args[0], args[1:])
+	if cpuOut != nil {
+		pprof.StopCPUProfile()
+		cpuOut.Close()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cmppower: -memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC() // settle live objects so the profile shows retained heap
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cmppower: -memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+	os.Exit(code)
+}
+
+// run dispatches one command and returns the process exit code.
+func run(cmd string, args []string) int {
 	var err error
 	switch cmd {
 	case "fig1":
@@ -86,17 +162,23 @@ func main() {
 		err = runDoctor(args)
 	case "cachesweep":
 		err = runCacheSweep(args)
+	case "bench":
+		err = runBench(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
 		fmt.Fprintf(os.Stderr, "cmppower: unknown command %q\n\n", cmd)
 		usage()
-		os.Exit(2)
+		return 2
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cmppower %s: %v\n", cmd, err)
-		os.Exit(1)
+		if code, ok := exitCodeOf(err); ok {
+			return code
+		}
+		return 1
 	}
+	return 0
 }
 
 func usage() {
@@ -123,10 +205,17 @@ Commands:
   svg      Thermal-map SVG of one run
   all      Regenerate every artifact into a directory
   doctor   End-to-end self-checks (determinism, coherence, calibration,
-           fault injection, DTM, cancellation, parallel-sweep determinism;
-           distinct exit codes per resilience failure: 2=injector, 3=DTM,
-           4=cancellation, 5=parallel-divergence)
+           fault injection, DTM, cancellation, parallel-sweep determinism,
+           batched-engine equivalence; distinct exit codes per resilience
+           failure: 2=injector, 3=DTM, 4=cancellation,
+           5=parallel-divergence, 6=batched-engine-divergence)
   cachesweep  L1 capacity sensitivity across core counts
+  bench    Performance benchmarks (engine events/sec, thermal solves/sec,
+           end-to-end fig3 time) as BENCH JSON for the regression gate
+
+Global flags (before the command):
+  -cpuprofile FILE   write a CPU profile of the whole command
+  -memprofile FILE   write a heap profile at exit
 
 Run 'cmppower <command> -h' for flags.
 `)

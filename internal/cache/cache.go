@@ -60,33 +60,81 @@ func (g Geometry) Validate() error {
 // Sets returns the set count.
 func (g Geometry) Sets() int { return g.SizeBytes / g.LineBytes / g.Ways }
 
-type line struct {
-	tag     uint64 // full line address (addr >> lineShift)
-	state   State
-	lastUse uint64
-}
+// A cache line is one packed uint64 — tag<<8 | state, 0 when Invalid —
+// because tag probes are the hottest loads of the whole simulator and
+// footprint is what they pay for: a probe is one load and two compares,
+// and a whole 2-way set is a single host cache line. Tags therefore carry
+// 56 bits — ample, since line addresses are byte addresses shifted right
+// by the line-size log (the simulator's synthetic address spaces top out
+// far below 2^56 lines).
+//
+// Replacement is true LRU, represented as recency order: within a set the
+// ways are kept most-recently-used first, so a hit rotates the line to
+// the front and the victim is always the last way. That is exactly the
+// eviction order timestamp LRU produces, without spending a second word
+// per line on the timestamp or a store per hit on refreshing it.
 
 // Array is one set-associative cache array with MESI line states and true
-// LRU replacement.
+// LRU replacement. Arrays built by NewBank share one set-interleaved
+// backing store (see NewBank); standalone arrays own their lines.
 type Array struct {
 	geom      Geometry
 	lineShift uint
 	setMask   uint64
-	lines     []line // sets × ways
-	useClock  uint64
+	sets      uint64
+	ways      int
+	stride    int // backing-row advance per set; == ways for standalone arrays
+	setsPow2  bool
+	lines     []uint64 // len == sets*stride, this array's ways at row offset 0
 }
 
-// NewArray builds an empty array.
+// NewArray builds an empty standalone array.
 func NewArray(g Geometry) (*Array, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
+	a := newArrayShape(g)
+	a.lines = make([]uint64, g.Sets()*g.Ways)
+	return a, nil
+}
+
+func newArrayShape(g Geometry) *Array {
+	sets := uint64(g.Sets())
 	return &Array{
 		geom:      g,
 		lineShift: uint(bits.TrailingZeros(uint(g.LineBytes))),
-		setMask:   uint64(g.Sets() - 1),
-		lines:     make([]line, g.Sets()*g.Ways),
-	}, nil
+		setMask:   sets - 1,
+		sets:      sets,
+		ways:      g.Ways,
+		stride:    g.Ways,
+		setsPow2:  sets&(sets-1) == 0,
+	}
+}
+
+// NewBank builds n identical arrays whose lines share one backing buffer,
+// interleaved by set: set s holds array 0's ways, then array 1's, and so
+// on, contiguously. A coherence snoop probes every array at the same set,
+// so interleaving turns the snoop loop's n scattered reads into one
+// sequential walk — the difference between n cache misses and a
+// prefetchable stream. Each returned Array still behaves exactly like a
+// standalone NewArray (same LRU, same states); only the memory layout is
+// shared.
+func NewBank(g Geometry, n int) ([]*Array, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("cache: bank of %d arrays", n)
+	}
+	backing := make([]uint64, g.Sets()*g.Ways*n)
+	arrays := make([]*Array, n)
+	for i := range arrays {
+		a := newArrayShape(g)
+		a.stride = g.Ways * n
+		a.lines = backing[i*g.Ways:]
+		arrays[i] = a
+	}
+	return arrays, nil
 }
 
 // Geometry returns the array geometry.
@@ -95,27 +143,30 @@ func (a *Array) Geometry() Geometry { return a.geom }
 // LineAddr maps a byte address to its line address.
 func (a *Array) LineAddr(addr uint64) uint64 { return addr >> a.lineShift }
 
-func (a *Array) setOf(lineAddr uint64) []line {
+func (a *Array) setOf(lineAddr uint64) []uint64 {
 	// Sets may not be a power of two (odd ways); use modulo then.
 	var idx uint64
-	if uint64(a.geom.Sets())&(uint64(a.geom.Sets())-1) == 0 {
+	if a.setsPow2 {
 		idx = lineAddr & a.setMask
 	} else {
-		idx = lineAddr % uint64(a.geom.Sets())
+		idx = lineAddr % a.sets
 	}
-	start := int(idx) * a.geom.Ways
-	return a.lines[start : start+a.geom.Ways]
+	start := int(idx) * a.stride
+	return a.lines[start : start+a.ways]
 }
 
 // Lookup returns the state of the line holding addr, or Invalid. A hit
-// refreshes LRU.
+// refreshes LRU by rotating the line to the most-recent position.
 func (a *Array) Lookup(lineAddr uint64) State {
 	set := a.setOf(lineAddr)
+	probe := lineAddr << 8
 	for i := range set {
-		if set[i].state != Invalid && set[i].tag == lineAddr {
-			a.useClock++
-			set[i].lastUse = a.useClock
-			return set[i].state
+		if k := set[i]; k != 0 && k&^0xFF == probe {
+			for j := i; j > 0; j-- {
+				set[j] = set[j-1]
+			}
+			set[0] = k
+			return State(k & 0xFF)
 		}
 	}
 	return Invalid
@@ -124,9 +175,10 @@ func (a *Array) Lookup(lineAddr uint64) State {
 // Peek returns the line state without touching LRU.
 func (a *Array) Peek(lineAddr uint64) State {
 	set := a.setOf(lineAddr)
+	probe := lineAddr << 8
 	for i := range set {
-		if set[i].state != Invalid && set[i].tag == lineAddr {
-			return set[i].state
+		if k := set[i]; k != 0 && k&^0xFF == probe {
+			return State(k & 0xFF)
 		}
 	}
 	return Invalid
@@ -136,9 +188,14 @@ func (a *Array) Peek(lineAddr uint64) State {
 // It reports whether the line was present.
 func (a *Array) SetState(lineAddr uint64, st State) bool {
 	set := a.setOf(lineAddr)
+	probe := lineAddr << 8
 	for i := range set {
-		if set[i].state != Invalid && set[i].tag == lineAddr {
-			set[i].state = st
+		if k := set[i]; k != 0 && k&^0xFF == probe {
+			if st == Invalid {
+				set[i] = 0
+			} else {
+				set[i] = probe | uint64(st)
+			}
 			return true
 		}
 	}
@@ -154,45 +211,52 @@ type Victim struct {
 
 // Insert places lineAddr with state st, evicting the LRU way if the set is
 // full, and returns the victim (Valid=false if an empty way was used).
-// Inserting a line that is already present just updates its state.
+// Inserting a line that is already present just updates its state (and,
+// like any insert, makes the line most recent).
 func (a *Array) Insert(lineAddr uint64, st State) Victim {
 	set := a.setOf(lineAddr)
-	a.useClock++
-	// Already present?
+	probe := lineAddr << 8
+	// The insert slot is the line itself if present, else the first empty
+	// way, else the last (least-recent) way, whose occupant is the victim.
+	// Presence is checked across the whole set before falling back to an
+	// empty way: invalidations can leave a hole in front of the line, and
+	// filling the hole instead would duplicate the line.
+	pos := -1
 	for i := range set {
-		if set[i].state != Invalid && set[i].tag == lineAddr {
-			set[i].state = st
-			set[i].lastUse = a.useClock
-			return Victim{}
+		if k := set[i]; k != 0 && k&^0xFF == probe {
+			pos = i
+			break
 		}
 	}
-	// Empty way?
-	for i := range set {
-		if set[i].state == Invalid {
-			set[i] = line{tag: lineAddr, state: st, lastUse: a.useClock}
-			return Victim{}
+	var v Victim
+	if pos < 0 {
+		for i := range set {
+			if set[i] == 0 {
+				pos = i
+				break
+			}
 		}
 	}
-	// Evict LRU.
-	lru := 0
-	for i := 1; i < len(set); i++ {
-		if set[i].lastUse < set[lru].lastUse {
-			lru = i
-		}
+	if pos < 0 {
+		pos = len(set) - 1
+		k := set[pos]
+		v = Victim{LineAddr: k >> 8, State: State(k & 0xFF), Valid: true}
 	}
-	v := Victim{LineAddr: set[lru].tag, State: set[lru].state, Valid: true}
-	set[lru] = line{tag: lineAddr, state: st, lastUse: a.useClock}
+	for j := pos; j > 0; j-- {
+		set[j] = set[j-1]
+	}
+	set[0] = probe | uint64(st)
 	return v
 }
 
 // Invalidate removes the line and returns its prior state.
 func (a *Array) Invalidate(lineAddr uint64) State {
 	set := a.setOf(lineAddr)
+	probe := lineAddr << 8
 	for i := range set {
-		if set[i].state != Invalid && set[i].tag == lineAddr {
-			st := set[i].state
-			set[i].state = Invalid
-			return st
+		if k := set[i]; k != 0 && k&^0xFF == probe {
+			set[i] = 0
+			return State(k & 0xFF)
 		}
 	}
 	return Invalid
@@ -201,9 +265,12 @@ func (a *Array) Invalidate(lineAddr uint64) State {
 // CountValid returns the number of valid lines (test/debug helper).
 func (a *Array) CountValid() int {
 	n := 0
-	for i := range a.lines {
-		if a.lines[i].state != Invalid {
-			n++
+	for s := 0; s < int(a.sets); s++ {
+		row := a.lines[s*a.stride : s*a.stride+a.ways]
+		for i := range row {
+			if row[i] != 0 {
+				n++
+			}
 		}
 	}
 	return n

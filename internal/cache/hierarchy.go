@@ -122,12 +122,10 @@ func New(cfg Config, dram *mem.DRAM) (*Hierarchy, error) {
 		return nil, err
 	}
 	h := &Hierarchy{cfg: cfg, bus: b, dram: dram}
-	for i := 0; i < cfg.NCores; i++ {
-		a, err := NewArray(cfg.L1)
-		if err != nil {
-			return nil, err
-		}
-		h.l1d = append(h.l1d, a)
+	// The L1s live in one set-interleaved bank so coherence snoops walk
+	// contiguous memory (see NewBank).
+	if h.l1d, err = NewBank(cfg.L1, cfg.NCores); err != nil {
+		return nil, err
 	}
 	if h.l2, err = NewArray(cfg.L2); err != nil {
 		return nil, err
@@ -154,6 +152,15 @@ func (h *Hierarchy) Stats() Stats {
 	return s
 }
 
+// L1DAccesses returns core's cumulative L1-D access count without
+// snapshotting the full Stats record; the engine's incremental activity
+// sampler reads it once per sample interval.
+func (h *Hierarchy) L1DAccesses(core int) int64 { return h.st.L1DAccess[core] }
+
+// L2Accesses returns the cumulative L2 access count (same role as
+// L1DAccesses).
+func (h *Hierarchy) L2Accesses() int64 { return h.st.L2Access }
+
 // Bus exposes the snooping bus (for utilization statistics).
 func (h *Hierarchy) Bus() *bus.Bus { return h.bus }
 
@@ -175,7 +182,26 @@ func (h *Hierarchy) Access(core int, addr uint64, write bool, now float64) float
 		}
 	}
 
-	if st := l1.Lookup(la); st != Invalid {
+	// The L1s share one set-interleaved bank (NewBank), so the whole
+	// coherence set — every core's ways for this address — is one
+	// contiguous row. The tag probe and the snoop below walk it directly;
+	// each step mirrors an Array method (Lookup, Peek, SetState,
+	// Invalidate) exactly, including LRU refresh on hits only.
+	row, ways := h.l1row(la), l1.ways
+	probe := la << 8
+	base := core * ways
+	for w := base; w < base+ways; w++ {
+		k := row[w]
+		if k == 0 || k&^0xFF != probe {
+			continue
+		}
+		// L1 hit: refresh LRU as Array.Lookup does — rotate the line to
+		// the most-recent position of this core's ways.
+		for j := w; j > base; j-- {
+			row[j] = row[j-1]
+		}
+		row[base] = k
+		st := State(k & 0xFF)
 		// Tagged prefetching: the first demand hit on a prefetched line
 		// pulls the next line, keeping a stream one line ahead.
 		if h.tagged != nil {
@@ -191,13 +217,13 @@ func (h *Hierarchy) Access(core int, addr uint64, write bool, now float64) float
 		case Modified:
 			return now + h.cfg.L1HitCycles
 		case Exclusive:
-			l1.SetState(la, Modified)
+			row[base] = probe | uint64(Modified)
 			return now + h.cfg.L1HitCycles
 		default: // Shared: bus upgrade, invalidate remote copies
 			start := h.bus.Acquire(now)
 			h.st.Upgrades++
 			h.invalidateOthers(core, la)
-			l1.SetState(la, Modified)
+			row[base] = probe | uint64(Modified)
 			return start + h.cfg.L1HitCycles
 		}
 	}
@@ -206,26 +232,53 @@ func (h *Hierarchy) Access(core int, addr uint64, write bool, now float64) float
 	h.st.L1DMiss[core]++
 	start := h.bus.Acquire(now + h.cfg.L1HitCycles)
 
-	// Snoop the other L1s.
+	// Snoop the other L1s: one flat walk over the row, hopping over this
+	// core's own ways. Tags are unique within a core (Insert keeps them
+	// so), so no per-core early-out is needed — the non-matching ways of a
+	// core that already matched just fail the tag compare. The owning core
+	// id is only reconstructed (w / ways) on the rare dirty match.
 	sharers := 0
 	dirtyOwner := -1
-	for o := 0; o < h.cfg.NCores; o++ {
-		if o == core {
-			continue
-		}
-		pst := h.l1d[o].Peek(la)
-		if pst == Invalid {
-			continue
-		}
-		sharers++
-		if pst == Modified {
-			dirtyOwner = o
-		}
-		if write {
-			h.l1d[o].Invalidate(la)
+	if write {
+		for w := 0; w < len(row); w++ {
+			if w == base {
+				w += ways - 1
+				continue
+			}
+			k := row[w]
+			if k == 0 || k&^0xFF != probe {
+				continue
+			}
+			sharers++
+			if State(k&0xFF) == Modified {
+				dirtyOwner = w / ways
+			}
+			row[w] = 0
 			h.st.Invals++
-		} else if pst != Shared {
-			h.l1d[o].SetState(la, Shared)
+		}
+	} else {
+		// SWMR lets a read snoop stop at the first copy found: an M or E
+		// holder is by invariant the only holder, and once one S copy is
+		// seen, any remaining copies are also S — invisible to the miss
+		// path, which only distinguishes sharers == 0. (A write snoop must
+		// walk everything to invalidate every copy.)
+		for w := 0; w < len(row); w++ {
+			if w == base {
+				w += ways - 1
+				continue
+			}
+			k := row[w]
+			if k == 0 || k&^0xFF != probe {
+				continue
+			}
+			sharers = 1
+			if pst := State(k & 0xFF); pst != Shared {
+				if pst == Modified {
+					dirtyOwner = w / ways
+				}
+				row[w] = probe | uint64(Shared)
+			}
+			break
 		}
 	}
 
@@ -262,14 +315,37 @@ func (h *Hierarchy) Access(core int, addr uint64, write bool, now float64) float
 	} else if sharers == 0 {
 		newState = Exclusive
 	}
-	if v := h.l1d[core].Insert(la, newState); v.Valid && v.State == Modified {
+	// Fill the requested line, inlining Array.Insert with its presence
+	// scan elided: the tag probe above just missed, and nothing between
+	// probe and fill installs lines into this core's ways (back-
+	// invalidations from installL2 only clear them), so the line is known
+	// absent. First empty way, else the last (least-recent) way's
+	// occupant is the victim.
+	set := row[base : base+ways]
+	pos := -1
+	for i := range set {
+		if set[i] == 0 {
+			pos = i
+			break
+		}
+	}
+	var victim uint64
+	if pos < 0 {
+		pos = ways - 1
+		victim = set[pos]
+	}
+	for j := pos; j > 0; j-- {
+		set[j] = set[j-1]
+	}
+	set[0] = probe | uint64(newState)
+	if victim != 0 && State(victim&0xFF) == Modified {
 		// Buffered dirty writeback: drains right after the current bus
 		// tenure, consuming bus and L2 bandwidth without stalling the
 		// requester.
 		h.st.WBToL2++
 		h.st.L2Access++
 		h.bus.Acquire(start)
-		h.installL2(h.l2.LineAddr(v.LineAddr << uint(log2(h.cfg.L1.LineBytes))))
+		h.installL2(h.l2.LineAddr((victim >> 8) << uint(log2(h.cfg.L1.LineBytes))))
 	}
 	if h.cfg.PrefetchNextLine {
 		// Issue right behind the demand transaction; reserving the bus at
@@ -277,6 +353,21 @@ func (h *Hierarchy) Access(core int, addr uint64, write bool, now float64) float
 		h.prefetch(core, la+1, start)
 	}
 	return done
+}
+
+// l1row returns the backing-row slice holding every core's ways for la's
+// set (the L1s are built by NewBank, so array 0's lines are the full
+// interleaved backing).
+func (h *Hierarchy) l1row(la uint64) []uint64 {
+	a := h.l1d[0]
+	var idx uint64
+	if a.setsPow2 {
+		idx = la & a.setMask
+	} else {
+		idx = la % a.sets
+	}
+	start := int(idx) * a.stride
+	return a.lines[start : start+a.stride]
 }
 
 // prefetch pulls the given L1 line into core's cache off the critical

@@ -12,9 +12,12 @@ type ValidLine struct {
 // ValidLines returns every valid line in the array, in storage order.
 func (a *Array) ValidLines() []ValidLine {
 	var out []ValidLine
-	for i := range a.lines {
-		if a.lines[i].state != Invalid {
-			out = append(out, ValidLine{LineAddr: a.lines[i].tag, State: a.lines[i].state})
+	for s := 0; s < int(a.sets); s++ {
+		row := a.lines[s*a.stride : s*a.stride+a.ways]
+		for i := range row {
+			if k := row[i]; k != 0 {
+				out = append(out, ValidLine{LineAddr: k >> 8, State: State(k & 0xFF)})
+			}
 		}
 	}
 	return out

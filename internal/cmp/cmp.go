@@ -13,6 +13,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 
 	"cmppower/internal/cache"
 	"cmppower/internal/cpu"
@@ -73,10 +74,16 @@ type Config struct {
 	// wait cycles are recorded as sleep and charged at the meter's
 	// SleepResidual instead of the clock-gate residual.
 	ThriftyBarriers bool
-	// Ctx, when non-nil, is polled once per engine event: a cancelled or
-	// expired context aborts the run within one simulation step, returning
-	// the context's error. Nil contexts cost nothing.
+	// Ctx, when non-nil, is polled at least once per event batch (at most
+	// a few hundred events apart): a cancelled or expired context aborts
+	// the run within one simulation step, returning the context's error.
+	// Nil contexts cost nothing.
 	Ctx context.Context
+	// Unbatched selects the reference event-at-a-time core loop instead
+	// of the batched fast path. The two produce bit-identical results
+	// (engine equivalence tests; doctor check 6); the reference path
+	// exists to prove that and to baseline benchmarks.
+	Unbatched bool
 	// CacheFault forwards a transient-error hook into the cache hierarchy
 	// (see cache.FaultHook and internal/faults). Nil injects nothing.
 	CacheFault cache.FaultHook
@@ -140,6 +147,9 @@ type Result struct {
 	Seconds float64
 	// Instructions is the total dynamic instruction count.
 	Instructions int64
+	// Events is the number of engine events executed (compute bursts,
+	// memory accesses, and synchronization operations).
+	Events int64
 	// Activity is the per-structure access record for power accounting,
 	// sized to TotalCores.
 	Activity *power.Activity
@@ -272,22 +282,36 @@ func MultiSeed(base uint64, job int) uint64 {
 }
 
 // jobAdapter isolates one multiprogrammed job: lock ids shift into a
-// private range and data addresses into a private slab.
+// private range and data addresses into a private slab. It batches by
+// remapping a whole stream batch in place, so multiprogrammed runs stay
+// on the fast path.
 type jobAdapter struct {
-	src        eventSource
+	src        *workload.Stream
 	lockOffset int
 	addrOffset uint64
 }
 
-func (j *jobAdapter) Next() workload.Event {
-	ev := j.src.Next()
+func (j *jobAdapter) remap(ev *workload.Event) {
 	switch ev.Kind {
 	case workload.EvLockAcq, workload.EvLockRel:
-		ev.ID += j.lockOffset
+		ev.ID += int32(j.lockOffset)
 	case workload.EvLoad, workload.EvStore:
 		ev.Addr += j.addrOffset
 	}
+}
+
+func (j *jobAdapter) Next() workload.Event {
+	ev := j.src.Next()
+	j.remap(&ev)
 	return ev
+}
+
+func (j *jobAdapter) NextBatch(buf []workload.Event) int {
+	n := j.src.NextBatch(buf)
+	for i := 0; i < n; i++ {
+		j.remap(&buf[i])
+	}
+	return n
 }
 
 // runEngine is the shared core loop: it executes every source to
@@ -367,164 +391,62 @@ func runEngine(cfg Config, sources []eventSource, nBarriers, nLocks, barrierQuor
 	if cfg.TraceLast > 0 {
 		ring = newTraceRing(cfg.TraceLast)
 	}
-	doneCount := 0
-	var events int64
-	var samples []Sample
-	var watermark, lastMark float64
-	prevAct := power.NewActivity(cfg.TotalCores)
-	var prevInstr int64
-	takeSample := func() error {
-		cur, curInstr := collectActivity(cores, hier, cfg.TotalCores, sleepCycles)
-		delta, err := cur.Sub(prevAct)
-		if err != nil {
-			return err
-		}
-		if delta.Total() > 0 || curInstr > prevInstr {
-			samples = append(samples, Sample{
-				StartCycle:   lastMark,
-				EndCycle:     watermark,
-				Activity:     delta,
-				Instructions: curInstr - prevInstr,
-			})
-		}
-		prevAct, prevInstr = cur, curInstr
-		lastMark = watermark
-		return nil
-	}
 	var cancel <-chan struct{}
 	if cfg.Ctx != nil {
 		cancel = cfg.Ctx.Done()
 	}
-	for doneCount < cfg.NCores {
-		if cancel != nil {
-			select {
-			case <-cancel:
-				return nil, fmt.Errorf("cmp: run cancelled after %d events: %w", events, cfg.Ctx.Err())
-			default:
-			}
-		}
-		// Pick the runnable core with the smallest clock (ties: lowest id).
-		pick := -1
-		for i := 0; i < cfg.NCores; i++ {
-			if states[i] != stRunnable {
-				continue
-			}
-			if pick < 0 || cores[i].Clock() < cores[pick].Clock() {
-				pick = i
-			}
-		}
-		if pick < 0 {
-			return nil, errors.New("cmp: deadlock — no runnable core (unbalanced barriers or locks?)")
-		}
-		events++
-		if events > maxEvents {
-			return nil, fmt.Errorf("cmp: event budget %d exhausted; runaway program?", maxEvents)
-		}
-		core := cores[pick]
-		ev := sources[pick].Next()
-		switch ev.Kind {
-		case workload.EvCompute:
-			core.ExecCompute(ev)
-		case workload.EvLoad, workload.EvStore:
-			core.ExecMem(ev, hier)
-		case workload.EvBarrier:
-			core.ExecSync(cfg.LockCycles)
-			b := barriers[ev.ID]
-			b.arrived++
-			if core.Clock() > b.maxArrival {
-				b.maxArrival = core.Clock()
-			}
-			if b.arrived < barrierQuorum {
-				states[pick] = stWaitBarrier
-				b.waiting = append(b.waiting, pick)
-				continue
-			}
-			// Last arrival releases everyone.
-			release := b.maxArrival + cfg.BarrierCycles
-			core.AdvanceTo(release)
-			for _, w := range b.waiting {
-				if cfg.ThriftyBarriers {
-					if slept := release - cores[w].Clock(); slept > 0 {
-						sleepCycles[w] += slept
-					}
-				}
-				cores[w].AdvanceTo(release)
-				states[w] = stRunnable
-			}
-			b.arrived = 0
-			b.maxArrival = 0
-			b.waiting = b.waiting[:0]
-		case workload.EvLockAcq:
-			l := locks[ev.ID]
-			if !l.held {
-				l.held = true
-				l.holder = pick
-				core.ExecSync(cfg.LockCycles)
-			} else {
-				states[pick] = stWaitLock
-				l.queue = append(l.queue, pick)
-			}
-		case workload.EvLockRel:
-			l := locks[ev.ID]
-			if !l.held || l.holder != pick {
-				return nil, fmt.Errorf("cmp: core %d releases lock %d it does not hold", pick, ev.ID)
-			}
-			core.ExecSync(cfg.LockCycles)
-			if len(l.queue) > 0 {
-				next := l.queue[0]
-				l.queue = l.queue[1:]
-				l.holder = next
-				cores[next].AdvanceTo(core.Clock())
-				cores[next].ExecSync(cfg.LockCycles)
-				states[next] = stRunnable
-			} else {
-				l.held = false
-			}
-		case workload.EvDone:
-			states[pick] = stDone
-			doneCount++
-		}
-		if ring != nil {
-			ring.push(TraceEvent{
-				Cycle: core.Clock(), Core: pick, Kind: ev.Kind,
-				N: ev.N, Addr: ev.Addr, ID: ev.ID,
-			})
-		}
-		if core.Clock() > watermark {
-			watermark = core.Clock()
-		}
-		if cfg.SampleCycles > 0 && watermark >= lastMark+cfg.SampleCycles {
-			if err := takeSample(); err != nil {
-				return nil, err
-			}
-		}
+	e := &engine{
+		cfg:       cfg,
+		sources:   sources,
+		cores:     cores,
+		states:    states,
+		sleep:     sleepCycles,
+		hier:      hier,
+		barriers:  barriers,
+		locks:     locks,
+		quorum:    barrierQuorum,
+		maxEvents: maxEvents,
+		ring:      ring,
+		cancel:    cancel,
+	}
+	switch {
+	case cfg.Unbatched:
+		err = e.runUnbatched()
+	case cfg.TraceLast > 0 || cfg.SampleCycles > 0:
+		// Tracing and interval sampling observe the event interleaving,
+		// so they need the exact-order batched loop.
+		err = e.runBatched()
+	default:
+		err = e.runFused()
+	}
+	if err != nil {
+		return nil, err
 	}
 	if cfg.SampleCycles > 0 {
 		// Close the final partial interval.
 		for _, c := range cores {
-			if c.Clock() > watermark {
-				watermark = c.Clock()
+			if c.Clock() > e.watermark {
+				e.watermark = c.Clock()
 			}
 		}
-		if err := takeSample(); err != nil {
-			return nil, err
-		}
+		e.takeSample()
 	}
 
 	// Assemble the result.
-	res := &Result{Point: cfg.Point, NCores: cfg.NCores, Samples: samples}
+	res := &Result{Point: cfg.Point, NCores: cfg.NCores, Samples: e.samples, Events: e.events}
 	if ring != nil {
 		res.Trace = ring.events()
 	}
 	res.CacheStats = hier.Stats()
-	for _, core := range cores {
-		st := core.Stats()
-		res.PerCore = append(res.PerCore, st)
-		if st.FinishClock > res.Cycles {
-			res.Cycles = st.FinishClock
+	perCore := make([]cpu.Stats, cfg.NCores)
+	for i, core := range cores {
+		perCore[i] = core.Stats()
+		if perCore[i].FinishClock > res.Cycles {
+			res.Cycles = perCore[i].FinishClock
 		}
 	}
-	res.Activity, res.Instructions = collectActivity(cores, hier, cfg.TotalCores, sleepCycles)
+	res.PerCore = perCore
+	res.Activity, res.Instructions = collectActivity(cores, perCore, hier, cfg.TotalCores, sleepCycles)
 	res.Seconds = res.Cycles / cfg.Point.Freq
 	res.BusUtilization = hier.Bus().Utilization(res.Cycles)
 	res.MemUtilization = dram.Utilization(res.Seconds)
@@ -533,17 +455,20 @@ func runEngine(cfg Config, sources []eventSource, nBarriers, nLocks, barrierQuor
 
 // collectActivity merges the cores' unit counters with the hierarchy's
 // shared-structure counters into one power.Activity snapshot, returning
-// the total instruction count alongside.
-func collectActivity(cores []*cpu.Core, hier *cache.Hierarchy, totalCores int, sleepCycles []float64) (*power.Activity, int64) {
+// the total instruction count alongside. perCore holds each core's
+// already-taken Stats snapshot (aligned with cores), so assembly does
+// not snapshot twice. Fractional cycle quantities round to the nearest
+// count instead of truncating.
+func collectActivity(cores []*cpu.Core, perCore []cpu.Stats, hier *cache.Hierarchy, totalCores int, sleepCycles []float64) (*power.Activity, int64) {
 	act := power.NewActivity(totalCores)
 	st := hier.Stats()
 	var instr int64
 	var il1MissFetches float64
 	for i, core := range cores {
-		cs := core.Stats()
+		cs := perCore[i]
 		instr += cs.Instructions
 		if sleepCycles != nil {
-			act.AddSleep(i, int64(sleepCycles[i]))
+			act.AddSleep(i, int64(math.Round(sleepCycles[i])))
 		}
 		for _, u := range floorplan.CoreUnits() {
 			if u == floorplan.UnitDL1 {
@@ -554,7 +479,7 @@ func collectActivity(cores []*cpu.Core, hier *cache.Hierarchy, totalCores int, s
 		act.AddCore(i, floorplan.UnitDL1, st.L1DAccess[i])
 		il1MissFetches += cs.IL1Misses
 	}
-	act.AddL2(st.L2Access + int64(il1MissFetches))
+	act.AddL2(st.L2Access + int64(math.Round(il1MissFetches)))
 	act.AddBus(hier.Bus().Transactions)
 	return act, instr
 }

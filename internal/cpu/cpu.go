@@ -11,6 +11,7 @@ package cpu
 
 import (
 	"fmt"
+	"math/bits"
 
 	"cmppower/internal/floorplan"
 	"cmppower/internal/workload"
@@ -119,6 +120,17 @@ type Core struct {
 	stats Stats
 	// unit activity counters, indexed by floorplan.Unit.
 	activity [floorplan.UnitBus + 1]int64
+	// Hot-path constants derived from cfg at construction: the front end
+	// is charged once per event, so the per-call division and multiply
+	// are precomputed (bit-identically — see chargeFrontEnd).
+	fetchShift uint
+	fetchPow2  bool
+	missStall1 float64 // IL1MissRate * IL1MissCycles, the n=1 fetch stall
+	// cycleTab[n] caches float64(n)/IPCNonMem for short bursts: the same
+	// division, performed once at construction, so the per-event cost is
+	// a table load instead of an FP divide. Entries are bit-identical to
+	// dividing on the spot.
+	cycleTab [64]float64
 }
 
 // New builds a core.
@@ -129,7 +141,14 @@ func New(id int, cfg Config) (*Core, error) {
 	if id < 0 {
 		return nil, fmt.Errorf("cpu: negative core id %d", id)
 	}
-	return &Core{ID: id, cfg: cfg}, nil
+	c := &Core{ID: id, cfg: cfg}
+	c.fetchPow2 = cfg.FetchWidth&(cfg.FetchWidth-1) == 0
+	c.fetchShift = uint(bits.TrailingZeros(uint(cfg.FetchWidth)))
+	c.missStall1 = cfg.IL1MissRate * cfg.IL1MissCycles
+	for n := range c.cycleTab {
+		c.cycleTab[n] = float64(n) / cfg.IPCNonMem
+	}
+	return c, nil
 }
 
 // Clock returns the core's current absolute cycle.
@@ -163,7 +182,12 @@ func (c *Core) chargeFrontEnd(n int, branches int) {
 	c.activity[floorplan.UnitWindow] += n64
 	c.activity[floorplan.UnitRegfile] += n64
 	c.activity[floorplan.UnitBpred] += int64(branches)
-	il1 := (n + c.cfg.FetchWidth - 1) / c.cfg.FetchWidth
+	var il1 int
+	if c.fetchPow2 {
+		il1 = (n + c.cfg.FetchWidth - 1) >> c.fetchShift
+	} else {
+		il1 = (n + c.cfg.FetchWidth - 1) / c.cfg.FetchWidth
+	}
 	c.activity[floorplan.UnitIL1] += int64(il1)
 	c.stats.IL1Accesses += int64(il1)
 	misses := float64(n) * c.cfg.IL1MissRate
@@ -173,25 +197,57 @@ func (c *Core) chargeFrontEnd(n int, branches int) {
 	c.clock += fetchStall
 }
 
+// chargeFrontEndOne is chargeFrontEnd(1, 0): the memory- and sync-event
+// case. One instruction is one I-cache access regardless of fetch width,
+// float64(1)*rate is exactly rate, and missStall1 is the same
+// rate*IL1MissCycles product — so every counter and the clock move
+// bit-identically to the general path.
+func (c *Core) chargeFrontEndOne() {
+	c.activity[floorplan.UnitFetch]++
+	c.activity[floorplan.UnitRename]++
+	c.activity[floorplan.UnitWindow]++
+	c.activity[floorplan.UnitRegfile]++
+	c.activity[floorplan.UnitIL1]++
+	c.stats.IL1Accesses++
+	c.stats.IL1Misses += c.cfg.IL1MissRate
+	c.stats.FetchCycles += c.missStall1
+	c.clock += c.missStall1
+}
+
 // ExecCompute executes a compute burst.
 func (c *Core) ExecCompute(ev workload.Event) {
-	if ev.Kind != workload.EvCompute || ev.N <= 0 {
+	if ev.Kind != workload.EvCompute {
 		return
 	}
-	c.chargeFrontEnd(ev.N, ev.Branches)
-	ints := ev.N - ev.FP
+	c.ExecComputeBurst(int(ev.N), int(ev.FP), int(ev.Branches))
+}
+
+// ExecComputeBurst is ExecCompute without the event envelope: the engine's
+// fast path has already dispatched on the kind, so it passes the three
+// fields directly instead of copying the whole event through the call.
+func (c *Core) ExecComputeBurst(n, fp, branches int) {
+	if n <= 0 {
+		return
+	}
+	c.chargeFrontEnd(n, branches)
+	ints := n - fp
 	if ints < 0 {
 		ints = 0
 	}
 	c.activity[floorplan.UnitIALU] += int64(ints)
-	c.activity[floorplan.UnitFALU] += int64(ev.FP)
+	c.activity[floorplan.UnitFALU] += int64(fp)
 
-	cycles := float64(ev.N) / c.cfg.IPCNonMem
-	penalty := float64(ev.Branches) * c.cfg.BranchMissRate * c.cfg.BranchPenaltyCycles
+	var cycles float64
+	if n < len(c.cycleTab) {
+		cycles = c.cycleTab[n]
+	} else {
+		cycles = float64(n) / c.cfg.IPCNonMem
+	}
+	penalty := float64(branches) * c.cfg.BranchMissRate * c.cfg.BranchPenaltyCycles
 	c.stats.ComputeCycles += cycles
 	c.stats.BranchCycles += penalty
 	c.clock += cycles + penalty
-	c.stats.Instructions += int64(ev.N)
+	c.stats.Instructions += int64(n)
 }
 
 // ExecMem executes one load or store through the memory system.
@@ -200,11 +256,16 @@ func (c *Core) ExecMem(ev workload.Event, ms MemSystem) {
 	if !write && ev.Kind != workload.EvLoad {
 		return
 	}
-	c.chargeFrontEnd(1, 0)
+	c.ExecLoadStore(ev.Addr, write, ms)
+}
+
+// ExecLoadStore is ExecMem after kind dispatch (see ExecComputeBurst).
+func (c *Core) ExecLoadStore(addr uint64, write bool, ms MemSystem) {
+	c.chargeFrontEndOne()
 	c.activity[floorplan.UnitLSQ]++
 	// The hierarchy counts D-cache accesses itself; the core tracks the
 	// instruction and the issue slot.
-	done := ms.Access(c.ID, ev.Addr, write, c.clock)
+	done := ms.Access(c.ID, addr, write, c.clock)
 	raw := done - c.clock
 	if raw < c.cfg.L1HitCycles {
 		raw = c.cfg.L1HitCycles
@@ -228,7 +289,7 @@ func (c *Core) ExecMem(ev workload.Event, ms MemSystem) {
 // (barrier arrival, lock acquire/release): a handful of cycles and one
 // trip through the front end and integer unit.
 func (c *Core) ExecSync(cost float64) {
-	c.chargeFrontEnd(1, 0)
+	c.chargeFrontEndOne()
 	c.activity[floorplan.UnitIALU]++
 	c.stats.SyncEvents++
 	c.stats.Instructions++

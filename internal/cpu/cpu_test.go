@@ -250,7 +250,7 @@ func TestQuickComputeAccounting(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		c.ExecCompute(workload.Event{Kind: workload.EvCompute, N: n, Branches: branches})
+		c.ExecCompute(workload.Event{Kind: workload.EvCompute, N: int32(n), Branches: int32(branches)})
 		want := float64(n)/cfg.IPCNonMem +
 			float64(branches)*cfg.BranchMissRate*cfg.BranchPenaltyCycles
 		if math.Abs(c.Clock()-want) > 1e-6*want+1e-9 {

@@ -1,0 +1,129 @@
+package thermal
+
+import "errors"
+
+// ldlt is an envelope (skyline) LDLᵀ factorization of the block
+// conductance matrix
+//
+//	A[i][i] = gSum[i],  A[i][j] = -gLat(i,j) for lateral neighbors j,
+//
+// the matrix Gauss-Seidel iterates in SteadyStateReference. A is
+// symmetric (shared edges and centroid distances are), and strictly
+// diagonally dominant with a positive diagonal — every row adds the
+// block's vertical conductance gVert > 0 on top of its lateral sum — so
+// it is positive definite and factors as L·D·Lᵀ without pivoting. The
+// network never changes after NewModel, which is the whole point:
+// factoring once turns every subsequent SteadyState call into one
+// forward/backward sweep over the envelope instead of thousands of
+// relaxation sweeps, and SteadyStateCoupled, PowerForPeak, DTM replay
+// and the sweep layer all re-solve the same network many times.
+//
+// Storage is Jennings' envelope scheme: row i keeps the dense run of
+// columns first[i]..i-1, where first[i] is the row's lowest-index
+// neighbor. Fill-in during factorization stays inside the envelope, so
+// no symbolic analysis is needed; floorplan adjacency is near-banded
+// (blocks are laid out tile by tile), keeping the envelope small.
+type ldlt struct {
+	n     int
+	first []int     // first[i] = lowest column stored for row i
+	start []int     // start[i] indexes row i's envelope run in lo
+	lo    []float64 // concatenated strictly-lower envelope rows of L
+	d     []float64 // diagonal of D
+}
+
+// newLDLT builds and factors the conductance matrix of m. It fails only
+// if the factorization hits a non-positive pivot, which the model's
+// diagonal dominance rules out for any valid parameter set.
+func newLDLT(m *Model) (*ldlt, error) {
+	n := len(m.gSum)
+	f := &ldlt{
+		n:     n,
+		first: make([]int, n),
+		start: make([]int, n+1),
+		d:     make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		fi := i
+		for _, j := range m.neighbors[i] {
+			if j < fi {
+				fi = j
+			}
+		}
+		f.first[i] = fi
+		f.start[i+1] = f.start[i] + (i - fi)
+	}
+	f.lo = make([]float64, f.start[n])
+
+	// Scatter A's strictly-lower rows into the envelope (unset entries
+	// inside the envelope are structural zeros that fill in below).
+	for i := 0; i < n; i++ {
+		row := f.row(i)
+		for k, j := range m.neighbors[i] {
+			if j < i {
+				row[j-f.first[i]] = -m.gLat[i][k]
+			}
+		}
+	}
+
+	// In-place factorization: row i's envelope entries become L[i][*],
+	// the diagonal becomes D. Classic row-Cholesky recurrences:
+	//
+	//	w[j]    = A[i][j] − Σₖ L[i][k]·L[j][k]·d[k]   (k within both envelopes)
+	//	L[i][j] = w[j]/d[j]
+	//	d[i]    = A[i][i] − Σⱼ L[i][j]²·d[j]
+	for i := 0; i < n; i++ {
+		ri := f.row(i)
+		fi := f.first[i]
+		for j := fi; j < i; j++ {
+			rj := f.row(j)
+			fj := f.first[j]
+			lo := fi
+			if fj > lo {
+				lo = fj
+			}
+			w := ri[j-fi]
+			for k := lo; k < j; k++ {
+				w -= ri[k-fi] * rj[k-fj] * f.d[k]
+			}
+			ri[j-fi] = w / f.d[j]
+		}
+		di := m.gSum[i]
+		for j := fi; j < i; j++ {
+			l := ri[j-fi]
+			di -= l * l * f.d[j]
+		}
+		if di <= 0 {
+			return nil, errors.New("thermal: conductance matrix not positive definite")
+		}
+		f.d[i] = di
+	}
+	return f, nil
+}
+
+// row returns row i's envelope slice (columns first[i]..i-1).
+func (f *ldlt) row(i int) []float64 { return f.lo[f.start[i]:f.start[i+1]] }
+
+// solve overwrites b with A⁻¹b: forward substitution through L, a
+// diagonal scale, and a backward substitution through Lᵀ.
+func (f *ldlt) solve(b []float64) {
+	for i := 0; i < f.n; i++ {
+		ri := f.row(i)
+		fi := f.first[i]
+		s := b[i]
+		for k := range ri {
+			s -= ri[k] * b[fi+k]
+		}
+		b[i] = s
+	}
+	for i := 0; i < f.n; i++ {
+		b[i] /= f.d[i]
+	}
+	for i := f.n - 1; i >= 0; i-- {
+		ri := f.row(i)
+		fi := f.first[i]
+		xi := b[i]
+		for k := range ri {
+			b[fi+k] -= ri[k] * xi
+		}
+	}
+}

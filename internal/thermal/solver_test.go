@@ -1,0 +1,123 @@
+package thermal
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"cmppower/internal/floorplan"
+	"cmppower/internal/workload"
+)
+
+// TestFactoredMatchesGaussSeidel bounds the divergence between the
+// direct LDLᵀ SteadyState and the Gauss-Seidel reference below a
+// micro-kelvin across chip sizes and power patterns. The reference
+// iterates to a 1e-9 °C per-sweep delta, so any disagreement beyond
+// noise means the factorization solved a different matrix.
+func TestFactoredMatchesGaussSeidel(t *testing.T) {
+	for _, nCores := range []int{1, 4, 16} {
+		fp, err := floorplan.Chip(floorplan.DefaultChipConfig(nCores))
+		if err != nil {
+			t.Fatalf("Chip(%d): %v", nCores, err)
+		}
+		m, err := NewModel(fp, DefaultParams())
+		if err != nil {
+			t.Fatalf("NewModel(%d): %v", nCores, err)
+		}
+		n := m.NumNodes()
+		rng := workload.NewRNG(uint64(nCores) * 0x9E3779B97F4A7C15)
+		patterns := map[string][]float64{
+			"uniform": make([]float64, n),
+			"single":  make([]float64, n),
+			"random":  make([]float64, n),
+		}
+		for i := 0; i < n; i++ {
+			patterns["uniform"][i] = 0.5
+			patterns["random"][i] = 3 * rng.Float64()
+		}
+		patterns["single"][n/2] = 40
+		for name, pw := range patterns {
+			t.Run(fmt.Sprintf("cores=%d/%s", nCores, name), func(t *testing.T) {
+				got, err := m.SteadyState(pw)
+				if err != nil {
+					t.Fatalf("SteadyState: %v", err)
+				}
+				want, err := m.SteadyStateReference(pw)
+				if err != nil {
+					t.Fatalf("SteadyStateReference: %v", err)
+				}
+				var worst float64
+				for i := range got {
+					if d := math.Abs(got[i] - want[i]); d > worst {
+						worst = d
+					}
+				}
+				if worst > 1e-6 {
+					t.Fatalf("factored vs Gauss-Seidel diverge by %g °C (> 1e-6)", worst)
+				}
+			})
+		}
+	}
+}
+
+// TestFactoredSolveIsExact checks the direct solve against the residual
+// of the conductance system itself: G·t = P + gVert·tSink must hold to
+// rounding, independent of any iterative reference.
+func TestFactoredSolveIsExact(t *testing.T) {
+	m := model16(t)
+	n := m.NumNodes()
+	pw := make([]float64, n)
+	rng := workload.NewRNG(7)
+	var totalP float64
+	for i := range pw {
+		pw[i] = 2 * rng.Float64()
+		totalP += pw[i]
+	}
+	temps, err := m.SteadyState(pw)
+	if err != nil {
+		t.Fatalf("SteadyState: %v", err)
+	}
+	amb := m.params.AmbientC
+	tSink := totalP * m.params.RConvection
+	for i := 0; i < n; i++ {
+		lhs := m.gSum[i] * (temps[i] - amb)
+		for k, j := range m.neighbors[i] {
+			lhs -= m.gLat[i][k] * (temps[j] - amb)
+		}
+		rhs := pw[i] + m.gVert[i]*tSink
+		if d := math.Abs(lhs - rhs); d > 1e-9*math.Max(1, math.Abs(rhs)) {
+			t.Fatalf("block %d: residual %g (lhs %g, rhs %g)", i, d, lhs, rhs)
+		}
+	}
+}
+
+// BenchmarkSteadyStateFactored measures the repeated-solve hot path the
+// factorization exists for (SteadyStateCoupled, PowerForPeak, sweeps).
+func BenchmarkSteadyStateFactored(b *testing.B) { benchmarkSteadyState(b, (*Model).SteadyState) }
+
+// BenchmarkSteadyStateReference is the Gauss-Seidel baseline.
+func BenchmarkSteadyStateReference(b *testing.B) {
+	benchmarkSteadyState(b, (*Model).SteadyStateReference)
+}
+
+func benchmarkSteadyState(b *testing.B, solve func(*Model, []float64) ([]float64, error)) {
+	fp, err := floorplan.Chip(floorplan.DefaultChipConfig(16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := NewModel(fp, DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pw := make([]float64, m.NumNodes())
+	rng := workload.NewRNG(7)
+	for i := range pw {
+		pw[i] = 2 * rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solve(m, pw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

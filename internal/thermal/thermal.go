@@ -54,7 +54,10 @@ func DefaultParams() Params {
 	}
 }
 
-// Model is an immutable thermal network for one floorplan.
+// Model is an immutable thermal network for one floorplan. All derived
+// structures — the LDLᵀ factorization and the flattened adjacency — are
+// built once in NewModel and only read afterwards, so one Model may be
+// shared freely across concurrent sweep workers.
 type Model struct {
 	fp     *floorplan.Floorplan
 	params Params
@@ -64,6 +67,20 @@ type Model struct {
 	gVert     []float64 // block -> sink
 	gSum      []float64 // Σ lateral + vertical, per block
 	capBlock  []float64 // J/K per block
+	// fac is the conductance matrix factored once at construction; every
+	// SteadyState call is then a direct triangular solve (see solver.go).
+	fac *ldlt
+	// csrStart/csrCol/csrLat flatten neighbors/gLat into one CSR array so
+	// the transient integrator's flux loop walks contiguous memory instead
+	// of chasing per-block slice headers. Entry order within a row matches
+	// the nested slices exactly, keeping floating-point sums bit-identical.
+	csrStart []int32
+	csrCol   []int32
+	csrLat   []float64
+	// dtStable is TransientStep's explicit-Euler step, precomputed with
+	// the same reduction order the per-call code used.
+	dtStable float64
+	gConv    float64 // 1 / RConvection
 }
 
 // NewModel builds the RC network for fp.
@@ -111,6 +128,41 @@ func NewModel(fp *floorplan.Floorplan, p Params) (*Model, error) {
 		}
 		m.gSum[i] = s
 	}
+	fac, err := newLDLT(m)
+	if err != nil {
+		return nil, err
+	}
+	m.fac = fac
+	m.csrStart = make([]int32, n+1)
+	for i, ns := range m.neighbors {
+		m.csrStart[i+1] = m.csrStart[i] + int32(len(ns))
+		for k, j := range ns {
+			m.csrCol = append(m.csrCol, int32(j))
+			m.csrLat = append(m.csrLat, m.gLat[i][k])
+		}
+	}
+	// Stable explicit-Euler step: dt < min(C/Gsum)/2, bounded by the sink
+	// time constant. The reduction order matches the historical per-call
+	// computation so chained transient results stay bit-identical.
+	dt := math.Inf(1)
+	for i := 0; i < n; i++ {
+		if s := m.capBlock[i] / m.gSum[i]; s < dt {
+			dt = s
+		}
+	}
+	m.gConv = 1 / p.RConvection
+	var gVertSum float64
+	for _, g := range m.gVert {
+		gVertSum += g
+	}
+	if s := p.SinkHeatCapacity / (gVertSum + m.gConv); s < dt {
+		dt = s
+	}
+	dt *= 0.4
+	if dt <= 0 || math.IsInf(dt, 0) {
+		return nil, errors.New("thermal: cannot choose stable step")
+	}
+	m.dtStable = dt
 	return m, nil
 }
 
@@ -126,6 +178,13 @@ func (m *Model) NumNodes() int { return len(m.fp.Blocks) }
 // SteadyState solves the network for the given per-block power (watts) and
 // returns per-block temperatures in °C. Power length must match the
 // floorplan block count.
+//
+// The solve is direct: in steady state every watt leaves through the sink,
+// so the sink temperature is known exactly (tSink = totalP · RConvection)
+// and the block temperatures satisfy the linear system G·t = P + gVert·tSink
+// with G the conductance matrix factored once at NewModel. One triangular
+// sweep replaces the reference implementation's thousands of relaxation
+// sweeps, and unlike an iterative answer it is exact to rounding.
 func (m *Model) SteadyState(powerW []float64) ([]float64, error) {
 	n := m.NumNodes()
 	if len(powerW) != n {
@@ -139,9 +198,37 @@ func (m *Model) SteadyState(powerW []float64) ([]float64, error) {
 		totalP += p
 	}
 	amb := m.params.AmbientC
-	// Temperatures relative to ambient, Gauss-Seidel over the blocks. In
-	// steady state every watt leaves through the sink, so the sink
-	// temperature is known exactly: tSink = totalP · RConvection.
+	tSink := totalP * m.params.RConvection
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = powerW[i] + m.gVert[i]*tSink
+	}
+	m.fac.solve(out)
+	for i := range out {
+		out[i] += amb
+	}
+	return out, nil
+}
+
+// SteadyStateReference is the original Gauss-Seidel relaxation solver,
+// kept as the independent reference the factored SteadyState is tested
+// against (the two must agree within a micro-kelvin; see solver tests).
+// It is deliberately untouched by the fast path and should only be used
+// for validation — it is orders of magnitude slower.
+func (m *Model) SteadyStateReference(powerW []float64) ([]float64, error) {
+	n := m.NumNodes()
+	if len(powerW) != n {
+		return nil, fmt.Errorf("thermal: power vector length %d, want %d", len(powerW), n)
+	}
+	var totalP float64
+	for _, p := range powerW {
+		if p < 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+			return nil, fmt.Errorf("thermal: invalid block power %g", p)
+		}
+		totalP += p
+	}
+	amb := m.params.AmbientC
+	// Temperatures relative to ambient, Gauss-Seidel over the blocks.
 	t := make([]float64, n)
 	tSink := totalP * m.params.RConvection
 	for iter := 0; iter < 20000; iter++ {
@@ -175,6 +262,12 @@ func (m *Model) SteadyState(powerW []float64) ([]float64, error) {
 type TransientState struct {
 	Block []float64
 	SinkC float64
+	// t and next are the integrator's scratch vectors, allocated on first
+	// use and reused across calls: DTM interval replay steps the same
+	// state thousands of times, and the scratch is what kept showing up
+	// as per-interval garbage. States built as plain literals (Block set
+	// by hand) work too — the scratch is sized lazily.
+	t, next []float64
 }
 
 // NewTransientState returns a state with every node at the ambient
@@ -219,49 +312,39 @@ func (m *Model) TransientStep(st *TransientState, powerW []float64, duration flo
 		return errors.New("thermal: negative duration")
 	}
 	amb := m.params.AmbientC
-	t := make([]float64, n)
+	if len(st.t) != n {
+		st.t = make([]float64, n)
+		st.next = make([]float64, n)
+	}
+	t, next := st.t, st.next
 	for i := range t {
 		t[i] = st.Block[i] - amb
 	}
-	// Stable step: dt < min(C/Gsum)/2.
-	dt := math.Inf(1)
-	for i := 0; i < n; i++ {
-		if s := m.capBlock[i] / m.gSum[i]; s < dt {
-			dt = s
-		}
-	}
-	gConv := 1 / m.params.RConvection
-	var gVertSum float64
-	for _, g := range m.gVert {
-		gVertSum += g
-	}
-	if s := m.params.SinkHeatCapacity / (gVertSum + gConv); s < dt {
-		dt = s
-	}
-	dt *= 0.4
-	if dt <= 0 || math.IsInf(dt, 0) {
-		return errors.New("thermal: cannot choose stable step")
-	}
+	// The stable step and 1/RConvection are precomputed in NewModel (same
+	// values as the historical per-call computation, to the last bit).
+	dt := m.dtStable
+	gConv := m.gConv
 	tSink := st.SinkC - amb
-	next := make([]float64, n)
 	for elapsed := 0.0; elapsed < duration; elapsed += dt {
 		step := math.Min(dt, duration-elapsed)
 		var intoSink float64
 		for i := 0; i < n; i++ {
-			flux := powerW[i] + m.gVert[i]*(tSink-t[i])
-			for k, j := range m.neighbors[i] {
-				flux += m.gLat[i][k] * (t[j] - t[i])
+			ti := t[i]
+			flux := powerW[i] + m.gVert[i]*(tSink-ti)
+			for p := m.csrStart[i]; p < m.csrStart[i+1]; p++ {
+				flux += m.csrLat[p] * (t[m.csrCol[p]] - ti)
 			}
-			next[i] = t[i] + step*flux/m.capBlock[i]
-			intoSink += m.gVert[i] * (t[i] - tSink)
+			next[i] = ti + step*flux/m.capBlock[i]
+			intoSink += m.gVert[i] * (ti - tSink)
 		}
 		tSink += step * (intoSink - gConv*tSink) / m.params.SinkHeatCapacity
-		copy(t, next)
+		t, next = next, t
 	}
 	for i := range t {
 		st.Block[i] = amb + t[i]
 	}
 	st.SinkC = amb + tSink
+	st.t, st.next = t, next
 	return nil
 }
 

@@ -1,0 +1,108 @@
+package workload_test
+
+import (
+	"testing"
+
+	"cmppower/internal/splash"
+	"cmppower/internal/workload"
+)
+
+// drainNext collects a stream's events one at a time up to and including
+// EvDone — the reference sequence NextBatch must reproduce.
+func drainNext(t *testing.T, p *workload.Program, tid, n int, seed uint64) []workload.Event {
+	t.Helper()
+	s, err := workload.NewStream(p, tid, n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []workload.Event
+	for {
+		ev := s.Next()
+		out = append(out, ev)
+		if ev.Kind == workload.EvDone {
+			return out
+		}
+		if len(out) > 50_000_000 {
+			t.Fatal("stream did not finish")
+		}
+	}
+}
+
+// drainBatch collects the same stream through NextBatch with the given
+// buffer size.
+func drainBatch(t *testing.T, p *workload.Program, tid, n int, seed uint64, bufLen int) []workload.Event {
+	t.Helper()
+	s, err := workload.NewStream(p, tid, n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]workload.Event, bufLen)
+	var out []workload.Event
+	for {
+		k := s.NextBatch(buf)
+		if k < 1 {
+			t.Fatalf("NextBatch returned %d", k)
+		}
+		out = append(out, buf[:k]...)
+		if buf[k-1].Kind == workload.EvDone {
+			return out
+		}
+		if len(out) > 50_000_000 {
+			t.Fatal("stream did not finish")
+		}
+	}
+}
+
+// TestNextBatchMatchesNext proves NextBatch emits exactly the sequence
+// repeated Next calls produce, across every SPLASH-2 model, several
+// thread geometries, and awkward buffer sizes (1 degenerates to Next;
+// primes force batch boundaries inside kernel leaves and compute/access
+// pairs).
+func TestNextBatchMatchesNext(t *testing.T) {
+	for _, app := range splash.Catalog() {
+		p := app.Program(0.05)
+		for _, geom := range [][2]int{{0, 1}, {0, 4}, {3, 4}, {7, 16}} {
+			tid, n := geom[0], geom[1]
+			want := drainNext(t, p, tid, n, 1)
+			for _, bufLen := range []int{1, 3, 7, 64, 256} {
+				got := drainBatch(t, p, tid, n, 1, bufLen)
+				if len(got) != len(want) {
+					t.Fatalf("%s tid=%d/%d buf=%d: %d events, want %d",
+						app.Name, tid, n, bufLen, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s tid=%d/%d buf=%d: event %d = %+v, want %+v",
+							app.Name, tid, n, bufLen, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestNextBatchAfterDone verifies batching keeps Next's after-end
+// behavior: the stream keeps delivering EvDone.
+func TestNextBatchAfterDone(t *testing.T) {
+	app, err := splash.ByName("FFT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := workload.NewStream(app.Program(0.02), 0, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]workload.Event, 128)
+	for i := 0; i < 1_000_000; i++ {
+		k := s.NextBatch(buf)
+		if buf[k-1].Kind == workload.EvDone {
+			break
+		}
+	}
+	if !s.Done() {
+		t.Fatal("stream not done")
+	}
+	if k := s.NextBatch(buf); k != 1 || buf[0].Kind != workload.EvDone {
+		t.Fatalf("post-done batch = %d events, first %v; want a single EvDone", k, buf[0].Kind)
+	}
+}

@@ -80,7 +80,7 @@ func (s *Stream) Next() Event {
 		top.idx++
 		switch st := st.(type) {
 		case Barrier:
-			return Event{Kind: EvBarrier, ID: st.ID}
+			return Event{Kind: EvBarrier, ID: int32(st.ID)}
 		case Compute:
 			n := st.N
 			if st.Divide {
@@ -91,9 +91,9 @@ func (s *Stream) Next() Event {
 			}
 			return Event{
 				Kind:     EvCompute,
-				N:        n,
-				FP:       int(float64(n) * st.FPFrac),
-				Branches: int(float64(n) * st.BranchFrac),
+				N:        int32(n),
+				FP:       int32(float64(n) * st.FPFrac),
+				Branches: int32(float64(n) * st.BranchFrac),
 			}
 		case Kernel:
 			e := newKernelEmitter(st, s)
@@ -104,9 +104,9 @@ func (s *Stream) Next() Event {
 			s.stack = append(s.stack, frame{
 				steps:    st.Body,
 				times:    1,
-				epilogue: &Event{Kind: EvLockRel, ID: st.Lock},
+				epilogue: &Event{Kind: EvLockRel, ID: int32(st.Lock)},
 			})
-			return Event{Kind: EvLockAcq, ID: st.Lock}
+			return Event{Kind: EvLockAcq, ID: int32(st.Lock)}
 		case Loop:
 			if st.Times > 0 {
 				s.stack = append(s.stack, frame{steps: st.Body, times: st.Times})
@@ -117,6 +117,38 @@ func (s *Stream) Next() Event {
 			}
 		}
 	}
+}
+
+// NextBatch fills buf with the stream's next events — exactly the
+// sequence repeated Next calls would deliver — and returns the count
+// (at least 1 for a non-empty buf). It returns early when the program
+// ends, with the trailing EvDone included, so callers can treat a short
+// batch ending in EvDone as terminal. Kernel leaves are drained through
+// a specialized inner loop, which is what makes batching cheaper than
+// one interface call per event; sync events are delivered in place, not
+// batch-terminated, because event generation is independent of engine
+// scheduling.
+func (s *Stream) NextBatch(buf []Event) int {
+	n := 0
+	for n < len(buf) {
+		if e, ok := s.leaf.(*kernelEmitter); ok {
+			k, exhausted := e.fill(s, buf[n:])
+			n += k
+			if exhausted {
+				s.leaf = nil
+			}
+			if n == len(buf) {
+				return n
+			}
+		}
+		ev := s.Next()
+		buf[n] = ev
+		n++
+		if ev.Kind == EvDone {
+			return n
+		}
+	}
+	return n
 }
 
 // Done reports whether the stream has delivered EvDone.
@@ -144,6 +176,11 @@ type kernelEmitter struct {
 	// pendingAccess is set when the compute burst before an access has
 	// been emitted and the access itself is due.
 	pendingAccess bool
+	// fpTab/brTab map a burst length to its FP and branch instruction
+	// counts — int32(float64(n) * frac) precomputed for every burst
+	// length the ±50% jitter can produce, so the per-event path trades
+	// two float multiplies and conversions for two small-table loads.
+	fpTab, brTab []int32
 }
 
 func newKernelEmitter(k Kernel, s *Stream) *kernelEmitter {
@@ -185,6 +222,17 @@ func newKernelEmitter(k Kernel, s *Stream) *kernelEmitter {
 		e.cursor = (uint64(s.tid) * 0x9E3779B9) % size
 		e.cursor &^= 7
 	}
+	if k.ComputePerMem > 0 {
+		// Burst lengths are int32(ComputePerMem*(0.5+f)) with f in [0,1),
+		// so they never exceed int(ComputePerMem*1.5)+1 (see fpTab).
+		maxCnt := int(k.ComputePerMem*1.5) + 1
+		e.fpTab = make([]int32, maxCnt+1)
+		e.brTab = make([]int32, maxCnt+1)
+		for i := range e.fpTab {
+			e.fpTab[i] = int32(float64(i) * k.FPFrac)
+			e.brTab[i] = int32(float64(i) * k.BranchFrac)
+		}
+	}
 	return e
 }
 
@@ -194,14 +242,14 @@ func (e *kernelEmitter) next(s *Stream) (Event, bool) {
 	}
 	if !e.pendingAccess && e.k.ComputePerMem > 0 {
 		// Burst length jitters ±50% around the mean for irregularity.
-		n := int(e.k.ComputePerMem * (0.5 + s.rng.Float64()))
+		n := int32(e.k.ComputePerMem * (0.5 + s.rng.Float64()))
 		e.pendingAccess = true
 		if n > 0 {
 			return Event{
 				Kind:     EvCompute,
 				N:        n,
-				FP:       int(float64(n) * e.k.FPFrac),
-				Branches: int(float64(n) * e.k.BranchFrac),
+				FP:       e.fpTab[n],
+				Branches: e.brTab[n],
 			}, true
 		}
 	}
@@ -227,6 +275,78 @@ func (e *kernelEmitter) next(s *Stream) (Event, bool) {
 		kind = EvStore
 	}
 	return Event{Kind: kind, Addr: addr}, true
+}
+
+// fill is the batch counterpart of next: it writes as many of the
+// emitter's remaining events as fit into buf and reports whether the
+// emitter is exhausted. The per-event logic (RNG draw order included)
+// mirrors next exactly so batched and event-at-a-time draining produce
+// identical sequences; keeping the loop free of interface dispatch and
+// per-event call overhead is the point of the method.
+func (e *kernelEmitter) fill(s *Stream, buf []Event) (n int, exhausted bool) {
+	rng := s.rng
+	k := &e.k
+	// Hoist the per-event state into locals: the loop then runs on
+	// registers and writes the emitter back once at the end.
+	remaining := e.remaining
+	cursor := e.cursor
+	pending := e.pendingAccess
+	base, size := e.base, e.size
+	stride := uint64(k.StrideBytes)
+	// With cursor < size and stride <= size, (cursor+stride) mod size is a
+	// single compare-and-subtract — no per-event division. The general
+	// modulo remains for the degenerate stride > size case.
+	strideWraps := stride > size
+	for n < len(buf) {
+		if remaining <= 0 {
+			break
+		}
+		if !pending && k.ComputePerMem > 0 {
+			cnt := int32(k.ComputePerMem * (0.5 + rng.Float64()))
+			pending = true
+			if cnt > 0 {
+				buf[n] = Event{
+					Kind:     EvCompute,
+					N:        cnt,
+					FP:       e.fpTab[cnt],
+					Branches: e.brTab[cnt],
+				}
+				n++
+				continue
+			}
+		}
+		pending = false
+		remaining--
+		var addr uint64
+		switch {
+		case e.hotBytes > 0 && rng.Float64() < k.HotFrac:
+			addr = e.hotBase + uint64(rng.Intn(int(e.hotBytes/8)))*8
+		case stride > 0:
+			addr = base + cursor
+			cursor += stride
+			if strideWraps {
+				cursor %= size
+			} else if cursor >= size {
+				cursor -= size
+			}
+		default:
+			slots := size / 8
+			if slots == 0 {
+				slots = 1
+			}
+			addr = base + uint64(rng.Intn(int(slots)))*8
+		}
+		kind := EvLoad
+		if rng.Float64() < k.WriteFrac {
+			kind = EvStore
+		}
+		buf[n] = Event{Kind: kind, Addr: addr}
+		n++
+	}
+	e.remaining = remaining
+	e.cursor = cursor
+	e.pendingAccess = pending
+	return n, remaining <= 0
 }
 
 // CountEvents drains a fresh stream and returns per-kind event counts and

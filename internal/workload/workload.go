@@ -46,9 +46,12 @@ func (r *RNG) Uint64() uint64 {
 	return z ^ (z >> 31)
 }
 
-// Float64 returns a uniform value in [0, 1).
+// Float64 returns a uniform value in [0, 1). Scaling by the constant
+// 0x1p-53 is exact (a power-of-two factor only shifts the exponent), so
+// the value is bit-identical to dividing by 1<<53 — without the hardware
+// divide on the event-generation hot path.
 func (r *RNG) Float64() float64 {
-	return float64(r.Uint64()>>11) / float64(1<<53)
+	return float64(r.Uint64()>>11) * 0x1p-53
 }
 
 // Intn returns a uniform value in [0, n). n must be positive: a
@@ -58,6 +61,11 @@ func (r *RNG) Float64() float64 {
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("workload: Intn with non-positive n")
+	}
+	if n&(n-1) == 0 {
+		// Power-of-two range: the modulo is a mask (identical value, no
+		// hardware divide — this sits on the event-generation hot path).
+		return int(r.Uint64() & uint64(n-1))
 	}
 	return int(r.Uint64() % uint64(n))
 }
@@ -104,14 +112,19 @@ func (k EventKind) String() string {
 	return fmt.Sprintf("event(%d)", uint8(k))
 }
 
-// Event is one unit of work delivered to the core model.
+// Event is one unit of work delivered to the core model. The struct is
+// deliberately 32 bytes: event buffers are the engine's highest-volume
+// data stream, and the narrow counters (a compute burst is a handful of
+// instructions; object ids are small) halve the store traffic of event
+// generation and the cache footprint of the per-core batch buffers
+// compared to word-sized fields.
 type Event struct {
-	Kind     EventKind
-	N        int    // EvCompute: instructions in the burst
-	FP       int    // EvCompute: floating-point instructions among N
-	Branches int    // EvCompute: branch instructions among N
 	Addr     uint64 // EvLoad/EvStore: byte address
-	ID       int    // EvBarrier/EvLockAcq/EvLockRel: object id
+	N        int32  // EvCompute: instructions in the burst
+	FP       int32  // EvCompute: floating-point instructions among N
+	Branches int32  // EvCompute: branch instructions among N
+	ID       int32  // EvBarrier/EvLockAcq/EvLockRel: object id
+	Kind     EventKind
 }
 
 // Instructions returns how many dynamic instructions the event represents.
