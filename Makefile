@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race doctor bench bench-check
+.PHONY: check build test vet race doctor bench bench-check cover fuzz golden
 
 check:
 	./scripts/check.sh
@@ -33,3 +33,18 @@ bench: build
 bench-check: build
 	$(GO) run ./cmd/cmppower bench -quick -out /tmp/bench-current.json
 	$(GO) run ./scripts/benchgate BENCH_3.json /tmp/bench-current.json
+
+# Coverage regression gate (floor recorded in scripts/covergate.sh).
+cover:
+	./scripts/covergate.sh
+
+# Longer fuzz exploration than the 10s smokes inside `make check`.
+FUZZTIME ?= 2m
+fuzz:
+	$(GO) test ./internal/dvfs -run='^$$' -fuzz=FuzzQuantize -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/workload -run='^$$' -fuzz=FuzzWorkloadIR -fuzztime=$(FUZZTIME)
+
+# Rewrite the CLI golden files after a deliberate output change; review
+# the testdata/golden diff before committing.
+golden:
+	$(GO) test ./cmd/cmppower -run TestGolden -update

@@ -6,10 +6,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 	"time"
 
 	"cmppower"
 	"cmppower/internal/floorplan"
+	"cmppower/internal/report"
 	"cmppower/internal/thermal"
 	"cmppower/internal/workload"
 )
@@ -61,8 +65,12 @@ func runBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	quick := fs.Bool("quick", false, "fewer repetitions (CI mode)")
 	out := fs.String("out", "", "write JSON to this file instead of stdout")
+	manifests := fs.String("manifests", "", "verify and tabulate the run manifests in this `dir` instead of benchmarking")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *manifests != "" {
+		return benchManifests(*manifests)
 	}
 	rep := benchReport{Schema: 3}
 
@@ -101,6 +109,61 @@ func runBench(args []string) error {
 	return err
 }
 
+// benchManifests aggregates the run manifests under dir (written by the
+// -manifest flag of fig3/fig4/explore): every *.json that parses as a
+// manifest has its digest re-verified against its canonical bytes, then
+// the set is tabulated for a sweep-campaign overview. Non-manifest JSON
+// files (e.g. a BENCH_<n>.json living in the same results directory) are
+// skipped. A tampered or truncated manifest fails the command.
+func benchManifests(dir string) error {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(paths)
+	t := report.NewTable(
+		fmt.Sprintf("Run manifests under %s (digests verified)", dir),
+		"file", "command", "version", "runs", "modeled(s)", "wall(s)", "j", "digest")
+	n := 0
+	for _, p := range paths {
+		m, err := cmppower.ReadRunManifest(p)
+		if err != nil {
+			if strings.Contains(err.Error(), "manifest schema") ||
+				strings.Contains(err.Error(), "cannot unmarshal") {
+				continue // some other JSON artifact sharing the directory
+			}
+			return err
+		}
+		if err := m.VerifyDigest(); err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		var runs int64
+		for _, met := range m.Metrics {
+			if met.Name == "engine_runs_total" {
+				runs = int64(met.Value)
+			}
+		}
+		wall, workers := 0.0, 0
+		if m.Volatile != nil {
+			wall, workers = m.Volatile.WallSeconds, m.Volatile.Workers
+		}
+		if err := t.AddRow(filepath.Base(p), m.Command, m.GitVersion,
+			fmt.Sprint(runs), report.F(m.ModeledSeconds, 4), report.F(wall, 2),
+			fmt.Sprint(workers), m.Digest[:12]); err != nil {
+			return err
+		}
+		n++
+	}
+	if n == 0 {
+		return fmt.Errorf("bench: no run manifests under %s", dir)
+	}
+	if err := t.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("\n%d manifest(s), all digests verified\n", n)
+	return nil
+}
+
 // benchEngine times one representative simulator run — Ocean at scale
 // 0.5 on 16 cores, the fig3 configuration's heaviest point — through the
 // batched fast path and the reference loop, best of reps.
@@ -119,6 +182,14 @@ func benchEngine(reps int) (engineBench, error) {
 		cfg.Core = app.CoreConfig()
 		cfg.Unbatched = unbatched
 		cfg.Ctx = context.Background() // the experiment rig always sets one
+		// Unmeasured warm-up: ramps the host's frequency governor before
+		// the timed reps (see benchThermal) and takes allocation noise out
+		// of the first measurement.
+		for i := 0; i < 3; i++ {
+			if _, err := cmppower.Simulate(app.Program(0.5), cfg); err != nil {
+				return 0, err
+			}
+		}
 		best := time.Duration(1<<63 - 1)
 		for i := 0; i < reps; i++ {
 			start := time.Now()
@@ -152,7 +223,12 @@ func benchEngine(reps int) (engineBench, error) {
 
 // benchThermal times repeated SteadyState solves of the 16-core chip
 // network under a fixed random power vector — the SteadyStateCoupled /
-// PowerForPeak / sweep hot path.
+// PowerForPeak / sweep hot path. Both solvers are warmed before timing
+// and each is measured best-of-3: the factored solve is only ~5 µs, so a
+// single timed block otherwise straddles the host's frequency-governor
+// ramp and the "host-independent" speedup ratio inherits up to ±15% of
+// clock-state noise (the reference phase, running later and longer,
+// is always fully warm, so the ratio does not cancel it).
 func benchThermal(fastSolves, refSolves int) (thermalBench, error) {
 	fp, err := floorplan.Chip(floorplan.DefaultChipConfig(16))
 	if err != nil {
@@ -167,20 +243,38 @@ func benchThermal(fastSolves, refSolves int) (thermalBench, error) {
 	for i := range pw {
 		pw[i] = 2 * rng.Float64()
 	}
-	time0 := time.Now()
-	for i := 0; i < fastSolves; i++ {
+	for i := 0; i < fastSolves/4; i++ {
 		if _, err := m.SteadyState(pw); err != nil {
 			return thermalBench{}, err
 		}
 	}
-	fast := float64(fastSolves) / time.Since(time0).Seconds()
-	time0 = time.Now()
-	for i := 0; i < refSolves; i++ {
+	for i := 0; i < refSolves/4; i++ {
 		if _, err := m.SteadyStateReference(pw); err != nil {
 			return thermalBench{}, err
 		}
 	}
-	ref := float64(refSolves) / time.Since(time0).Seconds()
+	const reps = 3
+	var fast, ref float64
+	for r := 0; r < reps; r++ {
+		time0 := time.Now()
+		for i := 0; i < fastSolves; i++ {
+			if _, err := m.SteadyState(pw); err != nil {
+				return thermalBench{}, err
+			}
+		}
+		if rate := float64(fastSolves) / time.Since(time0).Seconds(); rate > fast {
+			fast = rate
+		}
+		time0 = time.Now()
+		for i := 0; i < refSolves; i++ {
+			if _, err := m.SteadyStateReference(pw); err != nil {
+				return thermalBench{}, err
+			}
+		}
+		if rate := float64(refSolves) / time.Since(time0).Seconds(); rate > ref {
+			ref = rate
+		}
+	}
 	return thermalBench{
 		Network:               "16-core chip floorplan, LDLT vs Gauss-Seidel",
 		Nodes:                 m.NumNodes(),

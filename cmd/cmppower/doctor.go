@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
@@ -27,6 +28,7 @@ const (
 	exitDoctorCancel      = 4 // context cancellation did not stop a run
 	exitDoctorParallel    = 5 // parallel sweep diverged from serial sweep
 	exitDoctorBatched     = 6 // batched engine diverged from the reference loop
+	exitDoctorObs         = 7 // metric snapshot / manifest differed across -j
 )
 
 // runDoctor runs the repository's end-to-end self-checks: determinism,
@@ -55,6 +57,7 @@ func runDoctor(args []string) error {
 		{"context cancel stops a sweep", checkContextCancel, exitDoctorCancel},
 		{"parallel sweep matches serial", checkParallelDeterminism, exitDoctorParallel},
 		{"batched engine matches reference loop", checkBatchedEngine, exitDoctorBatched},
+		{"manifest identical across -j", checkObsDeterminism, exitDoctorObs},
 	}
 	// Every check builds its own rigs and injectors, so they fan out over
 	// the worker pool; results are collected and reported in list order.
@@ -126,6 +129,64 @@ func checkBatchedEngine() error {
 		!reflect.DeepEqual(fast.CacheStats, ref.CacheStats) {
 		return fmt.Errorf("batched engine diverged: %g cyc / %d instr vs %g cyc / %d instr",
 			fast.Cycles, fast.Instructions, ref.Cycles, ref.Instructions)
+	}
+	return nil
+}
+
+// checkObsDeterminism runs the same faulty sweep with metrics enabled at
+// worker counts 1, 4, and 16 and requires the resulting run manifests to
+// agree byte for byte on their canonical half: the observability layer's
+// determinism guarantee (integer-only concurrent publishes, volatile
+// wall-clock values excluded from the digest). Extends check 9 from sweep
+// outcomes to the metric snapshot itself.
+func checkObsDeterminism() error {
+	manifest := func(workers int) ([]byte, error) {
+		rig, err := experiment.NewRig(0.1)
+		if err != nil {
+			return nil, err
+		}
+		rig.Seed = 11
+		if rig.Faults, err = cmppower.NewFaultInjector(cmppower.FaultConfig{
+			Seed: 11, SensorNoiseSigmaC: 1.5, DVFSFailProb: 0.05,
+		}); err != nil {
+			return nil, err
+		}
+		reg := cmppower.NewMetricsRegistry()
+		rig.Obs = reg
+		apps, err := appsFor("FFT,LU,Radix")
+		if err != nil {
+			return nil, err
+		}
+		outs, err := rig.SweepScenarioIWith(context.Background(), apps, []int{1, 2, 4},
+			cmppower.SweepConfig{Retry: cmppower.DefaultRetryConfig(), Workers: workers})
+		if err != nil {
+			return nil, err
+		}
+		var modeled float64
+		for _, o := range outs {
+			if o.Err == nil {
+				modeled += o.I.ModeledSeconds()
+			}
+		}
+		m := cmppower.NewRunManifest("doctor", reg)
+		m.Config = map[string]string{"apps": "FFT,LU,Radix", "counts": "1,2,4"}
+		m.Seed = rig.Seed
+		m.ModeledSeconds = modeled
+		m.SetVolatile(reg, 0, workers)
+		return m.CanonicalBytes()
+	}
+	ref, err := manifest(1)
+	if err != nil {
+		return err
+	}
+	for _, workers := range []int{4, 16} {
+		got, err := manifest(workers)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(ref, got) {
+			return fmt.Errorf("manifest canonical bytes differ between -j 1 and -j %d", workers)
+		}
 	}
 	return nil
 }

@@ -18,6 +18,7 @@ func runEvents(args []string) error {
 	last := fs.Int("last", 40, "how many trailing events to keep")
 	scale := fs.Float64("scale", 0.1, "workload scale factor")
 	jsonl := fs.Bool("jsonl", false, "emit JSONL instead of a table")
+	out := fs.String("out", "", "write the JSONL trace to this `file` (implies -jsonl)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -35,6 +36,17 @@ func runEvents(args []string) error {
 	res, err := cmppower.Simulate(app.Program(*scale), cfg)
 	if err != nil {
 		return err
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		if err := cmp.WriteTraceJSONL(f, res.Trace); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
 	}
 	if *jsonl {
 		return cmp.WriteTraceJSONL(os.Stdout, res.Trace)

@@ -20,6 +20,7 @@ func runExplore(args []string) error {
 	scale := fs.Float64("scale", 0.3, "workload scale factor")
 	csv := fs.Bool("csv", false, "emit CSV")
 	jobs := fs.Int("j", 0, "worker count; 0 = GOMAXPROCS (output is identical for every -j)")
+	obsF := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -33,7 +34,7 @@ func runExplore(args []string) error {
 		}
 		apps = publicApps
 	}
-	outs, err := explore.ExploreWith(context.Background(), apps, explore.StandardOptions(), *scale, *jobs)
+	outs, err := explore.ExploreObs(context.Background(), apps, explore.StandardOptions(), *scale, *jobs, obsF.registry())
 	if err != nil {
 		return err
 	}
@@ -64,7 +65,13 @@ func runExplore(args []string) error {
 		seen[o.App] = true
 		fmt.Printf("%-10s best EDP: %s\n", o.App, best[o.App].Option.Name)
 	}
-	return nil
+	var modeled float64
+	for _, o := range outs {
+		modeled += o.Seconds
+	}
+	return obsF.write("explore", map[string]string{
+		"apps": *appSel, "scale": fmt.Sprint(*scale), "options": "standard",
+	}, 1, "", modeled, *jobs)
 }
 
 // runEDP sweeps one application over cores × frequencies under the

@@ -173,6 +173,7 @@ func runFig3(args []string) error {
 	dtm := fs.Bool("dtm", false, "run the DTM controller on every run and report its summary")
 	retries := fs.Int("retries", 3, "attempts per app for injected-transient failures")
 	jobs := fs.Int("j", 0, "sweep worker count; 0 = GOMAXPROCS (output is identical for every -j)")
+	obsF := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -185,6 +186,7 @@ func runFig3(args []string) error {
 		return err
 	}
 	rig.Seed = *seed
+	rig.Obs = obsF.registry()
 	if err := applyResilienceFlags(rig, *faultSpec, *seed, *dtm); err != nil {
 		return err
 	}
@@ -226,6 +228,18 @@ func runFig3(args []string) error {
 			printDTMSummary(o.App, o.I.DTM)
 		}
 	}
+	var modeled float64
+	for _, o := range outcomes {
+		if o.Err == nil {
+			modeled += o.I.ModeledSeconds()
+		}
+	}
+	if err := obsF.write("fig3", map[string]string{
+		"apps": *appSel, "scale": fmt.Sprint(*scale), "counts": "1,2,4,8,16",
+		"faults": *faultSpec, "dtm": fmt.Sprint(*dtm), "retries": fmt.Sprint(*retries),
+	}, *seed, *faultSpec, modeled, *jobs); err != nil {
+		return err
+	}
 	return sweepErr
 }
 
@@ -243,6 +257,7 @@ func runFig4(args []string) error {
 	dtm := fs.Bool("dtm", false, "run the DTM controller on every run and report its summary")
 	retries := fs.Int("retries", 3, "attempts per app for injected-transient failures")
 	jobs := fs.Int("j", 0, "sweep worker count; 0 = GOMAXPROCS (output is identical for every -j)")
+	obsF := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -255,6 +270,7 @@ func runFig4(args []string) error {
 		return err
 	}
 	rig.Seed = *seed
+	rig.Obs = obsF.registry()
 	if err := applyResilienceFlags(rig, *faultSpec, *seed, *dtm); err != nil {
 		return err
 	}
@@ -306,6 +322,18 @@ func runFig4(args []string) error {
 		if o.Err == nil {
 			printDTMSummary(o.App, o.II.DTM)
 		}
+	}
+	var modeled float64
+	for _, o := range outcomes {
+		if o.Err == nil {
+			modeled += o.II.ModeledSeconds()
+		}
+	}
+	if err := obsF.write("fig4", map[string]string{
+		"apps": *appSel, "scale": fmt.Sprint(*scale), "counts": "1,2,4,8,16",
+		"faults": *faultSpec, "dtm": fmt.Sprint(*dtm), "retries": fmt.Sprint(*retries),
+	}, *seed, *faultSpec, modeled, *jobs); err != nil {
+		return err
 	}
 	return sweepErr
 }

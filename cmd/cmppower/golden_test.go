@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// -update rewrites the golden files from the current output instead of
+// comparing against them:
+//
+//	go test ./cmd/cmppower -run TestGolden -update
+//
+// Review the diff of testdata/golden/ before committing — a golden change
+// is a deliberate output-format or model change, never noise (the
+// simulator and the report layer are deterministic, so any diff is real).
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// captureStdout runs one CLI command function with os.Stdout redirected to
+// a scratch file (the same withStdout mechanism `cmppower all` uses) and
+// returns what it printed.
+func captureStdout(t *testing.T, fn func([]string) error, args []string) []byte {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "stdout.txt")
+	if err := withStdout(path, func() error { return fn(args) }); err != nil {
+		t.Fatalf("command %v: %v", args, err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// checkGolden compares got against testdata/golden/<name>, rewriting the
+// file under -update. On mismatch it reports the first differing line, not
+// the whole blob.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s — run `go test ./cmd/cmppower -run TestGolden -update` (%v)", path, err)
+	}
+	if bytes.Equal(got, want) {
+		return
+	}
+	t.Errorf("%s: output diverged from golden file%s", name, firstDiff(want, got))
+}
+
+// firstDiff locates the first line where want and got disagree.
+func firstDiff(want, got []byte) string {
+	w := strings.Split(string(want), "\n")
+	g := strings.Split(string(got), "\n")
+	for i := 0; i < len(w) || i < len(g); i++ {
+		wl, gl := "<eof>", "<eof>"
+		if i < len(w) {
+			wl = w[i]
+		}
+		if i < len(g) {
+			gl = g[i]
+		}
+		if wl != gl {
+			return fmt.Sprintf("\n  line %d:\n    golden: %q\n    got:    %q", i+1, wl, gl)
+		}
+	}
+	return " (lengths differ)"
+}
+
+// TestGoldenFig3 pins the small-N fig3 table: Scenario I efficiency,
+// speedup, power, density, and temperature columns for two applications.
+// Worker count must not matter, so it runs at -j 2 while the golden file
+// was written at whatever -j the -update run used.
+func TestGoldenFig3(t *testing.T) {
+	got := captureStdout(t, runFig3,
+		[]string{"-apps", "FFT,LU", "-scale", "0.1", "-j", "2"})
+	checkGolden(t, "fig3_small.txt", got)
+}
+
+// TestGoldenFig4 pins the small-N fig4 table: Scenario II nominal vs
+// actual speedup under the power budget.
+func TestGoldenFig4(t *testing.T) {
+	got := captureStdout(t, runFig4,
+		[]string{"-apps", "Cholesky,Radix", "-scale", "0.1", "-j", "2"})
+	checkGolden(t, "fig4_small.txt", got)
+}
+
+// TestGoldenEvents pins the engine's JSONL event-trace encoding — field
+// names, ordering, and the trace ring-buffer tail semantics — which
+// external tooling consumes via `cmppower events -out`.
+func TestGoldenEvents(t *testing.T) {
+	got := captureStdout(t, runEvents,
+		[]string{"-app", "FFT", "-n", "2", "-scale", "0.05", "-last", "25", "-jsonl"})
+	checkGolden(t, "events_fft.jsonl", got)
+}
+
+// TestGoldenExplore pins the design-space exploration table for one
+// application across all five standard organizations.
+func TestGoldenExplore(t *testing.T) {
+	got := captureStdout(t, runExplore,
+		[]string{"-apps", "Radix", "-scale", "0.1", "-j", "2"})
+	checkGolden(t, "explore_radix.txt", got)
+}

@@ -15,7 +15,7 @@
 //	cmppower validate [-apps list] [-scale S]
 //	cmppower explore [-apps list] [-scale S] [-j N]
 //	cmppower edp    [-app NAME] [-scale S]
-//	cmppower events [-app NAME] [-n N] [-last K] [-jsonl]
+//	cmppower events [-app NAME] [-n N] [-last K] [-jsonl] [-out FILE]
 //	cmppower mix    [-apps list] [-freq MHz]
 //	cmppower seeds  [-app NAME] [-n N] [-count K]
 //	cmppower classify [-n N] [-scale S]
@@ -23,10 +23,16 @@
 //	cmppower svg    [-app NAME] [-n N] [-out FILE]
 //	cmppower all    [-out DIR] [-scale S]
 //	cmppower doctor [-j N]
-//	cmppower bench  [-quick] [-out FILE]
+//	cmppower bench  [-quick] [-out FILE] [-manifests DIR]
 //
 // Sweep-style commands accept -j to fan work across a bounded worker pool
 // (0 = GOMAXPROCS); output is bit-identical for every -j.
+//
+// fig3, fig4, and explore additionally accept -metrics FILE (Prometheus
+// text exposition of the run's counters and histograms) and -manifest
+// FILE (deterministic provenance JSON with a digest over the canonical
+// half); without either flag no registry is allocated and the run is
+// exactly as fast as before.
 //
 // Global flags, given before the command, profile any invocation:
 //
@@ -206,12 +212,14 @@ Commands:
   all      Regenerate every artifact into a directory
   doctor   End-to-end self-checks (determinism, coherence, calibration,
            fault injection, DTM, cancellation, parallel-sweep determinism,
-           batched-engine equivalence; distinct exit codes per resilience
-           failure: 2=injector, 3=DTM, 4=cancellation,
-           5=parallel-divergence, 6=batched-engine-divergence)
+           batched-engine equivalence, manifest determinism; distinct exit
+           codes per resilience failure: 2=injector, 3=DTM, 4=cancellation,
+           5=parallel-divergence, 6=batched-engine-divergence,
+           7=manifest-divergence)
   cachesweep  L1 capacity sensitivity across core counts
   bench    Performance benchmarks (engine events/sec, thermal solves/sec,
-           end-to-end fig3 time) as BENCH JSON for the regression gate
+           end-to-end fig3 time) as BENCH JSON for the regression gate;
+           -manifests DIR instead verifies and tabulates run manifests
 
 Global flags (before the command):
   -cpuprofile FILE   write a CPU profile of the whole command

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cmppower"
+)
+
+// obsFlags is the shared observability flag pair of the sweep commands
+// (fig3, fig4, explore): -metrics writes a Prometheus-style text
+// exposition, -manifest writes the per-run provenance manifest. Neither
+// flag set means no registry is created, so instrumented code runs on the
+// nil fast path and the command behaves exactly as before.
+type obsFlags struct {
+	metricsPath  *string
+	manifestPath *string
+	reg          *cmppower.MetricsRegistry
+	start        time.Time
+}
+
+// addObsFlags registers -metrics and -manifest on fs.
+func addObsFlags(fs *flag.FlagSet) *obsFlags {
+	o := &obsFlags{start: time.Now()}
+	o.metricsPath = fs.String("metrics", "", "write Prometheus-style run metrics to this `file`")
+	o.manifestPath = fs.String("manifest", "", "write the per-run manifest (deterministic JSON + digest) to this `file`")
+	return o
+}
+
+// registry returns the registry to attach to the run — created lazily on
+// first call when either output was requested, nil otherwise.
+func (o *obsFlags) registry() *cmppower.MetricsRegistry {
+	if o.reg == nil && (*o.metricsPath != "" || *o.manifestPath != "") {
+		o.reg = cmppower.NewMetricsRegistry()
+	}
+	return o.reg
+}
+
+// write emits the requested outputs for a finished run. config/seed/
+// faultPlan/modeledSec land in the manifest's canonical (digested) half;
+// workers and the elapsed wall clock land in its volatile half, keeping
+// the canonical bytes identical across -j (doctor check 11 relies on
+// this). A no-op when neither flag was given.
+func (o *obsFlags) write(command string, config map[string]string, seed uint64, faultPlan string, modeledSec float64, workers int) error {
+	if o.reg == nil {
+		return nil
+	}
+	if *o.metricsPath != "" {
+		f, err := os.Create(*o.metricsPath)
+		if err != nil {
+			return fmt.Errorf("-metrics: %w", err)
+		}
+		if err := o.reg.WriteText(f); err != nil {
+			f.Close()
+			return fmt.Errorf("-metrics: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("-metrics: %w", err)
+		}
+	}
+	if *o.manifestPath != "" {
+		m := o.manifest(command, config, seed, faultPlan, modeledSec, workers)
+		if err := m.WriteFile(*o.manifestPath); err != nil {
+			return fmt.Errorf("-manifest: %w", err)
+		}
+	}
+	return nil
+}
+
+// manifest assembles (but does not write) the run manifest; split out so
+// doctor check 11 can compare canonical bytes without touching the disk.
+func (o *obsFlags) manifest(command string, config map[string]string, seed uint64, faultPlan string, modeledSec float64, workers int) *cmppower.RunManifest {
+	m := cmppower.NewRunManifest(command, o.reg)
+	m.Config = config
+	m.Seed = seed
+	m.FaultPlan = faultPlan
+	m.ModeledSeconds = modeledSec
+	m.SetVolatile(o.reg, time.Since(o.start).Seconds(), workers)
+	return m
+}

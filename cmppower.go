@@ -37,6 +37,7 @@ import (
 	"cmppower/internal/dvfs"
 	"cmppower/internal/experiment"
 	"cmppower/internal/faults"
+	"cmppower/internal/obs"
 	"cmppower/internal/phys"
 	"cmppower/internal/splash"
 	"cmppower/internal/workload"
@@ -240,6 +241,33 @@ type DTMStats = experiment.DTMStats
 
 // DTMSummary aggregates DTMStats over every run of a scenario.
 type DTMSummary = experiment.DTMSummary
+
+// MetricsRegistry collects typed run metrics (counters, gauges,
+// fixed-bucket histograms). Attach one to an Experiment's Obs field or a
+// SimConfig's Metrics field; a nil registry is free (every method on nil
+// is a no-op) and concurrent sweeps publishing into one registry produce
+// identical snapshots at every worker count.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// MetricSnapshot is one metric of a registry snapshot.
+type MetricSnapshot = obs.Metric
+
+// RunManifest is the per-run provenance record (config, seed, fault plan,
+// git version, metric snapshot, modeled/wall time) with a canonical
+// digest; see internal/obs.
+type RunManifest = obs.Manifest
+
+// NewRunManifest builds a manifest for the named command from reg's
+// deterministic snapshot (nil registry → no metrics).
+func NewRunManifest(command string, reg *MetricsRegistry) *RunManifest {
+	return obs.NewManifest(command, reg)
+}
+
+// ReadRunManifest loads a manifest written by RunManifest.WriteFile.
+func ReadRunManifest(path string) (*RunManifest, error) { return obs.ReadManifest(path) }
 
 // SimConfig configures one raw simulator run.
 type SimConfig = cmp.Config

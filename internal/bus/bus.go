@@ -9,6 +9,14 @@ package bus
 
 import "fmt"
 
+// WaitBounds are the fixed upper bucket edges, in chip cycles, of the
+// per-transaction arbitration-wait histogram. Geometric around the 3-cycle
+// default occupancy: bucket i of WaitHist counts transactions that waited
+// at most WaitBounds[i] cycles; the final WaitHist slot is the overflow
+// (+Inf) bucket. Shared with the obs registry so per-run arrays merge
+// without rebinning.
+var WaitBounds = [...]float64{0, 1, 3, 9, 27, 81, 243}
+
 // Bus serializes coherence transactions. Time is measured in absolute chip
 // cycles (float64 to compose with the core model's fractional accounting).
 type Bus struct {
@@ -21,6 +29,12 @@ type Bus struct {
 	BusyCycles float64
 	// WaitCycles accumulates arbitration delay experienced by requesters.
 	WaitCycles float64
+	// WaitHist bins each transaction's wait on WaitBounds (last slot +Inf).
+	// Plain integer array, always on: binning costs a few compares per
+	// transaction (transactions are L1-miss-rate rare) and integer bins
+	// merge exactly, so the histogram stays bit-identical at every sweep
+	// worker count.
+	WaitHist [len(WaitBounds) + 1]int64
 }
 
 // New returns a bus whose transactions occupy cyclesPerTx chip cycles
@@ -40,7 +54,13 @@ func (b *Bus) Acquire(now float64) float64 {
 	if b.freeAt > start {
 		start = b.freeAt
 	}
-	b.WaitCycles += start - now
+	wait := start - now
+	b.WaitCycles += wait
+	i := 0
+	for i < len(WaitBounds) && wait > WaitBounds[i] {
+		i++
+	}
+	b.WaitHist[i]++
 	b.freeAt = start + b.cyclesPerTx
 	b.BusyCycles += b.cyclesPerTx
 	b.Transactions++

@@ -20,6 +20,7 @@ import (
 	"cmppower/internal/dvfs"
 	"cmppower/internal/floorplan"
 	"cmppower/internal/mem"
+	"cmppower/internal/obs"
 	"cmppower/internal/power"
 	"cmppower/internal/workload"
 )
@@ -87,6 +88,13 @@ type Config struct {
 	// CacheFault forwards a transient-error hook into the cache hierarchy
 	// (see cache.FaultHook and internal/faults). Nil injects nothing.
 	CacheFault cache.FaultHook
+	// Metrics, when non-nil, receives a post-run publish of the engine's
+	// counters (events, cycles, cache/bus/DRAM traffic, wait histograms).
+	// The hot loops never touch it: publishing folds the run's already-kept
+	// substrate counters into the registry once, after the result is
+	// assembled, so a nil registry costs exactly one branch per run and the
+	// simulated outcome is identical either way.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns a run configuration for n active cores on the
@@ -450,6 +458,7 @@ func runEngine(cfg Config, sources []eventSource, nBarriers, nLocks, barrierQuor
 	res.Seconds = res.Cycles / cfg.Point.Freq
 	res.BusUtilization = hier.Bus().Utilization(res.Cycles)
 	res.MemUtilization = dram.Utilization(res.Seconds)
+	publishMetrics(cfg.Metrics, res, hier, dram)
 	return res, nil
 }
 

@@ -1,0 +1,64 @@
+package cmp
+
+import (
+	"math"
+
+	"cmppower/internal/cache"
+	"cmppower/internal/mem"
+	"cmppower/internal/obs"
+
+	"cmppower/internal/bus"
+)
+
+// publishMetrics folds one finished run's substrate counters into reg.
+// It runs once per simulation, after the result is assembled — never on
+// the event hot path — so metrics-off costs one nil check and metrics-on
+// costs a handful of map lookups and integer adds per run.
+//
+// Everything published here is integer-valued (fractional cycle totals are
+// rounded once, at publish time) so that a registry shared across parallel
+// sweep workers accumulates the same totals in any order — the property
+// behind byte-identical manifests at every -j (DESIGN.md §9). The model
+// has no MSHRs to histogram (misses block the requesting core, paper
+// Table 1 semantics), so the queueing-depth story is told by the two
+// contention histograms the substrates always keep: bus arbitration wait
+// and DRAM channel queue wait.
+func publishMetrics(reg *obs.Registry, res *Result, hier *cache.Hierarchy, dram *mem.DRAM) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("engine_runs_total").Add(1)
+	reg.Counter("engine_events_total").Add(res.Events)
+	reg.Counter("engine_instructions_total").Add(res.Instructions)
+	reg.Counter("engine_cycles_total").Add(int64(math.Round(res.Cycles)))
+
+	st := res.CacheStats
+	var l1Access, l1Miss int64
+	for i := range st.L1DAccess {
+		l1Access += st.L1DAccess[i]
+		l1Miss += st.L1DMiss[i]
+	}
+	reg.Counter("cache_l1d_accesses_total").Add(l1Access)
+	reg.Counter("cache_l1d_misses_total").Add(l1Miss)
+	reg.Counter("cache_l2_accesses_total").Add(st.L2Access)
+	reg.Counter("cache_l2_fills_total").Add(st.L2Miss)
+	reg.Counter("cache_snoop_upgrades_total").Add(st.Upgrades)
+	reg.Counter("cache_snoop_invalidations_total").Add(st.Invals)
+	reg.Counter("cache_c2c_transfers_total").Add(st.C2C)
+	reg.Counter("cache_writebacks_l2_total").Add(st.WBToL2)
+	reg.Counter("cache_writebacks_mem_total").Add(st.WBToMem)
+	reg.Counter("cache_prefetches_total").Add(st.Prefetch)
+	reg.Counter("cache_ecc_retries_total").Add(st.ECCRetries)
+	reg.Counter("cache_ecc_retry_cycles_total").Add(int64(math.Round(st.ECCRetryCycles)))
+
+	b := hier.Bus()
+	reg.Counter("bus_transactions_total").Add(b.Transactions)
+	reg.Counter("bus_busy_cycles_total").Add(int64(math.Round(b.BusyCycles)))
+	reg.Counter("bus_wait_cycles_total").Add(int64(math.Round(b.WaitCycles)))
+	reg.Histogram("bus_wait_cycles", bus.WaitBounds[:]).AddBuckets(b.WaitHist[:]) //nolint:errcheck // arity fixed by shared bounds
+
+	reg.Counter("mem_accesses_total").Add(dram.Accesses)
+	reg.Counter("mem_busy_ns_total").Add(int64(math.Round(dram.BusySeconds * 1e9)))
+	reg.Counter("mem_queue_ns_total").Add(int64(math.Round(dram.QueueSeconds * 1e9)))
+	reg.Histogram("mem_queue_wait_ns", mem.QueueWaitBoundsNs[:]).AddBuckets(dram.QueueHist[:]) //nolint:errcheck // arity fixed by shared bounds
+}

@@ -1,0 +1,96 @@
+package dvfs
+
+import (
+	"math"
+	"testing"
+
+	"cmppower/internal/phys"
+)
+
+// fuzzTable builds the paper's 65 nm ladder once per fuzz process.
+func fuzzTable(t testing.TB) *Table {
+	tab, err := PentiumMStyle(phys.Tech65())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+// onLadder reports whether p is exactly one of tab's ladder steps.
+func onLadder(tab *Table, p OperatingPoint) bool {
+	for _, q := range tab.Points() {
+		if p == q {
+			return true
+		}
+	}
+	return false
+}
+
+// FuzzQuantize drives the three frequency-lookup entry points — PointFor,
+// Quantize, StepAbove — with arbitrary float64 targets, including the NaN,
+// ±Inf, zero, negative, and subnormal inputs a degenerate Eq. 7 solve can
+// produce, and checks the invariants every caller (DTM, Scenario II,
+// ablations) silently relies on:
+//
+//   - results are always finite, never NaN, and inside [Min, Nominal];
+//   - Quantize and StepAbove return exact ladder steps;
+//   - for in-range targets, Quantize rounds down and StepAbove rounds up,
+//     and they bracket the target.
+func FuzzQuantize(f *testing.F) {
+	tab := fuzzTable(f)
+	seeds := []float64{
+		0, -1, -1e300, 1e300,
+		math.NaN(), math.Inf(1), math.Inf(-1),
+		math.SmallestNonzeroFloat64, math.MaxFloat64,
+		tab.Min().Freq, tab.Nominal().Freq,
+		tab.Min().Freq - 1, tab.Nominal().Freq + 1,
+		200e6 - 0.5, 200e6 + 0.5, 1.7e9, 3.2e9,
+		math.Nextafter(tab.Min().Freq, 0),
+		math.Nextafter(tab.Nominal().Freq, math.Inf(1)),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, freq float64) {
+		lo, hi := tab.Min(), tab.Nominal()
+		check := func(name string, p OperatingPoint) {
+			if math.IsNaN(p.Freq) || math.IsNaN(p.Volt) ||
+				math.IsInf(p.Freq, 0) || math.IsInf(p.Volt, 0) {
+				t.Fatalf("%s(%g) = non-finite point %+v", name, freq, p)
+			}
+			if p.Freq < lo.Freq || p.Freq > hi.Freq {
+				t.Fatalf("%s(%g) = %g Hz outside ladder [%g, %g]", name, freq, p.Freq, lo.Freq, hi.Freq)
+			}
+			if p.Volt < lo.Volt || p.Volt > hi.Volt {
+				t.Fatalf("%s(%g) = %g V outside ladder [%g, %g]", name, freq, p.Volt, lo.Volt, hi.Volt)
+			}
+		}
+		cont := tab.PointFor(freq)
+		down := tab.Quantize(freq)
+		up := tab.StepAbove(freq)
+		check("PointFor", cont)
+		check("Quantize", down)
+		check("StepAbove", up)
+		if !onLadder(tab, down) {
+			t.Fatalf("Quantize(%g) = %+v is not a ladder step", freq, down)
+		}
+		if !onLadder(tab, up) {
+			t.Fatalf("StepAbove(%g) = %+v is not a ladder step", freq, up)
+		}
+		// Rounding direction and bracketing for in-range, well-formed targets.
+		if !math.IsNaN(freq) && freq >= lo.Freq && freq <= hi.Freq {
+			if down.Freq > freq {
+				t.Fatalf("Quantize(%g) rounded up to %g", freq, down.Freq)
+			}
+			if up.Freq < freq {
+				t.Fatalf("StepAbove(%g) rounded down to %g", freq, up.Freq)
+			}
+			if down.Freq > up.Freq {
+				t.Fatalf("Quantize(%g)=%g above StepAbove(%g)=%g", freq, down.Freq, freq, up.Freq)
+			}
+			if cont.Freq != freq {
+				t.Fatalf("PointFor(%g) moved an in-range target to %g", freq, cont.Freq)
+			}
+		}
+	})
+}

@@ -77,6 +77,9 @@ func (c DTMConfig) Validate() error {
 type DTMStats struct {
 	// Emergencies counts trip events (hottest sensor ≥ TripC).
 	Emergencies int
+	// Transitions counts DVFS requests the governor latched (throttle-downs
+	// and recovery steps that took effect).
+	Transitions int
 	// FailedTransitions counts DVFS requests dropped by fault injection.
 	FailedTransitions int
 	// ThrottleResidency is the fraction of the run's wall-clock time spent
@@ -240,7 +243,9 @@ func (r *Rig) runDTM(ctx context.Context, app splash.App, n int, req dvfs.Operat
 				st.FloorHit = true
 				break
 			}
-			if _, ok := governor.Request(target, transitions); !ok {
+			if _, ok := governor.Request(target, transitions); ok {
+				st.Transitions++
+			} else {
 				st.FailedTransitions++
 			}
 		case reading < dc.TripC-dc.HysteresisC && cur.Freq < req.Freq:
@@ -249,7 +254,9 @@ func (r *Rig) runDTM(ctx context.Context, app splash.App, n int, req dvfs.Operat
 			if target.Freq > req.Freq {
 				target = req
 			}
-			if _, ok := governor.Request(target, transitions); !ok {
+			if _, ok := governor.Request(target, transitions); ok {
+				st.Transitions++
+			} else {
 				st.FailedTransitions++
 			}
 		}

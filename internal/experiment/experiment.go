@@ -16,6 +16,7 @@ import (
 	"cmppower/internal/dvfs"
 	"cmppower/internal/faults"
 	"cmppower/internal/floorplan"
+	"cmppower/internal/obs"
 	"cmppower/internal/phys"
 	"cmppower/internal/power"
 	"cmppower/internal/splash"
@@ -57,6 +58,14 @@ type Rig struct {
 	// transient thermal network under the controller and attaches the
 	// resulting DTMStats to the Measurement.
 	DTM *DTMConfig
+	// Obs, when non-nil, collects run metrics: every simulation publishes
+	// its engine/cache/bus/DRAM counters (see cmp.Config.Metrics), and the
+	// experiment layer adds run, DTM, and memo-cache counters. Clones share
+	// the parent's registry (the struct copy keeps the pointer), so a
+	// parallel sweep accumulates one combined snapshot; because everything
+	// published concurrently is integer-valued, that snapshot is identical
+	// for every worker count. Nil keeps the entire layer free.
+	Obs *obs.Registry
 
 	// memo, when non-nil, caches successful Measurements keyed by the full
 	// run identity (see memoKey). Clones share their parent's cache, so a
@@ -189,6 +198,7 @@ func (r *Rig) runConfig(ctx context.Context, app splash.App, n int, p dvfs.Opera
 	if r.Faults != nil {
 		cfg.CacheFault = r.Faults
 	}
+	cfg.Metrics = r.Obs
 	return cfg
 }
 
@@ -211,7 +221,7 @@ func (r *Rig) RunAppSeeded(ctx context.Context, app splash.App, n int, p dvfs.Op
 		return nil, fmt.Errorf("experiment: %s does not run on %d cores", app.Name, n)
 	}
 	if r.memo != nil && r.memoizable() {
-		return r.memo.do(ctx, r.memoKeyFor(app.Name, n, p, seed), func() (*Measurement, error) {
+		return r.memo.do(ctx, r.memoKeyFor(app.Name, n, p, seed), r.Obs, func() (*Measurement, error) {
 			return r.runApp(ctx, app, n, p, seed)
 		})
 	}
@@ -260,9 +270,21 @@ func (r *Rig) runApp(ctx context.Context, app splash.App, n int, p dvfs.Operatin
 			return nil, fail("dtm", err)
 		}
 		m.DTM = st
+		r.Obs.Counter("dtm_emergencies_total").Add(int64(st.Emergencies))
+		r.Obs.Counter("dtm_transitions_total").Add(int64(st.Transitions))
+		r.Obs.Counter("dtm_failed_transitions_total").Add(int64(st.FailedTransitions))
+		r.Obs.Histogram("dtm_throttle_residency", dtmResidencyBounds).Observe(st.ThrottleResidency)
+		if st.FloorHit {
+			r.Obs.Counter("dtm_floor_hits_total").Add(1)
+		}
 	}
+	r.Obs.Counter("experiment_runs_total").Add(1)
 	return m, nil
 }
+
+// dtmResidencyBounds bins the fraction of a run spent throttled (a
+// per-run throttle-interval summary: 0 means the controller never bit).
+var dtmResidencyBounds = []float64{0, 0.01, 0.05, 0.1, 0.25, 0.5, 0.75}
 
 // ScenarioIRow is one configuration of the Fig. 3 experiment.
 type ScenarioIRow struct {
@@ -368,13 +390,19 @@ type ScenarioIIRow struct {
 	// AtNominal reports that the budget was not binding (the paper's
 	// Radix observation: low-power apps run flat out up to ~8 cores).
 	AtNominal bool
+	// Seconds is the modeled run time at the chosen point (the denominator
+	// of ActualSpeedup), kept so run manifests can report modeled time.
+	Seconds float64
 }
 
 // ScenarioIIResult holds one application's Fig. 4 data.
 type ScenarioIIResult struct {
 	App     string
 	BudgetW float64
-	Rows    []ScenarioIIRow
+	// BaselineSeconds is the single-core nominal run time (the numerator of
+	// every speedup in Rows).
+	BaselineSeconds float64
+	Rows            []ScenarioIIRow
 	// DTM aggregates the thermal-management metrics over every run of the
 	// scenario when the rig has a DTMConfig attached; nil otherwise.
 	DTM *DTMSummary
@@ -416,7 +444,7 @@ func (r *Rig) ScenarioIICtx(ctx context.Context, app splash.App, coreCounts []in
 	if err != nil {
 		return nil, err
 	}
-	out := &ScenarioIIResult{App: app.Name, BudgetW: budget}
+	out := &ScenarioIIResult{App: app.Name, BudgetW: budget, BaselineSeconds: base.Seconds}
 	kept := []*Measurement{base}
 	for _, n := range coreCounts {
 		if !app.RunsOn(n) {
@@ -433,6 +461,7 @@ func (r *Rig) ScenarioIICtx(ctx context.Context, app splash.App, coreCounts []in
 			row.Point = r.Table.Nominal()
 			row.PowerW = nom.PowerW
 			row.AtNominal = true
+			row.Seconds = nom.Seconds
 			out.Rows = append(out.Rows, row)
 			kept = append(kept, nom)
 			continue
@@ -473,6 +502,7 @@ func (r *Rig) ScenarioIICtx(ctx context.Context, app splash.App, coreCounts []in
 		row.ActualSpeedup = base.Seconds / final.Seconds
 		row.Point = point
 		row.PowerW = final.PowerW
+		row.Seconds = final.Seconds
 		out.Rows = append(out.Rows, row)
 		kept = append(kept, final)
 	}
@@ -480,4 +510,38 @@ func (r *Rig) ScenarioIICtx(ctx context.Context, app splash.App, coreCounts []in
 		out.DTM = summarizeDTM(kept)
 	}
 	return out, nil
+}
+
+// ModeledSeconds sums the simulated time of the measurements a Scenario I
+// result reports (baseline plus each scaled configuration; profiling runs
+// are not retained and not counted). It is a deterministic function of the
+// result, which is what run manifests need.
+func (s *ScenarioIResult) ModeledSeconds() float64 {
+	if s == nil {
+		return 0
+	}
+	total := 0.0
+	if s.Baseline != nil {
+		total += s.Baseline.Seconds
+	}
+	for _, row := range s.Rows {
+		if row.Scaled != nil {
+			total += row.Scaled.Seconds
+		}
+	}
+	return total
+}
+
+// ModeledSeconds sums the simulated time a Scenario II result reports
+// (baseline plus each row's chosen-point run); see
+// (*ScenarioIResult).ModeledSeconds.
+func (s *ScenarioIIResult) ModeledSeconds() float64 {
+	if s == nil {
+		return 0
+	}
+	total := s.BaselineSeconds
+	for _, row := range s.Rows {
+		total += row.Seconds
+	}
+	return total
 }

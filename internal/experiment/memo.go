@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"cmppower/internal/dvfs"
+	"cmppower/internal/obs"
 )
 
 // memoKey is the full identity of one simulated run: two runs with equal
@@ -118,8 +119,11 @@ func (c *memoCache) stats() MemoStats {
 // first request. Duplicate concurrent requests block until the first
 // completes (or their own context cancels). Errors are propagated to
 // every waiter but never cached: the entry is removed so a later request
-// re-simulates.
-func (c *memoCache) do(ctx context.Context, k memoKey, compute func() (*Measurement, error)) (*Measurement, error) {
+// re-simulates. Traffic is mirrored into reg (nil is free): the split is
+// deterministic across worker counts because misses are exactly the
+// distinct keys requested and hits the remainder, regardless of which
+// worker computed what.
+func (c *memoCache) do(ctx context.Context, k memoKey, reg *obs.Registry, compute func() (*Measurement, error)) (*Measurement, error) {
 	c.mu.Lock()
 	if e, ok := c.m[k]; ok {
 		c.mu.Unlock()
@@ -134,12 +138,14 @@ func (c *memoCache) do(ctx context.Context, k memoKey, compute func() (*Measurem
 		c.mu.Lock()
 		c.hits++
 		c.mu.Unlock()
+		reg.Counter("memo_hits_total").Add(1)
 		return e.m.clone(), nil
 	}
 	e := &memoEntry{ready: make(chan struct{})}
 	c.m[k] = e
 	c.misses++
 	c.mu.Unlock()
+	reg.Counter("memo_misses_total").Add(1)
 
 	m, err := compute()
 	if err != nil {

@@ -4,6 +4,8 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"cmppower/internal/splash"
 )
@@ -85,9 +87,14 @@ func (r *Rig) sweepApps(ctx context.Context, kind string, apps []splash.App, cfg
 	if !cfg.NoMemo {
 		r.EnableMemo()
 	}
+	workers := cfg.workersOrDefault()
 	results := make([]*SweepOutcome, len(apps))
-	err := RunIndexed(ctx, cfg.workersOrDefault(), len(apps), func(i int) {
+	var busyNs atomic.Int64
+	start := time.Now()
+	err := RunIndexed(ctx, workers, len(apps), func(i int) {
+		t0 := time.Now()
 		o := run(r.cloneFor(kind+"/"+apps[i].Name), apps[i], rc)
+		busyNs.Add(time.Since(t0).Nanoseconds())
 		results[i] = &o
 	})
 	out := make([]SweepOutcome, 0, len(apps))
@@ -96,6 +103,21 @@ func (r *Rig) sweepApps(ctx context.Context, kind string, apps []splash.App, cfg
 			break // never dispatched: cancellation landed first
 		}
 		out = append(out, *o)
+	}
+	if r.Obs != nil {
+		// Pool utilization is wall-clock truth, not simulation state, so it
+		// is volatile by construction: the values differ run to run and
+		// worker count to worker count, and must stay out of the
+		// deterministic snapshot that manifests digest.
+		r.Obs.Counter("sweep_items_total").Add(int64(len(out)))
+		wall := time.Since(start).Seconds()
+		busy := float64(busyNs.Load()) / 1e9
+		r.Obs.VolatileGauge("sweep_pool_workers").Set(float64(workers))
+		r.Obs.VolatileGauge("sweep_pool_busy_seconds").Set(busy)
+		r.Obs.VolatileGauge("sweep_pool_wall_seconds").Set(wall)
+		if denom := wall * float64(workers); denom > 0 {
+			r.Obs.VolatileGauge("sweep_pool_utilization").Set(busy / denom)
+		}
 	}
 	return out, err
 }

@@ -16,6 +16,7 @@ import (
 	"cmppower/internal/cache"
 	"cmppower/internal/cmp"
 	"cmppower/internal/experiment"
+	"cmppower/internal/obs"
 	"cmppower/internal/splash"
 )
 
@@ -109,6 +110,14 @@ func ExploreCtx(ctx context.Context, apps []splash.App, opts []Option, scale flo
 // number of workers (<= 0 means GOMAXPROCS) and merged back in option
 // order. Outcomes are bit-identical for every worker count.
 func ExploreWith(ctx context.Context, apps []splash.App, opts []Option, scale float64, workers int) ([]Outcome, error) {
+	return ExploreObs(ctx, apps, opts, scale, workers, nil)
+}
+
+// ExploreObs is ExploreWith with a metrics registry: every organization's
+// runs publish their engine counters into reg (shared across workers;
+// integer-only concurrent updates keep the snapshot identical at every
+// worker count). A nil registry makes it exactly ExploreWith.
+func ExploreObs(ctx context.Context, apps []splash.App, opts []Option, scale float64, workers int, reg *obs.Registry) ([]Outcome, error) {
 	if len(apps) == 0 || len(opts) == 0 {
 		return nil, fmt.Errorf("explore: empty sweep (%d apps, %d options)", len(apps), len(opts))
 	}
@@ -120,7 +129,7 @@ func ExploreWith(ctx context.Context, apps []splash.App, opts []Option, scale fl
 	perOpt := make([][]Outcome, len(opts))
 	errs := make([]error, len(opts))
 	poolErr := experiment.RunIndexed(ctx, workers, len(opts), func(i int) {
-		perOpt[i], errs[i] = exploreOption(ctx, apps, opts[i], scale)
+		perOpt[i], errs[i] = exploreOption(ctx, apps, opts[i], scale, reg)
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -157,7 +166,7 @@ func ExploreWith(ctx context.Context, apps []splash.App, opts []Option, scale fl
 
 // exploreOption evaluates every application on one organization: one
 // sweep work item, with its own freshly calibrated rig.
-func exploreOption(ctx context.Context, apps []splash.App, opt Option, scale float64) ([]Outcome, error) {
+func exploreOption(ctx context.Context, apps []splash.App, opt Option, scale float64, reg *obs.Registry) ([]Outcome, error) {
 	rig, err := experiment.NewCustomRig(opt.Cores, scale)
 	if err != nil {
 		return nil, err
@@ -179,6 +188,7 @@ func exploreOption(ctx context.Context, apps []splash.App, opt Option, scale flo
 		cfg.CacheOverride = &cc
 		cfg.Seed = rig.Seed
 		cfg.Ctx = ctx
+		cfg.Metrics = reg
 		res, err := cmp.Run(app.Program(scale), cfg)
 		if err != nil {
 			return nil, fmt.Errorf("explore: %s on %s: %w", app.Name, opt.Name, err)

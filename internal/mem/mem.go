@@ -26,6 +26,14 @@ type ParamError struct {
 // Error implements error.
 func (e *ParamError) Error() string { return e.Msg }
 
+// QueueWaitBoundsNs are the fixed upper bucket edges, in nanoseconds, of
+// the per-access channel-queue-wait histogram. Geometric around the 1.2 ns
+// default occupancy, reaching past the 75 ns latency so a saturated
+// 16-core channel still resolves: bucket i of QueueHist counts accesses
+// that queued at most QueueWaitBoundsNs[i] ns; the final QueueHist slot is
+// the overflow (+Inf) bucket.
+var QueueWaitBoundsNs = [...]float64{0, 1, 3, 10, 30, 100, 300}
+
 // DRAM is a single memory channel. All times are in seconds (wall clock).
 type DRAM struct {
 	latency   float64 // round-trip latency of one access, s
@@ -38,6 +46,10 @@ type DRAM struct {
 	BusySeconds float64
 	// QueueSeconds accumulates time requests spent waiting for the channel.
 	QueueSeconds float64
+	// QueueHist bins each access's queue wait (in ns) on QueueWaitBoundsNs
+	// (last slot +Inf). Always-on integer bins, same rationale as
+	// bus.Bus.WaitHist: cheap, and exact to merge across sweep workers.
+	QueueHist [len(QueueWaitBoundsNs) + 1]int64
 }
 
 // New returns a DRAM channel with the given round-trip latency and
@@ -82,7 +94,14 @@ func (d *DRAM) Access(nowSec float64) float64 {
 	if d.freeAt > start {
 		start = d.freeAt
 	}
-	d.QueueSeconds += start - nowSec
+	wait := start - nowSec
+	d.QueueSeconds += wait
+	waitNs := wait * 1e9
+	i := 0
+	for i < len(QueueWaitBoundsNs) && waitNs > QueueWaitBoundsNs[i] {
+		i++
+	}
+	d.QueueHist[i]++
 	d.freeAt = start + d.occupancy
 	d.BusySeconds += d.occupancy
 	d.Accesses++

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+)
+
+// ManifestSchema versions the manifest JSON layout.
+const ManifestSchema = 1
+
+// Manifest is the per-run provenance record written beside results/: what
+// ran (command + config + seed + fault plan + code version), what it
+// measured (deterministic metric snapshot, modeled time), and how long it
+// took on the wall. The struct splits in two:
+//
+//   - everything outside Volatile is canonical — a function of the run's
+//     inputs only, byte-identical for every `-j` worker count, and covered
+//     by the sha256 Digest;
+//   - Volatile holds what legitimately varies between repetitions (wall
+//     time, worker count, host Go version, volatile metrics) and is
+//     excluded from CanonicalBytes and the digest.
+//
+// Two manifests of the same experiment therefore agree exactly on Digest
+// while still recording how long each took.
+type Manifest struct {
+	Schema         int               `json:"schema"`
+	Command        string            `json:"command"`
+	Config         map[string]string `json:"config,omitempty"`
+	Seed           uint64            `json:"seed"`
+	FaultPlan      string            `json:"fault_plan,omitempty"`
+	GitVersion     string            `json:"git_version"`
+	ModeledSeconds float64           `json:"modeled_seconds"`
+	Metrics        []Metric          `json:"metrics,omitempty"`
+
+	// Digest is hex sha256 of CanonicalBytes; set by Finalize/WriteFile.
+	Digest string `json:"digest,omitempty"`
+
+	Volatile *Volatile `json:"volatile,omitempty"`
+}
+
+// Volatile is the digest-exempt half of a Manifest.
+type Volatile struct {
+	WallSeconds float64  `json:"wall_seconds"`
+	Workers     int      `json:"workers,omitempty"`
+	GoVersion   string   `json:"go_version,omitempty"`
+	Metrics     []Metric `json:"metrics,omitempty"`
+}
+
+// NewManifest builds a manifest for the named command, snapshotting reg
+// (nil is fine: no metrics). Callers fill Config/Seed/FaultPlan/
+// ModeledSeconds and the Volatile half, then WriteFile.
+func NewManifest(command string, reg *Registry) *Manifest {
+	return &Manifest{
+		Schema:     ManifestSchema,
+		Command:    command,
+		GitVersion: GitVersion(),
+		Metrics:    reg.Snapshot(),
+	}
+}
+
+// SetVolatile fills the digest-exempt section from reg's volatile metrics
+// plus the given wall-clock figures.
+func (m *Manifest) SetVolatile(reg *Registry, wallSeconds float64, workers int) {
+	m.Volatile = &Volatile{
+		WallSeconds: wallSeconds,
+		Workers:     workers,
+		GoVersion:   goVersion(),
+		Metrics:     reg.SnapshotVolatile(),
+	}
+}
+
+// CanonicalBytes returns the deterministic JSON encoding of the manifest
+// with Digest and Volatile stripped. encoding/json writes struct fields in
+// declaration order and map keys sorted, so for equal content the bytes
+// are equal — this is the digest input and what doctor check 11 compares
+// across worker counts.
+func (m *Manifest) CanonicalBytes() ([]byte, error) {
+	c := *m
+	c.Digest = ""
+	c.Volatile = nil
+	b, err := json.MarshalIndent(&c, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Finalize computes and stores the canonical digest.
+func (m *Manifest) Finalize() error {
+	b, err := m.CanonicalBytes()
+	if err != nil {
+		return err
+	}
+	sum := sha256.Sum256(b)
+	m.Digest = hex.EncodeToString(sum[:])
+	return nil
+}
+
+// VerifyDigest recomputes the canonical digest and compares it against the
+// stored one.
+func (m *Manifest) VerifyDigest() error {
+	want := m.Digest
+	if want == "" {
+		return fmt.Errorf("obs: manifest has no digest")
+	}
+	b, err := m.CanonicalBytes()
+	if err != nil {
+		return err
+	}
+	sum := sha256.Sum256(b)
+	if got := hex.EncodeToString(sum[:]); got != want {
+		return fmt.Errorf("obs: manifest digest mismatch: recorded %s, recomputed %s", want[:12], got[:12])
+	}
+	return nil
+}
+
+// WriteFile finalizes the digest and writes the full manifest (canonical +
+// volatile) as indented JSON, creating parent directories as needed.
+func (m *Manifest) WriteFile(path string) error {
+	if err := m.Finalize(); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// ReadManifest loads a manifest written by WriteFile.
+func ReadManifest(path string) (*Manifest, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("obs: %s: %w", path, err)
+	}
+	if m.Schema != ManifestSchema {
+		return nil, fmt.Errorf("obs: %s: manifest schema %d, want %d", path, m.Schema, ManifestSchema)
+	}
+	return &m, nil
+}
+
+// GitVersion reports the VCS revision baked into the binary by the Go
+// toolchain ("unknown" outside a build with VCS stamping, e.g. `go test`).
+// A "+dirty" suffix marks uncommitted changes.
+func GitVersion() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	rev, dirty := "", false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "+dirty"
+	}
+	return rev
+}
+
+func goVersion() string {
+	if info, ok := debug.ReadBuildInfo(); ok {
+		return info.GoVersion
+	}
+	return "unknown"
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleManifest() *Manifest {
+	r := NewRegistry()
+	r.Counter("engine_runs_total").Add(5)
+	r.Histogram("bus_wait_cycles", []float64{0, 3}).Observe(2)
+	r.VolatileGauge("sweep_pool_utilization").Set(0.83)
+	m := NewManifest("fig3", r)
+	m.Config = map[string]string{"apps": "FFT,LU", "scale": "0.1"}
+	m.Seed = 42
+	m.FaultPlan = "faults off"
+	m.ModeledSeconds = 1.5
+	m.SetVolatile(r, 0.25, 4)
+	return m
+}
+
+// TestCanonicalBytesExcludesVolatile: two manifests of the same run that
+// differ only in wall time, worker count, and volatile metrics must agree
+// byte-for-byte on the canonical encoding and on the digest.
+func TestCanonicalBytesExcludesVolatile(t *testing.T) {
+	a, b := sampleManifest(), sampleManifest()
+	b.Volatile = &Volatile{WallSeconds: 99, Workers: 16}
+	ab, err := a.CanonicalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := b.CanonicalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab, bb) {
+		t.Fatalf("canonical bytes differ:\n%s\nvs\n%s", ab, bb)
+	}
+	if err := a.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest == "" || a.Digest != b.Digest {
+		t.Fatalf("digests differ: %q vs %q", a.Digest, b.Digest)
+	}
+	// And the digest itself must not perturb the canonical bytes.
+	ab2, err := a.CanonicalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab, ab2) {
+		t.Fatalf("Finalize changed canonical bytes")
+	}
+	if s := string(ab); strings.Contains(s, "volatile") || strings.Contains(s, "wall_seconds") {
+		t.Fatalf("canonical bytes leak volatile content:\n%s", s)
+	}
+}
+
+func TestManifestDigestSensitivity(t *testing.T) {
+	a, b := sampleManifest(), sampleManifest()
+	b.Seed = 43
+	if err := a.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest == b.Digest {
+		t.Fatalf("digest insensitive to seed change")
+	}
+}
+
+func TestManifestWriteReadVerify(t *testing.T) {
+	m := sampleManifest()
+	path := filepath.Join(t.TempDir(), "sub", "run.manifest.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadManifest(path)
+	if err != nil {
+		t.Fatalf("ReadManifest: %v", err)
+	}
+	if err := got.VerifyDigest(); err != nil {
+		t.Fatalf("VerifyDigest: %v", err)
+	}
+	if got.Command != "fig3" || got.Seed != 42 || got.Config["apps"] != "FFT,LU" {
+		t.Fatalf("round trip lost fields: %+v", got)
+	}
+	if got.Volatile == nil || got.Volatile.WallSeconds != 0.25 || got.Volatile.Workers != 4 {
+		t.Fatalf("round trip lost volatile: %+v", got.Volatile)
+	}
+	// Tampering with a canonical field must break verification.
+	got.ModeledSeconds++
+	if err := got.VerifyDigest(); err == nil {
+		t.Fatalf("VerifyDigest accepted tampered manifest")
+	}
+}
+
+func TestReadManifestRejectsWrongSchema(t *testing.T) {
+	m := sampleManifest()
+	m.Schema = ManifestSchema + 1
+	path := filepath.Join(t.TempDir(), "run.manifest.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(path); err == nil {
+		t.Fatalf("ReadManifest accepted schema %d", m.Schema)
+	}
+}

@@ -1,0 +1,275 @@
+// Package obs is the simulator's observability substrate: a typed metrics
+// registry (counters, gauges, fixed-bucket histograms), a Prometheus-style
+// text exposition, and deterministic per-run manifests.
+//
+// Two properties shape the design, both inherited from the engine's
+// bit-identity guarantees (DESIGN.md §7–§9):
+//
+//  1. Off means free. Every accessor is nil-safe: a nil *Registry returns
+//     nil metrics, and every method on a nil metric is a no-op. Code can
+//     therefore publish unconditionally — `reg.Counter("x").Add(1)` — and
+//     a run without observability pays only a nil check, with zero
+//     allocation on any path.
+//
+//  2. Deterministic under concurrency. Parallel sweeps publish into one
+//     shared registry from many workers, and the resulting snapshot must
+//     be byte-identical for every worker count. Counters and histogram
+//     buckets are therefore integer-valued (integer addition commutes
+//     exactly; float accumulation does not), and snapshots are emitted in
+//     sorted name order. Quantities that are inherently order- or
+//     wall-clock-dependent (pool utilization, wall time) must be
+//     registered as *volatile* metrics, which are excluded from
+//     deterministic snapshots and from manifest digests.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric. Integer-valued by
+// design: concurrent Adds from any number of workers sum to the same total
+// regardless of interleaving, which float accumulation cannot guarantee.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (no-op on a nil counter or n <= 0... n
+// may legitimately be 0; only negative deltas are dropped, counters never
+// decrease).
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float-valued metric with last-write-wins semantics. Because
+// concurrent Sets race by definition, gauges written from sweep workers
+// must be registered volatile; deterministic gauges may only be set from
+// single-threaded (post-merge) code.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v (no-op on nil).
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the stored value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution. Bounds are the finite upper
+// edges in ascending order; an implicit +Inf bucket is appended, so a
+// histogram with N bounds has N+1 buckets. An observation lands in the
+// first bucket whose bound is >= the value (Prometheus `le` semantics).
+// Bucket counts are integers, so concurrent observation commutes exactly.
+// The histogram intentionally tracks no sum: a float sum accumulated in
+// worker order would break snapshot determinism.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64
+}
+
+// Observe records one value (no-op on nil).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.counts[h.bucketOf(v)].Add(1)
+}
+
+// bucketOf returns the index of the bucket v falls into.
+func (h *Histogram) bucketOf(v float64) int {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	return i
+}
+
+// AddBuckets merges pre-binned counts, one entry per bucket including the
+// +Inf bucket. The engine's always-on substrate counters (bus wait, DRAM
+// queue) are plain per-run arrays binned on the same bounds; this is how
+// they fold into the shared registry at run end. len(counts) must be
+// len(bounds)+1.
+func (h *Histogram) AddBuckets(counts []int64) error {
+	if h == nil {
+		return nil
+	}
+	if len(counts) != len(h.counts) {
+		return fmt.Errorf("obs: AddBuckets got %d buckets, histogram has %d", len(counts), len(h.counts))
+	}
+	for i, n := range counts {
+		if n > 0 {
+			h.counts[i].Add(n)
+		}
+	}
+	return nil
+}
+
+// Bounds returns a copy of the finite upper bounds.
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return append([]float64(nil), h.bounds...)
+}
+
+// BucketCounts returns the current per-bucket counts (last entry is the
+// +Inf bucket).
+func (h *Histogram) BucketCounts() []int64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Registry holds one run's (or one sweep's) metrics by name. The zero of
+// usefulness is nil: a nil registry hands out nil metrics whose methods do
+// nothing, so instrumented code needs no flag checks. A non-nil registry
+// is safe for concurrent use; parallel sweep workers share one registry
+// through rig clones.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	volatile map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		volatile: make(map[string]bool),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns nil
+// on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named deterministic gauge, creating it on first use.
+// Only set deterministic gauges from single-threaded code; for values that
+// legitimately vary run to run (wall time, pool utilization) use
+// VolatileGauge instead.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// VolatileGauge is Gauge for order- or wall-clock-dependent values: the
+// metric appears in the text exposition but is excluded from deterministic
+// snapshots and manifest digests.
+func (r *Registry) VolatileGauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := r.Gauge(name)
+	r.mu.Lock()
+	r.volatile[name] = true
+	r.mu.Unlock()
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given finite
+// ascending upper bounds on first use. Later calls ignore bounds (first
+// registration wins); callers of one name must agree on bounds.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]atomic.Int64, len(bounds)+1),
+		}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// names returns every metric name, sorted, optionally filtered on
+// volatility.
+func (r *Registry) names(wantVolatile bool) []string {
+	var out []string
+	add := func(name string) {
+		if r.volatile[name] == wantVolatile {
+			out = append(out, name)
+		}
+	}
+	for name := range r.counters {
+		add(name)
+	}
+	for name := range r.gauges {
+		add(name)
+	}
+	for name := range r.hists {
+		add(name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilRegistryIsFree: every accessor and mutator on a nil registry (the
+// metrics-off default) must be a safe no-op — instrumented code carries no
+// flag checks.
+func TestNilRegistryIsFree(t *testing.T) {
+	var r *Registry
+	r.Counter("a").Add(3)
+	r.Gauge("b").Set(1.5)
+	r.VolatileGauge("c").Set(2.5)
+	h := r.Histogram("d", []float64{1, 2})
+	h.Observe(1)
+	if err := h.AddBuckets([]int64{1, 2, 3}); err != nil {
+		t.Fatalf("nil histogram AddBuckets: %v", err)
+	}
+	if got := r.Counter("a").Value(); got != 0 {
+		t.Fatalf("nil counter value = %d", got)
+	}
+	if got := r.Gauge("b").Value(); got != 0 {
+		t.Fatalf("nil gauge value = %g", got)
+	}
+	if h.Count() != 0 || h.Bounds() != nil || h.BucketCounts() != nil {
+		t.Fatalf("nil histogram not empty")
+	}
+	if r.Snapshot() != nil || r.SnapshotVolatile() != nil {
+		t.Fatalf("nil registry snapshot not nil")
+	}
+	if err := r.WriteText(&bytes.Buffer{}); err != nil {
+		t.Fatalf("nil WriteText: %v", err)
+	}
+}
+
+func TestCounterNeverDecreases(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	c.Add(5)
+	c.Add(-3) // dropped: counters are monotone
+	c.Add(0)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if same := r.Counter("x"); same != c {
+		t.Fatalf("Counter did not return the registered instance")
+	}
+}
+
+// TestHistogramBucketBoundaries pins the `le` semantics at exact edges: an
+// observation equal to a bound belongs to that bound's bucket, the next
+// representable value above goes to the following bucket, and NaN/±Inf
+// land deterministically.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	bounds := []float64{0, 1, 8, 64}
+	cases := []struct {
+		name   string
+		v      float64
+		bucket int
+	}{
+		{"below first bound", -3, 0},
+		{"exactly first bound", 0, 0},
+		{"just above first bound", math.Nextafter(0, 1), 1},
+		{"interior", 0.5, 1},
+		{"exactly mid bound", 8, 2},
+		{"just above mid bound", math.Nextafter(8, 9), 3},
+		{"exactly last bound", 64, 3},
+		{"just above last bound", math.Nextafter(64, 65), 4},
+		{"far overflow", 1e12, 4},
+		{"+Inf overflows", math.Inf(1), 4},
+		{"-Inf underflows", math.Inf(-1), 0},
+		// NaN compares false to everything, so v > bound never holds and
+		// NaN lands in bucket 0. Pinned here so a refactor can't silently
+		// change where bad values go.
+		{"NaN lands in first bucket", math.NaN(), 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRegistry()
+			h := r.Histogram("h", bounds)
+			h.Observe(tc.v)
+			counts := h.BucketCounts()
+			if len(counts) != len(bounds)+1 {
+				t.Fatalf("%d buckets, want %d", len(counts), len(bounds)+1)
+			}
+			for i, n := range counts {
+				want := int64(0)
+				if i == tc.bucket {
+					want = 1
+				}
+				if n != want {
+					t.Fatalf("Observe(%v): bucket[%d] = %d, want %d (counts %v)", tc.v, i, n, want, counts)
+				}
+			}
+		})
+	}
+}
+
+func TestHistogramAddBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1, 2})
+	if err := h.AddBuckets([]int64{3, 0, 2}); err != nil {
+		t.Fatalf("AddBuckets: %v", err)
+	}
+	h.Observe(1.5)
+	if got, want := h.BucketCounts(), []int64{3, 1, 2}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("counts = %v, want %v", got, want)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if err := h.AddBuckets([]int64{1, 2}); err == nil {
+		t.Fatalf("AddBuckets with wrong arity: want error")
+	}
+}
+
+// TestSnapshotDeterministicUnderConcurrency: hammer one registry from many
+// goroutines with commutative updates; the snapshot must equal the serial
+// result. This is the property parallel sweeps rely on for byte-identical
+// manifests at every -j.
+func TestSnapshotDeterministicUnderConcurrency(t *testing.T) {
+	serial := NewRegistry()
+	for i := 0; i < 64; i++ {
+		serial.Counter("runs").Add(3)
+		serial.Histogram("wait", []float64{1, 10}).Observe(float64(i % 20))
+	}
+	wantSnap := serial.Snapshot()
+
+	conc := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w * 8; i < (w+1)*8; i++ {
+				conc.Counter("runs").Add(3)
+				conc.Histogram("wait", []float64{1, 10}).Observe(float64(i % 20))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := conc.Snapshot(); !reflect.DeepEqual(got, wantSnap) {
+		t.Fatalf("concurrent snapshot diverged:\n got %+v\nwant %+v", got, wantSnap)
+	}
+}
+
+func TestVolatileExcludedFromSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("det").Add(1)
+	r.VolatileGauge("wall").Set(3.25)
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].Name != "det" {
+		t.Fatalf("Snapshot = %+v, want only det", snap)
+	}
+	vol := r.SnapshotVolatile()
+	if len(vol) != 1 || vol[0].Name != "wall" || vol[0].Value != 3.25 {
+		t.Fatalf("SnapshotVolatile = %+v, want only wall=3.25", vol)
+	}
+}
+
+func TestWriteTextFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("engine_events_total").Add(42)
+	r.Gauge("power_watts").Set(15.5)
+	h := r.Histogram("bus_wait_cycles", []float64{0, 3})
+	h.Observe(0)
+	h.Observe(2)
+	h.Observe(100)
+	r.VolatileGauge("wall_seconds").Set(1.25)
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	got := buf.String()
+	want := strings.Join([]string{
+		"# TYPE bus_wait_cycles histogram",
+		`bus_wait_cycles_bucket{le="0"} 1`,
+		`bus_wait_cycles_bucket{le="3"} 2`,
+		`bus_wait_cycles_bucket{le="+Inf"} 3`,
+		"bus_wait_cycles_count 3",
+		"# TYPE engine_events_total counter",
+		"engine_events_total 42",
+		"# TYPE power_watts gauge",
+		"power_watts 15.5",
+		"# TYPE wall_seconds gauge",
+		"wall_seconds 1.25",
+		"",
+	}, "\n")
+	if got != want {
+		t.Fatalf("WriteText output:\n%s\nwant:\n%s", got, want)
+	}
+}

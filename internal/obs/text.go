@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// Metric is one entry of a registry snapshot, shaped for JSON embedding in
+// manifests. Exactly one of Value (counter/gauge) or Buckets (histogram)
+// carries the payload; Type disambiguates.
+type Metric struct {
+	Name    string   `json:"name"`
+	Type    string   `json:"type"` // "counter", "gauge", "histogram"
+	Value   float64  `json:"value,omitempty"`
+	Count   int64    `json:"count,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Bucket is one cumulative-style histogram bucket: Count observations fell
+// at or below the LE upper bound ("+Inf" for the overflow bucket). Counts
+// here are per-bucket (non-cumulative); WriteText accumulates.
+type Bucket struct {
+	LE    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// formatLE renders a bucket bound the way Prometheus does.
+func formatLE(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// snapshotNames materializes the metrics behind a sorted name list.
+func (r *Registry) snapshotNames(names []string) []Metric {
+	out := make([]Metric, 0, len(names))
+	for _, name := range names {
+		if c, ok := r.counters[name]; ok {
+			out = append(out, Metric{Name: name, Type: "counter", Value: float64(c.Value())})
+			continue
+		}
+		if g, ok := r.gauges[name]; ok {
+			out = append(out, Metric{Name: name, Type: "gauge", Value: g.Value()})
+			continue
+		}
+		if h, ok := r.hists[name]; ok {
+			counts := h.BucketCounts()
+			m := Metric{Name: name, Type: "histogram", Count: h.Count()}
+			for i, n := range counts {
+				le := math.Inf(1)
+				if i < len(h.bounds) {
+					le = h.bounds[i]
+				}
+				m.Buckets = append(m.Buckets, Bucket{LE: formatLE(le), Count: n})
+			}
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Snapshot returns the deterministic metrics in sorted name order. For a
+// fixed input set the result is identical for every sweep worker count —
+// this is what manifests digest. Nil registry returns nil.
+func (r *Registry) Snapshot() []Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.snapshotNames(r.names(false))
+}
+
+// SnapshotVolatile returns the volatile metrics (wall-clock- or
+// scheduling-dependent) in sorted name order.
+func (r *Registry) SnapshotVolatile() []Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.snapshotNames(r.names(true))
+}
+
+// WriteText emits every metric — deterministic first, then volatile — in
+// the Prometheus text exposition format. Histograms are rendered with
+// cumulative `le` buckets and a `_count` series. Deterministic given the
+// same registry contents.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, m := range append(r.Snapshot(), r.SnapshotVolatile()...) {
+		switch m.Type {
+		case "histogram":
+			fmt.Fprintf(bw, "# TYPE %s histogram\n", m.Name)
+			var cum int64
+			for _, b := range m.Buckets {
+				cum += b.Count
+				fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", m.Name, b.LE, cum)
+			}
+			fmt.Fprintf(bw, "%s_count %d\n", m.Name, m.Count)
+		default:
+			fmt.Fprintf(bw, "# TYPE %s %s\n", m.Name, m.Type)
+			fmt.Fprintf(bw, "%s %s\n", m.Name, strconv.FormatFloat(m.Value, 'g', -1, 64))
+		}
+	}
+	return bw.Flush()
+}

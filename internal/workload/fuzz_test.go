@@ -1,0 +1,50 @@
+package workload
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzWorkloadIR drives Program's JSON decoder with arbitrary bytes. Any
+// input may be rejected (custom workload files are user-supplied), but the
+// decoder must never panic, and everything it accepts must survive a
+// marshal → unmarshal round trip unchanged — otherwise a study saved to
+// disk would silently drift from what was simulated.
+func FuzzWorkloadIR(f *testing.F) {
+	f.Add([]byte(`{"name":"k","steps":[{"type":"compute","n":100,"fpFrac":0.3}]}`))
+	f.Add([]byte(`{"name":"k","steps":[
+		{"type":"serial","body":[{"type":"compute","n":1000}]},
+		{"type":"barrier","id":0},
+		{"type":"kernel","accesses":4096,"computePerMem":10,
+		 "region":{"base":65536,"size":1048576,"scope":"partition"},"divide":true}]}`))
+	f.Add([]byte(`{"name":"l","steps":[{"type":"loop","times":3,"body":[
+		{"type":"critical","lock":1,"body":[{"type":"compute","n":5}]}]}]}`))
+	f.Add([]byte(`{"name":"bad","steps":[{"type":"warp"}]}`))
+	f.Add([]byte(`{"name":"noregion","steps":[{"type":"kernel","accesses":8}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"name":"scope","steps":[{"type":"kernel","accesses":1,
+		"region":{"base":0,"size":64,"scope":"sideways"}}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p Program
+		if err := json.Unmarshal(data, &p); err != nil {
+			return // rejection is fine; panics and accept-then-corrupt are not
+		}
+		// Accepted programs validated on the way in.
+		if err := p.Validate(); err != nil {
+			t.Fatalf("decoder accepted a program that fails Validate: %v", err)
+		}
+		out, err := json.Marshal(&p)
+		if err != nil {
+			t.Fatalf("accepted program failed to re-marshal: %v", err)
+		}
+		var q Program
+		if err := json.Unmarshal(out, &q); err != nil {
+			t.Fatalf("re-marshaled program failed to decode: %v\n%s", err, out)
+		}
+		if !reflect.DeepEqual(p, q) {
+			t.Fatalf("round trip changed the program:\n first: %#v\nsecond: %#v", p, q)
+		}
+	})
+}

@@ -1,6 +1,9 @@
 #!/bin/sh
-# Tier-1+ verification gate (see ROADMAP.md): vet, build, then the full
-# test suite under the race detector. Fails fast on the first broken step.
+# Tier-1+ verification gate (see ROADMAP.md): vet, build, the full test
+# suite under the race detector, then short fuzz smokes over the two
+# input-parsing/lookup surfaces (the committed corpora under testdata/fuzz
+# run as ordinary tests; this additionally explores for 10s each). Fails
+# fast on the first broken step.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -13,5 +16,11 @@ go build ./...
 
 echo "== go test -race ./..."
 go test -race ./...
+
+echo "== fuzz smoke: dvfs quantization (10s)"
+go test ./internal/dvfs -run='^$' -fuzz=FuzzQuantize -fuzztime=10s
+
+echo "== fuzz smoke: workload JSON IR (10s)"
+go test ./internal/workload -run='^$' -fuzz=FuzzWorkloadIR -fuzztime=10s
 
 echo "check: all gates passed"
