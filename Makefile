@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race doctor bench bench-check cover fuzz golden
+.PHONY: check build test vet race doctor bench bench-check cover fuzz golden serve-smoke
 
 check:
 	./scripts/check.sh
@@ -37,6 +37,11 @@ bench-check: build
 # Coverage regression gate (floor recorded in scripts/covergate.sh).
 cover:
 	./scripts/covergate.sh
+
+# End-to-end smoke of the HTTP serving layer: boot, cached + uncached
+# load in strict mode, metrics scrape, clean SIGTERM drain.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # Longer fuzz exploration than the 10s smokes inside `make check`.
 FUZZTIME ?= 2m

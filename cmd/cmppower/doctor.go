@@ -29,6 +29,7 @@ const (
 	exitDoctorParallel    = 5 // parallel sweep diverged from serial sweep
 	exitDoctorBatched     = 6 // batched engine diverged from the reference loop
 	exitDoctorObs         = 7 // metric snapshot / manifest differed across -j
+	exitDoctorServe       = 8 // HTTP serving layer diverged from the library
 )
 
 // runDoctor runs the repository's end-to-end self-checks: determinism,
@@ -58,6 +59,7 @@ func runDoctor(args []string) error {
 		{"parallel sweep matches serial", checkParallelDeterminism, exitDoctorParallel},
 		{"batched engine matches reference loop", checkBatchedEngine, exitDoctorBatched},
 		{"manifest identical across -j", checkObsDeterminism, exitDoctorObs},
+		{"serve round-trip deterministic", checkServe, exitDoctorServe},
 	}
 	// Every check builds its own rigs and injectors, so they fan out over
 	// the worker pool; results are collected and reported in list order.

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"cmppower/internal/experiment"
+	"cmppower/internal/server"
+)
+
+// checkServe boots an ephemeral serving layer at several worker counts
+// and requires the HTTP bodies to be byte-identical to marshaling the
+// direct library results — the serving layer must add exactly nothing to
+// the science. Three properties in one check: the run endpoint round-trips
+// a fig3-style measurement, the sweep endpoint round-trips a Scenario I
+// sweep, and neither depends on the server's -j.
+func checkServe() error {
+	const scale = 0.1
+
+	// Direct library references, computed once.
+	rig, err := experiment.NewRig(scale)
+	if err != nil {
+		return err
+	}
+	rig.Seed = 1
+	app, err := appsFor("FFT")
+	if err != nil {
+		return err
+	}
+	m, err := rig.RunAppSeeded(context.Background(), app[0], 4, rig.Table.Nominal(), 1)
+	if err != nil {
+		return err
+	}
+	wantRun, err := json.Marshal(&server.RunResponse{Measurement: m})
+	if err != nil {
+		return err
+	}
+	sweepApps, err := appsFor("FFT,LU")
+	if err != nil {
+		return err
+	}
+	outs, err := rig.SweepScenarioIWith(context.Background(), sweepApps, []int{1, 2, 4},
+		experiment.SweepConfig{Retry: experiment.DefaultRetryConfig(), Workers: 1})
+	if err != nil {
+		return err
+	}
+	wantSweep, err := json.Marshal(server.NewSweepResponse("I", rig.BudgetW(), outs))
+	if err != nil {
+		return err
+	}
+
+	runBody := fmt.Sprintf(`{"app":"FFT","n":4,"scale":%g,"seed":1}`, scale)
+	sweepBody := fmt.Sprintf(`{"scenario":"I","apps":["FFT","LU"],"core_counts":[1,2,4],"scale":%g}`, scale)
+
+	for _, workers := range []int{1, 4, 16} {
+		gotRun, gotSweep, err := serveOnce(workers, runBody, sweepBody)
+		if err != nil {
+			return fmt.Errorf("-j %d: %w", workers, err)
+		}
+		if !bytes.Equal(gotRun, wantRun) {
+			return fmt.Errorf("-j %d: /v1/run body differs from the direct library result", workers)
+		}
+		if !bytes.Equal(gotSweep, wantSweep) {
+			return fmt.Errorf("-j %d: /v1/sweep body differs from the direct library result", workers)
+		}
+	}
+	return nil
+}
+
+// serveOnce boots one ephemeral server, performs the two posts, and
+// shuts it down cleanly.
+func serveOnce(workers int, runBody, sweepBody string) (gotRun, gotSweep []byte, err error) {
+	srv := server.New(server.Config{Workers: workers})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if sErr := srv.Shutdown(ctx); sErr != nil && err == nil {
+			err = sErr
+		}
+		if sErr := <-serveErr; sErr != nil && err == nil {
+			err = sErr
+		}
+	}()
+	base := "http://" + ln.Addr().String()
+	if gotRun, err = doctorPost(base+"/v1/run", runBody); err != nil {
+		return nil, nil, err
+	}
+	if gotSweep, err = doctorPost(base+"/v1/sweep", sweepBody); err != nil {
+		return nil, nil, err
+	}
+	return gotRun, gotSweep, nil
+}
+
+// doctorPost posts one JSON body and returns the 200 response body.
+func doctorPost(url, body string) ([]byte, error) {
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, b)
+	}
+	return b, nil
+}

@@ -3,63 +3,22 @@ package main
 import (
 	"context"
 	"fmt"
-	"strconv"
-	"strings"
 	"time"
 
 	"cmppower"
 )
 
-// parseFaultSpec parses the -faults flag: comma-separated key=value pairs
-// configuring the deterministic injector, e.g.
+// parseFaultSpec parses the -faults flag (see faults.ParseSpec for the
+// key reference): comma-separated key=value pairs configuring the
+// deterministic injector, e.g.
 //
 //	-faults sensor-noise=2,dvfs-fail=0.1,cache=1e-4,run-hard=0.01
 //
-// Keys: sensor-stuck, sensor-noise (°C), dvfs-fail, cache, cache-retry
-// (cycles), run-transient, run-hard, seed. An empty spec returns a nil
-// injector (no fault injection, bit-identical to the fault-free run).
-// Without an explicit seed key the injector follows the workload seed, so
-// a reported failure reproduces from the run's provenance alone.
+// An empty spec returns a nil injector. Without an explicit seed key the
+// injector follows the workload seed, so a reported failure reproduces
+// from the run's provenance alone.
 func parseFaultSpec(spec string, seed uint64) (*cmppower.FaultInjector, error) {
-	if strings.TrimSpace(spec) == "" {
-		return nil, nil
-	}
-	cfg := cmppower.FaultConfig{Seed: seed}
-	for _, kv := range strings.Split(spec, ",") {
-		kv = strings.TrimSpace(kv)
-		if kv == "" {
-			continue
-		}
-		k, v, ok := strings.Cut(kv, "=")
-		if !ok {
-			return nil, fmt.Errorf("-faults: %q is not key=value", kv)
-		}
-		x, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
-		if err != nil {
-			return nil, fmt.Errorf("-faults: %s: %v", k, err)
-		}
-		switch strings.TrimSpace(k) {
-		case "seed":
-			cfg.Seed = uint64(x)
-		case "sensor-stuck":
-			cfg.SensorStuckProb = x
-		case "sensor-noise":
-			cfg.SensorNoiseSigmaC = x
-		case "dvfs-fail":
-			cfg.DVFSFailProb = x
-		case "cache":
-			cfg.CacheTransientProb = x
-		case "cache-retry":
-			cfg.CacheRetryCycles = x
-		case "run-transient":
-			cfg.RunTransientProb = x
-		case "run-hard":
-			cfg.RunHardProb = x
-		default:
-			return nil, fmt.Errorf("-faults: unknown key %q (want sensor-stuck, sensor-noise, dvfs-fail, cache, cache-retry, run-transient, run-hard or seed)", k)
-		}
-	}
-	return cmppower.NewFaultInjector(cfg)
+	return cmppower.ParseFaultSpec(spec, seed)
 }
 
 // runContext returns a context honoring the -timeout flag (0 = no

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"cmppower/internal/report"
+	"cmppower/internal/server"
+)
+
+// runLoadgen drives a running cmppower serve instance and reports
+// throughput and latency percentiles per step.
+func runLoadgen(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	url := fs.String("url", "http://127.0.0.1:8080/v1/run", "target `URL`")
+	body := fs.String("body", `{"app":"FFT","n":4}`, "JSON request body (empty = GET)")
+	duration := fs.Duration("duration", 10*time.Second, "length of each load step")
+	conc := fs.Int("c", 8, "closed-loop concurrency")
+	rate := fs.Float64("rate", 0, "open-loop arrival rate in req/s (0 = closed loop)")
+	ramp := fs.String("ramp", "", "comma-separated closed-loop concurrency steps, e.g. 1,4,16,64")
+	vary := fs.String("vary", "", "top-level JSON `field` to vary per request (defeats caching)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout")
+	asJSON := fs.Bool("json", false, "emit the result as JSON instead of a table")
+	strict := fs.Bool("strict", false, "exit non-zero unless every response was 2xx or 429")
+	fs.Parse(args)
+
+	cfg := server.LoadConfig{
+		URL:         *url,
+		Body:        []byte(*body),
+		Duration:    *duration,
+		Concurrency: *conc,
+		Rate:        *rate,
+		VaryField:   *vary,
+		Timeout:     *timeout,
+	}
+	if *ramp != "" {
+		for _, part := range strings.Split(*ramp, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("-ramp: %w", err)
+			}
+			cfg.Ramp = append(cfg.Ramp, n)
+		}
+	}
+
+	res, err := server.Load(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			return err
+		}
+	} else if err := writeLoadTable(res); err != nil {
+		return err
+	}
+	if *strict && !res.OK() {
+		return &exitError{code: 1, msg: "loadgen: non-2xx/non-429 responses or transport errors"}
+	}
+	return nil
+}
+
+// writeLoadTable renders the per-step results.
+func writeLoadTable(res *server.LoadResult) error {
+	t := report.NewTable("Load generation",
+		"mode", "req", "err", "429", "rps", "p50 ms", "p90 ms", "p99 ms", "max ms")
+	for i := range res.Steps {
+		s := &res.Steps[i]
+		mode := fmt.Sprintf("c=%d", s.Concurrency)
+		if s.RateRPS > 0 {
+			mode = fmt.Sprintf("rate=%g", s.RateRPS)
+		}
+		if err := t.AddRow(mode,
+			report.I(int(s.Requests)), report.I(int(s.Errors)),
+			report.I(int(s.Status[429])),
+			report.F(s.ThroughputRPS, 1),
+			report.F(float64(s.P50)/1e6, 3), report.F(float64(s.P90)/1e6, 3),
+			report.F(float64(s.P99)/1e6, 3), report.F(float64(s.Max)/1e6, 3)); err != nil {
+			return err
+		}
+	}
+	return t.WriteText(os.Stdout)
+}

@@ -24,6 +24,8 @@
 //	cmppower all    [-out DIR] [-scale S]
 //	cmppower doctor [-j N]
 //	cmppower bench  [-quick] [-out FILE] [-manifests DIR]
+//	cmppower serve  [-addr :8080] [-j N] [-queue N] [-cache N] [-memo N] [-timeout D] [-drain D]
+//	cmppower loadgen [-url U] [-body JSON] [-duration D] [-c N] [-rate R] [-ramp list] [-vary FIELD] [-json] [-strict]
 //
 // Sweep-style commands accept -j to fan work across a bounded worker pool
 // (0 = GOMAXPROCS); output is bit-identical for every -j.
@@ -170,6 +172,10 @@ func run(cmd string, args []string) int {
 		err = runCacheSweep(args)
 	case "bench":
 		err = runBench(args)
+	case "serve":
+		err = runServe(args)
+	case "loadgen":
+		err = runLoadgen(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -212,14 +218,21 @@ Commands:
   all      Regenerate every artifact into a directory
   doctor   End-to-end self-checks (determinism, coherence, calibration,
            fault injection, DTM, cancellation, parallel-sweep determinism,
-           batched-engine equivalence, manifest determinism; distinct exit
-           codes per resilience failure: 2=injector, 3=DTM, 4=cancellation,
-           5=parallel-divergence, 6=batched-engine-divergence,
-           7=manifest-divergence)
+           batched-engine equivalence, manifest determinism, serve
+           round-trip; distinct exit codes per resilience failure:
+           2=injector, 3=DTM, 4=cancellation, 5=parallel-divergence,
+           6=batched-engine-divergence, 7=manifest-divergence,
+           8=serve-divergence)
   cachesweep  L1 capacity sensitivity across core counts
   bench    Performance benchmarks (engine events/sec, thermal solves/sec,
            end-to-end fig3 time) as BENCH JSON for the regression gate;
            -manifests DIR instead verifies and tabulates run manifests
+  serve    Long-running HTTP JSON service (run/sweep/explore endpoints,
+           request coalescing, response cache, admission control with 429
+           backpressure, /metrics, graceful drain on SIGTERM)
+  loadgen  Load generator for a running serve instance (closed-loop -c,
+           open-loop -rate, -ramp concurrency steps; reports throughput
+           and p50/p90/p99/max latency)
 
 Global flags (before the command):
   -cpuprofile FILE   write a CPU profile of the whole command

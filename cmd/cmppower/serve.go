@@ -1,0 +1,68 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cmppower/internal/obs"
+	"cmppower/internal/server"
+)
+
+// runServe boots the long-running HTTP serving layer and blocks until
+// SIGINT/SIGTERM, then drains gracefully (bounded by -drain).
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen `address`")
+	workers := fs.Int("j", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "admission wait-queue depth (0 = 4× workers)")
+	cache := fs.Int("cache", 0, "response-cache entries (0 = 1024, negative disables)")
+	memo := fs.Int("memo", 0, "per-rig memo-cache entries (0 = default)")
+	timeout := fs.Duration("timeout", 0, "per-request simulation deadline (0 = 120s)")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain bound")
+	fs.Parse(args)
+
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cache,
+		MemoCapacity:   *memo,
+		RequestTimeout: *timeout,
+		Registry:       obs.NewRegistry(),
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "cmppower serve: listening on %s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately instead of re-draining
+	fmt.Fprintln(os.Stderr, "cmppower serve: draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "cmppower serve: stopped")
+	return nil
+}

@@ -203,6 +203,13 @@ func NewFaultInjector(cfg FaultConfig) (*FaultInjector, error) {
 	return faults.New(cfg)
 }
 
+// ParseFaultSpec parses the compact fault spec shared by the CLI -faults
+// flag and the HTTP server's per-request "faults" field (e.g.
+// "sensor-noise=2,dvfs-fail=0.1"); an empty spec returns a nil injector.
+func ParseFaultSpec(spec string, seed uint64) (*FaultInjector, error) {
+	return faults.ParseSpec(spec, seed)
+}
+
 // IsTransientFault reports whether err (or anything it wraps) is an
 // injected transient failure worth retrying.
 func IsTransientFault(err error) bool { return faults.IsTransient(err) }

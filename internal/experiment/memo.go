@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"container/list"
 	"context"
 	"fmt"
 	"sync"
@@ -58,14 +59,29 @@ func (r *Rig) memoizable() bool {
 	return r.Faults == nil || !r.Faults.Config().Enabled()
 }
 
-// EnableMemo attaches a measurement memo cache to the rig (idempotent).
-// Clones made afterwards share it, which is how a parallel sweep dedupes
-// the single-core baseline and nominal profiling runs that Scenario I
-// and Scenario II repeat. The cache holds successful Measurements only;
-// failures are never cached, so retries always re-simulate.
-func (r *Rig) EnableMemo() {
+// DefaultMemoCapacity bounds EnableMemo's cache. It is sized so that no
+// in-repo sweep ever evicts (a full fig3+fig4 campaign touches a few
+// hundred distinct keys), keeping the memo hit/miss split deterministic
+// across worker counts; the bound exists for long-lived processes — a
+// serving process would otherwise grow the cache without limit.
+const DefaultMemoCapacity = 8192
+
+// EnableMemo attaches a measurement memo cache to the rig (idempotent),
+// bounded at DefaultMemoCapacity entries. Clones made afterwards share
+// it, which is how a parallel sweep dedupes the single-core baseline and
+// nominal profiling runs that Scenario I and Scenario II repeat. The
+// cache holds successful Measurements only; failures are never cached,
+// so retries always re-simulate.
+func (r *Rig) EnableMemo() { r.EnableMemoBounded(DefaultMemoCapacity) }
+
+// EnableMemoBounded is EnableMemo with an explicit LRU capacity
+// (capacity <= 0 means DefaultMemoCapacity). Long-lived processes — the
+// HTTP server above all — use a capacity matched to their memory budget;
+// least-recently-used completed entries are evicted once the bound is
+// reached, and an evicted run simply re-simulates on next request.
+func (r *Rig) EnableMemoBounded(capacity int) {
 	if r.memo == nil {
-		r.memo = newMemoCache()
+		r.memo = newMemoCache(capacity)
 	}
 }
 
@@ -75,8 +91,12 @@ type MemoStats struct {
 	Hits int64
 	// Misses counts runs that were simulated and stored.
 	Misses int64
+	// Evictions counts completed entries dropped by the LRU bound.
+	Evictions int64
 	// Entries is the number of distinct cached measurements.
 	Entries int
+	// Capacity is the LRU bound on Entries.
+	Capacity int
 }
 
 // MemoStats returns the cache counters (zero without EnableMemo).
@@ -88,31 +108,67 @@ func (r *Rig) MemoStats() MemoStats {
 }
 
 // memoEntry is one in-flight or completed cached run. ready is closed
-// once m/err are final.
+// once m/err are final; elem links the entry into the LRU list once it
+// has completed successfully (in-flight entries are never evicted).
 type memoEntry struct {
+	key   memoKey
 	ready chan struct{}
 	m     *Measurement
 	err   error
+	elem  *list.Element
 }
 
-// memoCache is a concurrency-safe, single-flight measurement cache:
-// concurrent requests for the same key simulate once and share the
-// result, each caller receiving its own copy.
+// memoCache is a concurrency-safe, single-flight measurement cache with
+// an LRU bound: concurrent requests for the same key simulate once and
+// share the result, each caller receiving its own copy, and the
+// least-recently-used completed entries are evicted beyond capacity.
 type memoCache struct {
-	mu     sync.Mutex
-	m      map[memoKey]*memoEntry
-	hits   int64
-	misses int64
+	mu        sync.Mutex
+	capacity  int
+	m         map[memoKey]*memoEntry
+	ll        *list.List // completed entries, front = most recently used
+	hits      int64
+	misses    int64
+	evictions int64
 }
 
-func newMemoCache() *memoCache {
-	return &memoCache{m: make(map[memoKey]*memoEntry)}
+func newMemoCache(capacity int) *memoCache {
+	if capacity <= 0 {
+		capacity = DefaultMemoCapacity
+	}
+	return &memoCache{capacity: capacity, m: make(map[memoKey]*memoEntry), ll: list.New()}
 }
 
 func (c *memoCache) stats() MemoStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return MemoStats{Hits: c.hits, Misses: c.misses, Entries: len(c.m)}
+	return MemoStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Entries: len(c.m), Capacity: c.capacity}
+}
+
+// insert links a completed entry into the LRU and evicts past capacity.
+// Eviction order depends on completion order across workers, so the
+// eviction counter is published volatile; under the default capacity no
+// in-repo sweep evicts and the deterministic hit/miss split is unchanged.
+func (c *memoCache) insert(e *memoEntry, reg *obs.Registry) {
+	c.mu.Lock()
+	e.elem = c.ll.PushFront(e)
+	var evicted int64
+	for c.ll.Len() > c.capacity {
+		back := c.ll.Back()
+		v := back.Value.(*memoEntry)
+		c.ll.Remove(back)
+		delete(c.m, v.key)
+		v.elem = nil
+		evicted++
+	}
+	c.evictions += evicted
+	entries := len(c.m)
+	c.mu.Unlock()
+	if evicted > 0 {
+		reg.VolatileCounter("memo_evictions_total").Add(evicted)
+	}
+	reg.VolatileGauge("memo_entries").Set(float64(entries))
 }
 
 // do returns the cached measurement for k, computing it via compute on
@@ -122,7 +178,8 @@ func (c *memoCache) stats() MemoStats {
 // re-simulates. Traffic is mirrored into reg (nil is free): the split is
 // deterministic across worker counts because misses are exactly the
 // distinct keys requested and hits the remainder, regardless of which
-// worker computed what.
+// worker computed what — provided the LRU bound never bites (see
+// DefaultMemoCapacity).
 func (c *memoCache) do(ctx context.Context, k memoKey, reg *obs.Registry, compute func() (*Measurement, error)) (*Measurement, error) {
 	c.mu.Lock()
 	if e, ok := c.m[k]; ok {
@@ -137,11 +194,14 @@ func (c *memoCache) do(ctx context.Context, k memoKey, reg *obs.Registry, comput
 		}
 		c.mu.Lock()
 		c.hits++
+		if e.elem != nil {
+			c.ll.MoveToFront(e.elem)
+		}
 		c.mu.Unlock()
 		reg.Counter("memo_hits_total").Add(1)
 		return e.m.clone(), nil
 	}
-	e := &memoEntry{ready: make(chan struct{})}
+	e := &memoEntry{key: k, ready: make(chan struct{})}
 	c.m[k] = e
 	c.misses++
 	c.mu.Unlock()
@@ -158,6 +218,7 @@ func (c *memoCache) do(ctx context.Context, k memoKey, reg *obs.Registry, comput
 	}
 	// The cache keeps a pristine copy; the caller gets its own.
 	e.m = m.clone()
+	c.insert(e, reg)
 	close(e.ready)
 	return m, nil
 }

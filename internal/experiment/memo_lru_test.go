@@ -1,0 +1,145 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"cmppower/internal/obs"
+)
+
+// memoTestKey builds distinct keys cheaply.
+func memoTestKey(i int) memoKey { return memoKey{app: "A", n: i} }
+
+// memoOK is a compute stub returning a fresh measurement.
+func memoOK() (*Measurement, error) { return &Measurement{App: "A"}, nil }
+
+// TestMemoLRUEviction proves the bound: completed entries past capacity
+// are evicted least-recently-used first, with the stats and registry
+// counters tracking.
+func TestMemoLRUEviction(t *testing.T) {
+	ctx := context.Background()
+	reg := obs.NewRegistry()
+	c := newMemoCache(2)
+
+	for _, i := range []int{1, 2} {
+		if _, err := c.do(ctx, memoTestKey(i), reg, memoOK); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch 1 so 2 becomes the LRU victim.
+	if _, err := c.do(ctx, memoTestKey(1), reg, memoOK); err != nil {
+		t.Fatal(err)
+	}
+	// 3 evicts 2.
+	if _, err := c.do(ctx, memoTestKey(3), reg, memoOK); err != nil {
+		t.Fatal(err)
+	}
+
+	s := c.stats()
+	if s.Evictions != 1 || s.Entries != 2 || s.Capacity != 2 {
+		t.Errorf("stats %+v, want 1 eviction, 2 entries, capacity 2", s)
+	}
+	if s.Hits != 1 || s.Misses != 3 {
+		t.Errorf("hits/misses %d/%d, want 1/3", s.Hits, s.Misses)
+	}
+	if v := reg.Counter("memo_evictions_total").Value(); v != 1 {
+		t.Errorf("memo_evictions_total = %d, want 1", v)
+	}
+
+	// 1 survived (recently used); 2 re-simulates.
+	if _, err := c.do(ctx, memoTestKey(1), reg, memoOK); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.stats(); s.Hits != 2 {
+		t.Errorf("recently-used key was evicted: stats %+v", s)
+	}
+	if _, err := c.do(ctx, memoTestKey(2), reg, memoOK); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.stats(); s.Misses != 4 {
+		t.Errorf("evicted key did not re-simulate: stats %+v", s)
+	}
+}
+
+// TestMemoInFlightNotEvicted proves an entry still computing cannot be
+// evicted no matter how many completions pass it by: in-flight entries
+// join the LRU only on completion.
+func TestMemoInFlightNotEvicted(t *testing.T) {
+	ctx := context.Background()
+	c := newMemoCache(1)
+
+	hold := make(chan struct{})
+	started := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.do(ctx, memoTestKey(100), nil, func() (*Measurement, error) {
+			close(started)
+			<-hold
+			return &Measurement{App: "slow"}, nil
+		})
+		done <- err
+	}()
+	<-started
+
+	// Complete other keys; capacity 1 forces evictions among them.
+	for _, i := range []int{1, 2, 3} {
+		if _, err := c.do(ctx, memoTestKey(i), nil, memoOK); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	close(hold)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// The slow entry completed after the churn and must now be cached.
+	pre := c.stats()
+	if _, err := c.do(ctx, memoTestKey(100), nil, memoOK); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.stats(); s.Hits != pre.Hits+1 {
+		t.Errorf("in-flight entry was lost to eviction: %+v -> %+v", pre, s)
+	}
+}
+
+// TestMemoErrorNotCached re-pins (now under the LRU rewrite) that failed
+// computes are never cached and never enter the LRU.
+func TestMemoErrorNotCached(t *testing.T) {
+	ctx := context.Background()
+	c := newMemoCache(2)
+	boom := errors.New("boom")
+	if _, err := c.do(ctx, memoTestKey(1), nil, func() (*Measurement, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	s := c.stats()
+	if s.Entries != 0 || s.Evictions != 0 {
+		t.Errorf("failed compute left state behind: %+v", s)
+	}
+	// The key re-computes (and can then succeed).
+	if _, err := c.do(ctx, memoTestKey(1), nil, memoOK); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.stats(); s.Misses != 2 || s.Entries != 1 {
+		t.Errorf("retry after failure: %+v", s)
+	}
+}
+
+// TestEnableMemoBounded pins the capacity plumbing on the rig surface.
+func TestEnableMemoBounded(t *testing.T) {
+	r := &Rig{}
+	r.EnableMemoBounded(7)
+	if got := r.MemoStats().Capacity; got != 7 {
+		t.Errorf("capacity %d, want 7", got)
+	}
+	r2 := &Rig{}
+	r2.EnableMemo()
+	if got := r2.MemoStats().Capacity; got != DefaultMemoCapacity {
+		t.Errorf("default capacity %d, want %d", got, DefaultMemoCapacity)
+	}
+	r3 := &Rig{}
+	r3.EnableMemoBounded(0)
+	if got := r3.MemoStats().Capacity; got != DefaultMemoCapacity {
+		t.Errorf("zero capacity resolves to %d, want %d", got, DefaultMemoCapacity)
+	}
+}

@@ -232,6 +232,36 @@ func (r *Registry) VolatileGauge(name string) *Gauge {
 	return g
 }
 
+// VolatileCounter is Counter for counts that depend on scheduling order or
+// external traffic rather than on the simulated inputs alone — cache
+// evictions under concurrent load, HTTP requests served. Like every
+// volatile metric it appears in the text exposition but stays out of
+// deterministic snapshots and manifest digests.
+func (r *Registry) VolatileCounter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := r.Counter(name)
+	r.mu.Lock()
+	r.volatile[name] = true
+	r.mu.Unlock()
+	return c
+}
+
+// VolatileHistogram is Histogram for wall-clock-valued observations
+// (request latency, queue wait). First registration wins on bounds, as
+// with Histogram.
+func (r *Registry) VolatileHistogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h := r.Histogram(name, bounds)
+	r.mu.Lock()
+	r.volatile[name] = true
+	r.mu.Unlock()
+	return h
+}
+
 // Histogram returns the named histogram, creating it with the given finite
 // ascending upper bounds on first use. Later calls ignore bounds (first
 // registration wins); callers of one name must agree on bounds.

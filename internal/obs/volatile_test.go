@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestVolatileCounterAndHistogram pins the new volatile registrations:
+// excluded from the deterministic Snapshot (what manifests digest),
+// present in SnapshotVolatile and in the text exposition.
+func TestVolatileCounterAndHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("det_total").Add(1)
+	r.VolatileCounter("vol_total").Add(2)
+	r.VolatileHistogram("vol_seconds", []float64{1, 10}).Observe(0.5)
+
+	names := func(ms []Metric) map[string]bool {
+		out := make(map[string]bool, len(ms))
+		for _, m := range ms {
+			out[m.Name] = true
+		}
+		return out
+	}
+
+	det := names(r.Snapshot())
+	if !det["det_total"] {
+		t.Error("deterministic counter missing from Snapshot")
+	}
+	if det["vol_total"] || det["vol_seconds"] {
+		t.Error("volatile metrics leaked into the deterministic Snapshot")
+	}
+
+	vol := names(r.SnapshotVolatile())
+	if !vol["vol_total"] || !vol["vol_seconds"] {
+		t.Errorf("volatile metrics missing from SnapshotVolatile: %v", vol)
+	}
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{"det_total", "vol_total", "vol_seconds"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text exposition missing %s", want)
+		}
+	}
+}
+
+// TestVolatileNilSafety keeps the nil-registry fast path intact for the
+// new constructors.
+func TestVolatileNilSafety(t *testing.T) {
+	var r *Registry
+	r.VolatileCounter("x").Add(1)
+	r.VolatileHistogram("y", []float64{1}).Observe(2)
+}

@@ -1,0 +1,114 @@
+// Admission control: a fixed pool of simulation slots fronted by a
+// bounded wait queue. A request either holds a slot (simulating), waits
+// in the queue (bounded, cancellable), or is rejected with 429 and a
+// Retry-After estimate — the server never builds an unbounded backlog,
+// which is what turns an overload blip into a latency collapse.
+
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// errOverloaded is returned when the wait queue is full; it carries the
+// Retry-After estimate the HTTP layer surfaces.
+type overloadError struct {
+	RetryAfter time.Duration
+}
+
+func (e *overloadError) Error() string {
+	return fmt.Sprintf("overloaded: retry after %s", e.RetryAfter.Round(time.Second))
+}
+
+// admission is the bounded worker pool plus wait queue.
+type admission struct {
+	slots    chan struct{} // capacity = worker pool size
+	workers  int
+	queueCap int64
+	queued   atomic.Int64
+	// avgRunNs is an EWMA of recent simulation durations, feeding the
+	// Retry-After estimate. Stored as nanoseconds for atomic updates.
+	avgRunNs atomic.Int64
+}
+
+func newAdmission(workers, queueDepth int) *admission {
+	a := &admission{
+		slots:    make(chan struct{}, workers),
+		workers:  workers,
+		queueCap: int64(queueDepth),
+	}
+	a.avgRunNs.Store(int64(50 * time.Millisecond)) // optimistic prior
+	return a
+}
+
+// acquire obtains a simulation slot, waiting in the bounded queue if the
+// pool is busy. It returns a release func on success; an *overloadError
+// when the queue is full; or ctx's error if the caller gives up while
+// queued.
+func (a *admission) acquire(ctx context.Context) (func(), error) {
+	select {
+	case a.slots <- struct{}{}:
+		return a.release, nil
+	default:
+	}
+	if a.queued.Add(1) > a.queueCap {
+		a.queued.Add(-1)
+		return nil, &overloadError{RetryAfter: a.retryAfter()}
+	}
+	defer a.queued.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return a.release, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (a *admission) release() { <-a.slots }
+
+// observe folds one simulation duration into the EWMA (α = 1/8).
+func (a *admission) observe(d time.Duration) {
+	for {
+		old := a.avgRunNs.Load()
+		next := old + (int64(d)-old)/8
+		if a.avgRunNs.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// retryAfter estimates how long until a queue slot frees: the backlog
+// ahead of a new arrival, spread over the worker pool, at the recent
+// average run duration. Clamped to [1s, 120s] — a header of 0 invites an
+// immediate retry storm.
+func (a *admission) retryAfter() time.Duration {
+	backlog := float64(a.queued.Load() + 1)
+	avg := time.Duration(a.avgRunNs.Load())
+	est := time.Duration(math.Ceil(backlog/float64(a.workers))) * avg
+	if est < time.Second {
+		return time.Second
+	}
+	if est > 2*time.Minute {
+		return 2 * time.Minute
+	}
+	return est.Round(time.Second)
+}
+
+// retryAfterHeader formats an *overloadError for the Retry-After header
+// (whole seconds).
+func retryAfterHeader(err error) (string, bool) {
+	var oe *overloadError
+	if !errors.As(err, &oe) {
+		return "", false
+	}
+	secs := int(math.Ceil(oe.RetryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprintf("%d", secs), true
+}

@@ -1,0 +1,179 @@
+// Request coalescing (singleflight) and the size-bounded LRU response
+// cache. Identical concurrent requests share one simulation: the first
+// arrival becomes the leader and computes on a context that belongs to
+// the *flight*, not to any single HTTP request, so one impatient client
+// cannot kill the result for everyone else — the flight is cancelled
+// only when every interested request has gone away. Completed 200
+// responses land in the LRU, layered over the experiment memo cache:
+// the memo dedupes the underlying simulations, the response cache
+// dedupes the serialized bytes.
+
+package server
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// response is a fully materialized HTTP payload, shareable byte-for-byte
+// between coalesced waiters and cache hits.
+type response struct {
+	status int
+	body   []byte
+}
+
+// flight is one in-progress computation, shared by every request that
+// asked for the same key while it ran.
+type flight struct {
+	done   chan struct{}
+	resp   *response
+	err    error
+	ctx    context.Context
+	cancel context.CancelFunc
+	refs   int // interested requests; 0 → cancel the computation
+}
+
+// flightGroup implements singleflight with reference-counted flight
+// contexts.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flight)}
+}
+
+// join returns the flight for key, creating it (leader=true) if none is
+// running. The caller must pair every join with a leave.
+func (g *flightGroup) join(base context.Context, key string) (f *flight, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.m[key]; ok {
+		f.refs++
+		return f, false
+	}
+	ctx, cancel := context.WithCancel(base)
+	f = &flight{done: make(chan struct{}), ctx: ctx, cancel: cancel, refs: 1}
+	g.m[key] = f
+	return f, true
+}
+
+// leave drops one request's interest in the flight. When the last
+// interested request leaves before completion, the flight's context is
+// cancelled so the simulation stops burning a worker slot for nobody.
+func (g *flightGroup) leave(key string, f *flight) {
+	g.mu.Lock()
+	f.refs--
+	abandoned := f.refs == 0 && !f.finished()
+	g.mu.Unlock()
+	if abandoned {
+		f.cancel()
+	}
+}
+
+// finish records the outcome and wakes every waiter. The flight is
+// removed from the group first so a request arriving after completion
+// starts fresh (the response cache, not the flight table, serves
+// repeats).
+func (g *flightGroup) finish(key string, f *flight, resp *response, err error) {
+	g.mu.Lock()
+	delete(g.m, key)
+	f.resp, f.err = resp, err
+	g.mu.Unlock()
+	close(f.done)
+	f.cancel()
+}
+
+// finished reports whether finish ran; callers hold g.mu.
+func (f *flight) finished() bool {
+	select {
+	case <-f.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// refsOf reports the current waiter count for key (0 when no flight is
+// running); used by tests to deterministically sequence coalescing.
+func (g *flightGroup) refsOf(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.m[key]; ok {
+		return f.refs
+	}
+	return 0
+}
+
+// lruCache is a size-bounded response cache. Entries are whole
+// serialized responses; only status-200 bodies are stored.
+type lruCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	m        map[string]*list.Element
+}
+
+type lruEntry struct {
+	key  string
+	resp *response
+}
+
+// newLRUCache returns a cache bounded at capacity entries; capacity <= 0
+// disables caching entirely (every method is a cheap no-op).
+func newLRUCache(capacity int) *lruCache {
+	if capacity <= 0 {
+		return &lruCache{}
+	}
+	return &lruCache{capacity: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// get returns the cached response for key, refreshing its recency.
+func (c *lruCache) get(key string) (*response, bool) {
+	if c.capacity <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(e)
+	return e.Value.(*lruEntry).resp, true
+}
+
+// put stores a response, evicting least-recently-used entries past the
+// bound; it returns how many entries were evicted.
+func (c *lruCache) put(key string, resp *response) (evicted int) {
+	if c.capacity <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[key]; ok {
+		e.Value.(*lruEntry).resp = resp
+		c.ll.MoveToFront(e)
+		return 0
+	}
+	c.m[key] = c.ll.PushFront(&lruEntry{key: key, resp: resp})
+	for c.ll.Len() > c.capacity {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.m, back.Value.(*lruEntry).key)
+		evicted++
+	}
+	return evicted
+}
+
+// len reports the live entry count.
+func (c *lruCache) len() int {
+	if c.capacity <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

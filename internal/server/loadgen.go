@@ -1,0 +1,371 @@
+// Loadgen is the serving layer's in-repo load generator: closed-loop
+// (fixed concurrency, each worker fires as soon as the previous response
+// lands), open-loop (fixed arrival rate, latency measured under queueing
+// like a real external client population), and a closed-loop concurrency
+// ramp. It reports throughput and the latency distribution (p50/p90/p99
+// and max) per step, so `cmppower serve`'s throughput and tail latency
+// are measurable without external tooling.
+
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadConfig parameterizes one load generation run.
+type LoadConfig struct {
+	// URL is the target endpoint.
+	URL string
+	// Method defaults to POST when Body is non-empty, GET otherwise.
+	Method string
+	// Body is the JSON request body template.
+	Body []byte
+	// Duration is the wall-clock length of each step (default 10 s).
+	Duration time.Duration
+	// Concurrency is the closed-loop worker count (default 8). Ignored
+	// when Ramp is set.
+	Concurrency int
+	// Rate switches to open-loop mode: arrivals per second, dispatched
+	// on a fixed clock regardless of completions. 0 means closed loop.
+	Rate float64
+	// Ramp runs one closed-loop step per listed concurrency.
+	Ramp []int
+	// VaryField, when non-empty, names a top-level JSON field of Body to
+	// overwrite with a distinct integer per request — the uncached-path
+	// switch (e.g. "seed").
+	VaryField string
+	// Timeout bounds each request (default 30 s).
+	Timeout time.Duration
+	// Client overrides the HTTP client (tests).
+	Client *http.Client
+}
+
+func (c LoadConfig) withDefaults() (LoadConfig, error) {
+	if c.URL == "" {
+		return c, fmt.Errorf("loadgen: no URL")
+	}
+	if c.Method == "" {
+		if len(c.Body) > 0 {
+			c.Method = http.MethodPost
+		} else {
+			c.Method = http.MethodGet
+		}
+	}
+	if c.Duration <= 0 {
+		c.Duration = 10 * time.Second
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+	}
+	for _, n := range c.Ramp {
+		if n <= 0 {
+			return c, fmt.Errorf("loadgen: ramp step %d", n)
+		}
+	}
+	if c.Rate < 0 {
+		return c, fmt.Errorf("loadgen: negative rate %g", c.Rate)
+	}
+	if c.Rate > 0 && len(c.Ramp) > 0 {
+		return c, fmt.Errorf("loadgen: -rate and -ramp are mutually exclusive")
+	}
+	if c.VaryField != "" && len(c.Body) > 0 && !json.Valid(c.Body) {
+		return c, fmt.Errorf("loadgen: vary field needs a JSON body")
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        1024,
+				MaxIdleConnsPerHost: 1024,
+			},
+		}
+	}
+	return c, nil
+}
+
+// StepResult is one load step's measurement.
+type StepResult struct {
+	// Concurrency is the closed-loop worker count (0 in open-loop mode).
+	Concurrency int `json:"concurrency,omitempty"`
+	// RateRPS is the open-loop target arrival rate (0 in closed loop).
+	RateRPS float64 `json:"rate_rps,omitempty"`
+	// Duration is the measured wall-clock span.
+	Duration time.Duration `json:"duration_ns"`
+	// Requests counts completed requests; Errors counts transport
+	// failures (connection refused, timeout) — HTTP error statuses are
+	// counted per code in Status instead.
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	// Dropped counts open-loop arrivals skipped because the in-flight
+	// bound was hit (client-side saturation; the latency numbers for
+	// completed requests stay honest).
+	Dropped int64 `json:"dropped,omitempty"`
+	// Status maps HTTP status code → count.
+	Status map[int]int64 `json:"status"`
+	// ThroughputRPS is Requests / Duration.
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// Latency percentiles over completed requests.
+	P50 time.Duration `json:"p50_ns"`
+	P90 time.Duration `json:"p90_ns"`
+	P99 time.Duration `json:"p99_ns"`
+	Max time.Duration `json:"max_ns"`
+}
+
+// OK reports whether every completed response was 2xx or 429 and no
+// transport errors occurred — the serve-smoke gate: under admission
+// control, overload rejection is correct behavior, anything else is not.
+func (s *StepResult) OK() bool {
+	if s.Errors > 0 {
+		return false
+	}
+	for code, n := range s.Status {
+		if n > 0 && code != http.StatusTooManyRequests && (code < 200 || code > 299) {
+			return false
+		}
+	}
+	return true
+}
+
+// LoadResult is a full loadgen run.
+type LoadResult struct {
+	Steps []StepResult `json:"steps"`
+}
+
+// OK reports whether every step passed the smoke gate.
+func (r *LoadResult) OK() bool {
+	for i := range r.Steps {
+		if !r.Steps[i].OK() {
+			return false
+		}
+	}
+	return true
+}
+
+// collector accumulates one step's samples.
+type collector struct {
+	mu        sync.Mutex
+	latencies []time.Duration
+	status    map[int]int64
+	errors    int64
+}
+
+func newCollector() *collector {
+	return &collector{status: make(map[int]int64)}
+}
+
+func (c *collector) record(d time.Duration, status int, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil {
+		c.errors++
+		return
+	}
+	c.latencies = append(c.latencies, d)
+	c.status[status]++
+}
+
+// result folds the samples into a StepResult.
+func (c *collector) result(elapsed time.Duration) StepResult {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := StepResult{
+		Duration: elapsed,
+		Requests: int64(len(c.latencies)),
+		Errors:   c.errors,
+		Status:   c.status,
+	}
+	if elapsed > 0 {
+		s.ThroughputRPS = float64(s.Requests) / elapsed.Seconds()
+	}
+	if len(c.latencies) > 0 {
+		sorted := append([]time.Duration(nil), c.latencies...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		s.P50 = percentile(sorted, 0.50)
+		s.P90 = percentile(sorted, 0.90)
+		s.P99 = percentile(sorted, 0.99)
+		s.Max = sorted[len(sorted)-1]
+	}
+	return s
+}
+
+// percentile reads the nearest-rank percentile from a sorted sample.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// bodyFactory produces per-request bodies: the template verbatim, or
+// with VaryField rewritten to a fresh integer each call.
+func bodyFactory(cfg LoadConfig) (func() []byte, error) {
+	if cfg.VaryField == "" || len(cfg.Body) == 0 {
+		return func() []byte { return cfg.Body }, nil
+	}
+	var tmpl map[string]json.RawMessage
+	if err := json.Unmarshal(cfg.Body, &tmpl); err != nil {
+		return nil, fmt.Errorf("loadgen: vary body: %w", err)
+	}
+	var n atomic.Int64
+	return func() []byte {
+		next := n.Add(1)
+		m := make(map[string]json.RawMessage, len(tmpl)+1)
+		for k, v := range tmpl {
+			m[k] = v
+		}
+		m[cfg.VaryField] = json.RawMessage(strconv.FormatInt(next, 10))
+		b, err := json.Marshal(m)
+		if err != nil {
+			return cfg.Body
+		}
+		return b
+	}, nil
+}
+
+// Load runs the configured load generation and returns per-step results.
+func Load(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	nextBody, err := bodyFactory(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &LoadResult{}
+	if cfg.Rate > 0 {
+		step, err := openLoop(ctx, cfg, nextBody)
+		if err != nil {
+			return nil, err
+		}
+		out.Steps = append(out.Steps, step)
+		return out, nil
+	}
+	steps := cfg.Ramp
+	if len(steps) == 0 {
+		steps = []int{cfg.Concurrency}
+	}
+	for _, conc := range steps {
+		step, err := closedLoop(ctx, cfg, conc, nextBody)
+		if err != nil {
+			return nil, err
+		}
+		out.Steps = append(out.Steps, step)
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return out, nil
+}
+
+// fire issues one request and records it.
+func fire(ctx context.Context, cfg LoadConfig, col *collector, body []byte) {
+	rctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, cfg.Method, cfg.URL, bytes.NewReader(body))
+	if err != nil {
+		col.record(0, 0, err)
+		return
+	}
+	if len(body) > 0 {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	start := time.Now()
+	resp, err := cfg.Client.Do(req)
+	d := time.Since(start)
+	if err != nil {
+		// The run deadline expiring mid-request is the harness stopping,
+		// not a server failure.
+		if ctx.Err() != nil {
+			return
+		}
+		col.record(d, 0, err)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	col.record(d, resp.StatusCode, nil)
+}
+
+// closedLoop runs conc workers for cfg.Duration, each firing
+// back-to-back requests.
+func closedLoop(ctx context.Context, cfg LoadConfig, conc int, nextBody func() []byte) (StepResult, error) {
+	col := newCollector()
+	stepCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(conc)
+	for w := 0; w < conc; w++ {
+		go func() {
+			defer wg.Done()
+			for stepCtx.Err() == nil {
+				fire(stepCtx, cfg, col, nextBody())
+			}
+		}()
+	}
+	wg.Wait()
+	step := col.result(time.Since(start))
+	step.Concurrency = conc
+	return step, ctx.Err()
+}
+
+// openLoop dispatches arrivals on a fixed clock for cfg.Duration. The
+// in-flight population is bounded (4096) so a stalled server saturates
+// the client visibly (Dropped) instead of exhausting its memory.
+func openLoop(ctx context.Context, cfg LoadConfig, nextBody func() []byte) (StepResult, error) {
+	col := newCollector()
+	stepCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	sem := make(chan struct{}, 4096)
+	var dropped atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+loop:
+	for {
+		select {
+		case <-stepCtx.Done():
+			break loop
+		case <-ticker.C:
+			select {
+			case sem <- struct{}{}:
+			default:
+				dropped.Add(1)
+				continue
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				fire(stepCtx, cfg, col, nextBody())
+			}()
+		}
+	}
+	wg.Wait()
+	step := col.result(time.Since(start))
+	step.RateRPS = cfg.Rate
+	step.Dropped = dropped.Load()
+	return step, ctx.Err()
+}

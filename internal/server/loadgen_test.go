@@ -1,0 +1,181 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestLoadClosedLoop drives a fast stub server and checks the basic
+// accounting: completed requests, throughput, ordered percentiles.
+func TestLoadClosedLoop(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	res, err := Load(context.Background(), LoadConfig{
+		URL:         ts.URL,
+		Body:        []byte(`{"app":"FFT","n":2}`),
+		Duration:    200 * time.Millisecond,
+		Concurrency: 4,
+		Client:      ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 1 {
+		t.Fatalf("steps %d, want 1", len(res.Steps))
+	}
+	s := res.Steps[0]
+	if s.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+	if s.Errors != 0 || !res.OK() {
+		t.Errorf("errors=%d OK=%v", s.Errors, res.OK())
+	}
+	if s.ThroughputRPS <= 0 {
+		t.Errorf("throughput %g", s.ThroughputRPS)
+	}
+	if s.P50 > s.P90 || s.P90 > s.P99 || s.P99 > s.Max {
+		t.Errorf("percentiles out of order: p50=%v p90=%v p99=%v max=%v", s.P50, s.P90, s.P99, s.Max)
+	}
+	if s.Status[http.StatusOK] != s.Requests {
+		t.Errorf("status map %v does not account for %d requests", s.Status, s.Requests)
+	}
+}
+
+// TestLoadRamp runs one step per listed concurrency.
+func TestLoadRamp(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	res, err := Load(context.Background(), LoadConfig{
+		URL:      ts.URL,
+		Duration: 50 * time.Millisecond,
+		Ramp:     []int{1, 3},
+		Client:   ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 2 {
+		t.Fatalf("steps %d, want 2", len(res.Steps))
+	}
+	if res.Steps[0].Concurrency != 1 || res.Steps[1].Concurrency != 3 {
+		t.Errorf("step concurrencies %d,%d", res.Steps[0].Concurrency, res.Steps[1].Concurrency)
+	}
+}
+
+// TestLoadOpenLoop checks rate-paced dispatch completes and labels the
+// step with the target rate.
+func TestLoadOpenLoop(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	res, err := Load(context.Background(), LoadConfig{
+		URL:      ts.URL,
+		Duration: 300 * time.Millisecond,
+		Rate:     200,
+		Client:   ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Steps[0]
+	if s.RateRPS != 200 {
+		t.Errorf("rate label %g", s.RateRPS)
+	}
+	if s.Requests == 0 {
+		t.Error("open loop completed no requests")
+	}
+}
+
+// TestLoadVaryField proves -vary defeats caching: each request body
+// carries a distinct value for the named field.
+func TestLoadVaryField(t *testing.T) {
+	var mu sync.Mutex
+	seen := make(map[int64]bool)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			App  string `json:"app"`
+			N    int    `json:"n"`
+			Seed int64  `json:"seed"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		mu.Lock()
+		seen[body.Seed] = true
+		mu.Unlock()
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	res, err := Load(context.Background(), LoadConfig{
+		URL:         ts.URL,
+		Body:        []byte(`{"app":"FFT","n":2}`),
+		VaryField:   "seed",
+		Duration:    100 * time.Millisecond,
+		Concurrency: 2,
+		Client:      ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("vary run not OK: %+v", res.Steps[0])
+	}
+	mu.Lock()
+	distinct := len(seen)
+	mu.Unlock()
+	if distinct < 2 {
+		t.Errorf("vary field produced %d distinct values, want >= 2", distinct)
+	}
+	if seen[0] {
+		t.Error("a request went out with the unvaried zero seed")
+	}
+}
+
+// TestStepOK pins the smoke gate: 2xx and 429 pass, anything else fails.
+func TestStepOK(t *testing.T) {
+	ok := StepResult{Status: map[int]int64{200: 5, 429: 2}}
+	if !ok.OK() {
+		t.Error("2xx+429 should pass")
+	}
+	bad := StepResult{Status: map[int]int64{200: 5, 500: 1}}
+	if bad.OK() {
+		t.Error("500 should fail")
+	}
+	errs := StepResult{Errors: 1, Status: map[int]int64{200: 5}}
+	if errs.OK() {
+		t.Error("transport errors should fail")
+	}
+}
+
+// TestLoadConfigValidation pins the config error paths.
+func TestLoadConfigValidation(t *testing.T) {
+	bad := []LoadConfig{
+		{},                                  // no URL
+		{URL: "x", Rate: -1},                // negative rate
+		{URL: "x", Ramp: []int{0}},          // non-positive ramp step
+		{URL: "x", Rate: 5, Ramp: []int{1}}, // exclusive modes
+		{URL: "x", Body: []byte(`{`), VaryField: "seed"}, // unparseable vary body
+	}
+	for i, cfg := range bad {
+		if _, err := Load(context.Background(), cfg); err == nil {
+			t.Errorf("config %d accepted, want error", i)
+		}
+	}
+}

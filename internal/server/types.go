@@ -1,0 +1,268 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"cmppower/internal/experiment"
+	"cmppower/internal/explore"
+	"cmppower/internal/splash"
+)
+
+// Request-side defaults. Serving defaults to a reduced workload scale:
+// interactive queries want millisecond-class simulations, and the scale
+// is part of every cache key so callers that need the full problem size
+// simply ask for it.
+const (
+	defaultScale = 0.1
+	defaultSeed  = 1
+)
+
+// RunRequest is the body of POST /v1/run: simulate one application on n
+// cores and evaluate power and temperature. Zero-valued fields take the
+// documented defaults, and the normalized form (after ApplyDefaults) is
+// the request's cache/coalescing identity.
+type RunRequest struct {
+	// App is the SPLASH-2 application model name, e.g. "FFT".
+	App string `json:"app"`
+	// N is the active core count.
+	N int `json:"n"`
+	// Scale is the workload scale factor (default 0.1).
+	Scale float64 `json:"scale,omitempty"`
+	// Seed is the workload seed (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// FreqMHz selects the operating point (0 = the nominal point).
+	FreqMHz float64 `json:"freq_mhz,omitempty"`
+	// Faults is an optional fault-injection spec (see faults.ParseSpec).
+	// Fault-injected runs bypass the memo layer by design.
+	Faults string `json:"faults,omitempty"`
+	// DTM enables the dynamic thermal-management controller replay.
+	DTM bool `json:"dtm,omitempty"`
+}
+
+// ApplyDefaults normalizes the request in place so that two requests
+// meaning the same run share one cache key.
+func (r *RunRequest) ApplyDefaults() {
+	if r.Scale == 0 {
+		r.Scale = defaultScale
+	}
+	if r.Seed == 0 {
+		r.Seed = defaultSeed
+	}
+	r.App = strings.TrimSpace(r.App)
+	r.Faults = strings.TrimSpace(r.Faults)
+}
+
+// Validate rejects requests the rig would reject, with a client-side
+// error instead of a burned worker slot.
+func (r *RunRequest) Validate() error {
+	if _, err := splash.ByName(r.App); err != nil {
+		return err
+	}
+	if r.N < 1 || r.N > 16 {
+		return fmt.Errorf("n %d outside [1,16]", r.N)
+	}
+	if r.Scale <= 0 || r.Scale > 4 {
+		return fmt.Errorf("scale %g outside (0,4]", r.Scale)
+	}
+	if r.FreqMHz < 0 {
+		return fmt.Errorf("negative freq_mhz %g", r.FreqMHz)
+	}
+	return nil
+}
+
+// RunResponse is the body of a successful POST /v1/run.
+type RunResponse struct {
+	Measurement *experiment.Measurement `json:"measurement"`
+}
+
+// SweepRequest is the body of POST /v1/sweep: a Scenario I (Fig. 3) or
+// Scenario II (Fig. 4) sweep over applications × core counts.
+type SweepRequest struct {
+	// Scenario selects the experiment: "I" (performance target) or "II"
+	// (power budget).
+	Scenario string `json:"scenario"`
+	// Apps lists application names; empty means the full catalog.
+	Apps []string `json:"apps,omitempty"`
+	// CoreCounts defaults to {1,2,4,8,16}.
+	CoreCounts []int `json:"core_counts,omitempty"`
+	// Scale, Seed, Faults, DTM as in RunRequest.
+	Scale  float64 `json:"scale,omitempty"`
+	Seed   uint64  `json:"seed,omitempty"`
+	Faults string  `json:"faults,omitempty"`
+	DTM    bool    `json:"dtm,omitempty"`
+	// Retries bounds per-app attempts for injected-transient failures
+	// (default 3).
+	Retries int `json:"retries,omitempty"`
+}
+
+// ApplyDefaults normalizes the request in place (cache identity).
+func (r *SweepRequest) ApplyDefaults() {
+	r.Scenario = strings.ToUpper(strings.TrimSpace(r.Scenario))
+	if len(r.Apps) == 0 {
+		r.Apps = splash.Names()
+	}
+	for i := range r.Apps {
+		r.Apps[i] = strings.TrimSpace(r.Apps[i])
+	}
+	if len(r.CoreCounts) == 0 {
+		r.CoreCounts = []int{1, 2, 4, 8, 16}
+	}
+	if r.Scale == 0 {
+		r.Scale = defaultScale
+	}
+	if r.Seed == 0 {
+		r.Seed = defaultSeed
+	}
+	if r.Retries == 0 {
+		r.Retries = experiment.DefaultRetryConfig().Attempts
+	}
+	r.Faults = strings.TrimSpace(r.Faults)
+}
+
+// Validate rejects malformed sweeps before admission.
+func (r *SweepRequest) Validate() error {
+	if r.Scenario != "I" && r.Scenario != "II" {
+		return fmt.Errorf("scenario %q (want I or II)", r.Scenario)
+	}
+	for _, name := range r.Apps {
+		if _, err := splash.ByName(name); err != nil {
+			return err
+		}
+	}
+	for _, n := range r.CoreCounts {
+		if n < 1 || n > 16 {
+			return fmt.Errorf("core count %d outside [1,16]", n)
+		}
+	}
+	if r.Scale <= 0 || r.Scale > 4 {
+		return fmt.Errorf("scale %g outside (0,4]", r.Scale)
+	}
+	if r.Retries < 1 || r.Retries > 10 {
+		return fmt.Errorf("retries %d outside [1,10]", r.Retries)
+	}
+	return nil
+}
+
+// SweepAppResult is one application's outcome in a SweepResponse; the
+// sweep engine's SweepOutcome with its error flattened to a string so
+// the response is JSON-serializable and byte-stable.
+type SweepAppResult struct {
+	App      string                       `json:"app"`
+	Attempts int                          `json:"attempts"`
+	I        *experiment.ScenarioIResult  `json:"scenario_i,omitempty"`
+	II       *experiment.ScenarioIIResult `json:"scenario_ii,omitempty"`
+	Error    string                       `json:"error,omitempty"`
+}
+
+// SweepResponse is the body of a successful POST /v1/sweep.
+type SweepResponse struct {
+	Scenario string           `json:"scenario"`
+	BudgetW  float64          `json:"budget_w,omitempty"`
+	Outcomes []SweepAppResult `json:"outcomes"`
+}
+
+// NewSweepResponse flattens sweep outcomes into the wire form. Exported
+// so the doctor check can build the expected body straight from a
+// library-level sweep and compare bytes.
+func NewSweepResponse(scenario string, budgetW float64, outcomes []experiment.SweepOutcome) *SweepResponse {
+	resp := &SweepResponse{Scenario: scenario, Outcomes: make([]SweepAppResult, 0, len(outcomes))}
+	if scenario == "II" {
+		resp.BudgetW = budgetW
+	}
+	for _, o := range outcomes {
+		r := SweepAppResult{App: o.App, Attempts: o.Attempts, I: o.I, II: o.II}
+		if o.Err != nil {
+			r.Error = o.Err.Error()
+		}
+		resp.Outcomes = append(resp.Outcomes, r)
+	}
+	return resp
+}
+
+// ExploreRequest is the body of POST /v1/explore: the iso-area
+// design-space exploration over the standard chip organizations.
+type ExploreRequest struct {
+	// Apps lists application names; empty means the explore command's
+	// default quartet.
+	Apps []string `json:"apps,omitempty"`
+	// Scale is the workload scale factor (default 0.1).
+	Scale float64 `json:"scale,omitempty"`
+}
+
+// ApplyDefaults normalizes the request in place (cache identity).
+func (r *ExploreRequest) ApplyDefaults() {
+	if len(r.Apps) == 0 {
+		r.Apps = []string{"Barnes", "FMM", "Ocean", "Radix"}
+	}
+	for i := range r.Apps {
+		r.Apps[i] = strings.TrimSpace(r.Apps[i])
+	}
+	if r.Scale == 0 {
+		r.Scale = defaultScale
+	}
+}
+
+// Validate rejects malformed explorations before admission.
+func (r *ExploreRequest) Validate() error {
+	for _, name := range r.Apps {
+		if _, err := splash.ByName(name); err != nil {
+			return err
+		}
+	}
+	if r.Scale <= 0 || r.Scale > 4 {
+		return fmt.Errorf("scale %g outside (0,4]", r.Scale)
+	}
+	return nil
+}
+
+// ExploreResponse is the body of a successful POST /v1/explore.
+type ExploreResponse struct {
+	Outcomes []explore.Outcome `json:"outcomes"`
+	// BestEDP maps each application to the organization with the lowest
+	// EDP, in sorted app order inside the JSON object.
+	BestEDP map[string]string `json:"best_edp"`
+}
+
+// NewExploreResponse assembles the wire form of an exploration.
+func NewExploreResponse(outs []explore.Outcome) *ExploreResponse {
+	resp := &ExploreResponse{Outcomes: outs, BestEDP: make(map[string]string)}
+	for app, o := range explore.BestByEDP(outs) {
+		resp.BestEDP[app] = o.Option.Name
+	}
+	return resp
+}
+
+// errorBody is the uniform error payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// cacheKey derives the canonical identity of a normalized request:
+// endpoint path plus the deterministic JSON of the defaults-applied
+// request. encoding/json emits struct fields in declaration order and
+// sorts map keys, so equal requests produce equal keys.
+func cacheKey(path string, normalized any) string {
+	b, err := json.Marshal(normalized)
+	if err != nil {
+		// Requests are plain data structs; Marshal cannot fail on them.
+		panic(err)
+	}
+	return path + "?" + string(b)
+}
+
+// resolveApps resolves names in input order (the sweep engine preserves
+// input order, so the key must too — no sorting, just trimming); kept
+// here so handlers share one resolver.
+func resolveApps(names []string) ([]splash.App, error) {
+	apps := make([]splash.App, 0, len(names))
+	for _, name := range names {
+		a, err := splash.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		apps = append(apps, a)
+	}
+	return apps, nil
+}

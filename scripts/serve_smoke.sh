@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Serve-smoke gate: build the binary, boot `cmppower serve`, drive it
+# with the in-repo load generator on both the cached and uncached paths
+# (strict mode: any response other than 2xx/429 fails), scrape the live
+# metrics, and require a clean SIGTERM drain. This is the CI job that
+# keeps the serving layer honest end to end.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DUR=${DUR:-10s}
+PORT=${PORT:-18080}
+BASE="http://127.0.0.1:$PORT"
+
+WORKDIR=$(mktemp -d)
+BIN="$WORKDIR/cmppower"
+cleanup() {
+  [ -n "${SERVE_PID:-}" ] && kill "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+go build -o "$BIN" ./cmd/cmppower
+
+"$BIN" serve -addr "127.0.0.1:$PORT" &
+SERVE_PID=$!
+
+# Wait for readiness (the first rig calibration happens lazily, so the
+# listener is up fast).
+for _ in $(seq 1 100); do
+  curl -fsS "$BASE/readyz" >/dev/null 2>&1 && break
+  kill -0 "$SERVE_PID" 2>/dev/null || { echo "serve exited early" >&2; exit 1; }
+  sleep 0.1
+done
+curl -fsS "$BASE/healthz" >/dev/null
+
+echo "== cached closed-loop (coalescing + response cache) =="
+"$BIN" loadgen -url "$BASE/v1/run" -body '{"app":"FFT","n":4}' \
+  -duration "$DUR" -c 32 -strict
+
+echo "== uncached (seed varies per request; admission control may 429) =="
+"$BIN" loadgen -url "$BASE/v1/run" -body '{"app":"FFT","n":4}' \
+  -vary seed -duration "$DUR" -c 8 -strict
+
+echo "== live metrics =="
+METRICS=$(curl -fsS "$BASE/metrics")
+for want in server_requests_total server_computations_total server_cache_hits_total memo_misses_total; do
+  echo "$METRICS" | grep -q "^$want" || { echo "missing metric $want" >&2; exit 1; }
+done
+echo "$METRICS" | grep '^server_' | head -12
+
+echo "== graceful SIGTERM drain =="
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"   # non-zero exit (unclean drain) fails the script
+SERVE_PID=
+
+echo "serve-smoke: OK"
