@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race doctor bench bench-check cover fuzz golden serve-smoke
+.PHONY: check build test vet race doctor bench bench-check cover fuzz golden serve-smoke router-smoke
 
 check:
 	./scripts/check.sh
@@ -42,6 +42,12 @@ cover:
 # load in strict mode, metrics scrape, clean SIGTERM drain.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# End-to-end smoke of the fleet router: 3 shards with chaos kills and
+# respawns mid-run, byte identity vs a direct serve, strict load, clean
+# SIGTERM drain.
+router-smoke:
+	./scripts/router_smoke.sh
 
 # Longer fuzz exploration than the 10s smokes inside `make check`.
 FUZZTIME ?= 2m

@@ -30,6 +30,7 @@ const (
 	exitDoctorBatched     = 6 // batched engine diverged from the reference loop
 	exitDoctorObs         = 7 // metric snapshot / manifest differed across -j
 	exitDoctorServe       = 8 // HTTP serving layer diverged from the library
+	exitDoctorRouter      = 9 // fleet router diverged, dropped, or failed to hedge
 )
 
 // runDoctor runs the repository's end-to-end self-checks: determinism,
@@ -60,6 +61,7 @@ func runDoctor(args []string) error {
 		{"batched engine matches reference loop", checkBatchedEngine, exitDoctorBatched},
 		{"manifest identical across -j", checkObsDeterminism, exitDoctorObs},
 		{"serve round-trip deterministic", checkServe, exitDoctorServe},
+		{"router fleet invisible under faults", checkRouter, exitDoctorRouter},
 	}
 	// Every check builds its own rigs and injectors, so they fan out over
 	// the worker pool; results are collected and reported in list order.

@@ -69,10 +69,13 @@ func runLoadgen(args []string) error {
 	return nil
 }
 
-// writeLoadTable renders the per-step results.
+// writeLoadTable renders the per-step results with one column per
+// status class: successes, admission backpressure (and how often the
+// closed loop honored its Retry-After), server failures, client-closed.
 func writeLoadTable(res *server.LoadResult) error {
 	t := report.NewTable("Load generation",
-		"mode", "req", "err", "429", "rps", "p50 ms", "p90 ms", "p99 ms", "max ms")
+		"mode", "req", "err", "2xx", "429", "5xx", "499", "backoff",
+		"rps", "p50 ms", "p90 ms", "p99 ms", "max ms")
 	for i := range res.Steps {
 		s := &res.Steps[i]
 		mode := fmt.Sprintf("c=%d", s.Concurrency)
@@ -81,7 +84,9 @@ func writeLoadTable(res *server.LoadResult) error {
 		}
 		if err := t.AddRow(mode,
 			report.I(int(s.Requests)), report.I(int(s.Errors)),
-			report.I(int(s.Status[429])),
+			report.I(int(s.Class2xx)), report.I(int(s.Class429)),
+			report.I(int(s.Class5xx)), report.I(int(s.Class499)),
+			report.I(int(s.Backoffs)),
 			report.F(s.ThroughputRPS, 1),
 			report.F(float64(s.P50)/1e6, 3), report.F(float64(s.P90)/1e6, 3),
 			report.F(float64(s.P99)/1e6, 3), report.F(float64(s.Max)/1e6, 3)); err != nil {

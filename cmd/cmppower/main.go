@@ -25,6 +25,7 @@
 //	cmppower doctor [-j N]
 //	cmppower bench  [-quick] [-out FILE] [-manifests DIR]
 //	cmppower serve  [-addr :8080] [-j N] [-queue N] [-cache N] [-memo N] [-timeout D] [-drain D]
+//	cmppower router [-addr :8070] [-shards N | -backends URLS] [-j N] [-autoscale] [-chaos SPEC] [-drain D]
 //	cmppower loadgen [-url U] [-body JSON] [-duration D] [-c N] [-rate R] [-ramp list] [-vary FIELD] [-json] [-strict]
 //
 // Sweep-style commands accept -j to fan work across a bounded worker pool
@@ -174,6 +175,8 @@ func run(cmd string, args []string) int {
 		err = runBench(args)
 	case "serve":
 		err = runServe(args)
+	case "router":
+		err = runRouter(args)
 	case "loadgen":
 		err = runLoadgen(args)
 	case "help", "-h", "--help":
@@ -222,7 +225,7 @@ Commands:
            round-trip; distinct exit codes per resilience failure:
            2=injector, 3=DTM, 4=cancellation, 5=parallel-divergence,
            6=batched-engine-divergence, 7=manifest-divergence,
-           8=serve-divergence)
+           8=serve-divergence, 9=router-divergence)
   cachesweep  L1 capacity sensitivity across core counts
   bench    Performance benchmarks (engine events/sec, thermal solves/sec,
            end-to-end fig3 time) as BENCH JSON for the regression gate;
@@ -230,9 +233,15 @@ Commands:
   serve    Long-running HTTP JSON service (run/sweep/explore endpoints,
            request coalescing, response cache, admission control with 429
            backpressure, /metrics, graceful drain on SIGTERM)
-  loadgen  Load generator for a running serve instance (closed-loop -c,
-           open-loop -rate, -ramp concurrency steps; reports throughput
-           and p50/p90/p99/max latency)
+  router   Fleet front tier: routes requests to N serve shards by memo
+           affinity (rendezvous hash of the request identity), with
+           active health checks, per-shard circuit breakers, hedged
+           retries under a global retry budget, an optional autoscaler,
+           and chaos injection (-chaos kill-period=5,stall=0.05,...)
+  loadgen  Load generator for a running serve or router instance
+           (closed-loop -c honoring 429 Retry-After backpressure,
+           open-loop -rate, -ramp concurrency steps; reports per-class
+           status counts, throughput, p50/p90/p99/max latency)
 
 Global flags (before the command):
   -cpuprofile FILE   write a CPU profile of the whole command

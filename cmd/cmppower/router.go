@@ -1,0 +1,116 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"cmppower/internal/faults"
+	"cmppower/internal/obs"
+	"cmppower/internal/router"
+	"cmppower/internal/server"
+)
+
+// runRouter boots the fleet front tier: N in-process serving shards (or
+// attached external serve processes) behind a memo-affinity router with
+// health checks, circuit breakers, hedged retries, and optionally the
+// autoscaler and chaos injection. Blocks until SIGINT/SIGTERM, then
+// drains in order: client HTTP first, control loops second, backends
+// last.
+func runRouter(args []string) error {
+	fs := flag.NewFlagSet("router", flag.ExitOnError)
+	addr := fs.String("addr", ":8070", "router listen `address`")
+	shards := fs.Int("shards", 2, "spawned in-process shard count")
+	backends := fs.String("backends", "", "comma-separated backend `URLs` to attach to instead of spawning (health/breaker/hedge only; no autoscale or chaos kills)")
+	workers := fs.Int("j", 0, "per-shard simulation worker pool size (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "per-shard admission wait-queue depth (0 = 4× workers)")
+	cache := fs.Int("cache", 0, "per-shard response-cache entries (0 = 1024, negative disables)")
+	memo := fs.Int("memo", 0, "per-shard memo-cache entries (0 = default)")
+	timeout := fs.Duration("timeout", 0, "per-request simulation deadline (0 = 120s)")
+	hedgeAfterMin := fs.Duration("hedge-min", 0, "minimum hedge delay (0 = 20ms)")
+	hedgeAfterMax := fs.Duration("hedge-max", 0, "maximum hedge delay (0 = 2s)")
+	attempts := fs.Int("attempts", 0, "max attempts per request incl. hedges (0 = 3)")
+	autoscale := fs.Bool("autoscale", false, "enable the autoscaler control loop")
+	scaleMin := fs.Int("scale-min", 0, "autoscaler minimum shard count (0 = 1)")
+	scaleMax := fs.Int("scale-max", 0, "autoscaler maximum shard count (0 = 8)")
+	chaosSpec := fs.String("chaos", "", "fleet chaos `spec`, e.g. kill-period=5,kill-down=2,stall=0.05,err=0.01")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain bound")
+	fs.Parse(args)
+
+	chaos, err := faults.ParseChaosSpec(*chaosSpec, 1)
+	if err != nil {
+		return err
+	}
+	cfg := router.Config{
+		HedgeMin:    *hedgeAfterMin,
+		HedgeMax:    *hedgeAfterMax,
+		MaxAttempts: *attempts,
+		AutoScale:   *autoscale,
+		ScaleMin:    *scaleMin,
+		ScaleMax:    *scaleMax,
+		Chaos:       chaos,
+		Registry:    obs.NewRegistry(),
+	}
+	if *backends != "" {
+		for _, u := range strings.Split(*backends, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				cfg.Backends = append(cfg.Backends, strings.TrimSuffix(u, "/"))
+			}
+		}
+	} else {
+		cfg.Shards = *shards
+		cfg.Spawn = router.SpawnInProcess(server.Config{
+			Workers:        *workers,
+			QueueDepth:     *queue,
+			CacheEntries:   *cache,
+			MemoCapacity:   *memo,
+			RequestTimeout: *timeout,
+		})
+	}
+
+	rt, err := router.New(cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		rt.Shutdown(context.Background())
+		return err
+	}
+	mode := fmt.Sprintf("%d spawned shards", *shards)
+	if len(cfg.Backends) > 0 {
+		mode = fmt.Sprintf("%d attached backends", len(cfg.Backends))
+	}
+	fmt.Fprintf(os.Stderr, "cmppower router: listening on %s (%s)\n", ln.Addr(), mode)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- rt.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		rt.Shutdown(context.Background())
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately instead of re-draining
+	fmt.Fprintln(os.Stderr, "cmppower router: draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := rt.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "cmppower router: stopped")
+	return nil
+}

@@ -1,0 +1,225 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"cmppower/internal/workload"
+)
+
+// Chaos is the fleet-level fault injector: where Injector perturbs one
+// simulation's substrates, Chaos perturbs the *router's view of its
+// backends* — shards abruptly killed and later respawned, forwarded
+// requests stalled (a slow shard), and requests answered with synthetic
+// backend errors. The router smoke and doctor check 13 drive the fleet
+// through these faults and require byte-identical responses and a
+// bounded tail anyway.
+//
+// Decisions come from per-class deterministic streams derived from one
+// seed, mirroring Injector's guarantee: the same seed yields the same
+// chaos schedule. Unlike Injector, Chaos is safe for concurrent use —
+// the router consults it from many request goroutines.
+type Chaos struct {
+	cfg ChaosConfig
+
+	mu       sync.Mutex
+	killRNG  *workload.RNG
+	stallRNG *workload.RNG
+	errRNG   *workload.RNG
+}
+
+// ChaosConfig sets the fleet fault rates. The zero value injects nothing.
+type ChaosConfig struct {
+	// Seed derives every chaos-decision stream.
+	Seed uint64
+	// KillPeriod is the mean interval between shard kills; 0 disables the
+	// kill schedule. Actual intervals are jittered ±50% so kills do not
+	// phase-lock with health-check or scaler ticks.
+	KillPeriod time.Duration
+	// KillDowntime is how long a killed shard stays down before the
+	// router respawns it (default 1s when kills are enabled).
+	KillDowntime time.Duration
+	// StallProb is the per-forwarded-attempt chance of an injected stall.
+	StallProb float64
+	// StallFor is the injected stall duration (default 1s when StallProb
+	// is non-zero).
+	StallFor time.Duration
+	// StallSlot restricts stalls to one shard slot; -1 stalls any slot.
+	StallSlot int
+	// ErrProb is the per-forwarded-attempt chance of a synthetic backend
+	// error (the router sees a 502 without the request reaching a shard).
+	ErrProb float64
+	// ErrSlot restricts synthetic errors to one shard slot; -1 means any.
+	ErrSlot int
+}
+
+// Validate checks that every rate is a probability and every duration
+// non-negative.
+func (c ChaosConfig) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"stall", c.StallProb}, {"err", c.ErrProb}} {
+		if p.v < 0 || p.v > 1 || math.IsNaN(p.v) {
+			return fmt.Errorf("chaos: %s probability %g outside [0,1]", p.name, p.v)
+		}
+	}
+	for _, d := range []struct {
+		name string
+		v    time.Duration
+	}{{"kill-period", c.KillPeriod}, {"kill-down", c.KillDowntime}, {"stall-ms", c.StallFor}} {
+		if d.v < 0 {
+			return fmt.Errorf("chaos: %s %s negative", d.name, d.v)
+		}
+	}
+	if c.StallSlot < -1 {
+		return fmt.Errorf("chaos: stall-slot %d (want a slot index or -1 for any)", c.StallSlot)
+	}
+	if c.ErrSlot < -1 {
+		return fmt.Errorf("chaos: err-slot %d (want a slot index or -1 for any)", c.ErrSlot)
+	}
+	return nil
+}
+
+// Enabled reports whether any chaos class is active.
+func (c ChaosConfig) Enabled() bool {
+	return c.KillPeriod > 0 || c.StallProb > 0 || c.ErrProb > 0
+}
+
+// NewChaos builds a fleet fault injector from cfg.
+func NewChaos(cfg ChaosConfig) (*Chaos, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.KillPeriod > 0 && cfg.KillDowntime == 0 {
+		cfg.KillDowntime = time.Second
+	}
+	if cfg.StallProb > 0 && cfg.StallFor == 0 {
+		cfg.StallFor = time.Second
+	}
+	return &Chaos{
+		cfg:      cfg,
+		killRNG:  workload.NewRNG(cfg.Seed ^ 0x4B494C4C), // "KILL"
+		stallRNG: workload.NewRNG(cfg.Seed ^ 0x5354414C), // "STAL"
+		errRNG:   workload.NewRNG(cfg.Seed ^ 0x42455252), // "BERR"
+	}, nil
+}
+
+// ParseChaosSpec parses the compact chaos spec shared by the router's
+// -chaos flag, the router smoke script, and doctor check 13:
+// comma-separated key=value pairs, e.g.
+//
+//	kill-period=5,kill-down=2,stall=0.05,stall-ms=500,err=0.01
+//
+// Keys: kill-period (s), kill-down (s), stall (probability), stall-ms,
+// stall-slot (shard slot, -1 = any), err (probability), err-slot, seed.
+// An empty spec returns a nil Chaos (no fleet faults; every method on a
+// nil Chaos is an inert no-op).
+func ParseChaosSpec(spec string, seed uint64) (*Chaos, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	cfg := ChaosConfig{Seed: seed, StallSlot: -1, ErrSlot: -1}
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("chaos spec: %q is not key=value", kv)
+		}
+		x, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+		if err != nil {
+			return nil, fmt.Errorf("chaos spec: %s: %v", k, err)
+		}
+		switch strings.TrimSpace(k) {
+		case "seed":
+			cfg.Seed = uint64(x)
+		case "kill-period":
+			cfg.KillPeriod = time.Duration(x * float64(time.Second))
+		case "kill-down":
+			cfg.KillDowntime = time.Duration(x * float64(time.Second))
+		case "stall":
+			cfg.StallProb = x
+		case "stall-ms":
+			cfg.StallFor = time.Duration(x * float64(time.Millisecond))
+		case "stall-slot":
+			cfg.StallSlot = int(x)
+		case "err":
+			cfg.ErrProb = x
+		case "err-slot":
+			cfg.ErrSlot = int(x)
+		default:
+			return nil, fmt.Errorf("chaos spec: unknown key %q (want kill-period, kill-down, stall, stall-ms, stall-slot, err, err-slot or seed)", k)
+		}
+	}
+	return NewChaos(cfg)
+}
+
+// Config returns the chaos configuration (zero value on nil).
+func (c *Chaos) Config() ChaosConfig {
+	if c == nil {
+		return ChaosConfig{}
+	}
+	return c.cfg
+}
+
+// NextKill returns the jittered wait before the next shard kill and the
+// downtime before its respawn. ok is false (and the router runs no kill
+// loop) when kills are disabled or on a nil Chaos.
+func (c *Chaos) NextKill() (wait, down time.Duration, ok bool) {
+	if c == nil || c.cfg.KillPeriod <= 0 {
+		return 0, 0, false
+	}
+	c.mu.Lock()
+	jitter := 0.5 + c.killRNG.Float64() // ±50% around the period
+	c.mu.Unlock()
+	return time.Duration(float64(c.cfg.KillPeriod) * jitter), c.cfg.KillDowntime, true
+}
+
+// KillTarget picks which of n live shards dies (uniform); n must be > 0.
+func (c *Chaos) KillTarget(n int) int {
+	if c == nil || n <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.killRNG.Intn(n)
+}
+
+// Stall returns the injected delay for one forwarded attempt to the
+// given shard slot (0 for no stall).
+func (c *Chaos) Stall(slot int) time.Duration {
+	if c == nil || c.cfg.StallProb <= 0 {
+		return 0
+	}
+	if c.cfg.StallSlot >= 0 && slot != c.cfg.StallSlot {
+		return 0
+	}
+	c.mu.Lock()
+	hit := c.stallRNG.Float64() < c.cfg.StallProb
+	c.mu.Unlock()
+	if !hit {
+		return 0
+	}
+	return c.cfg.StallFor
+}
+
+// BackendError reports whether this forwarded attempt should fail with a
+// synthetic backend error instead of reaching the shard.
+func (c *Chaos) BackendError(slot int) bool {
+	if c == nil || c.cfg.ErrProb <= 0 {
+		return false
+	}
+	if c.cfg.ErrSlot >= 0 && slot != c.cfg.ErrSlot {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.errRNG.Float64() < c.cfg.ErrProb
+}

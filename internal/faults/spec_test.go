@@ -1,0 +1,173 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestParseSpecErrorPaths pins the shared fault-spec grammar's rejection
+// behavior. The grammar is parsed by the CLI (-faults), the HTTP server
+// (per-request "faults" field), and the fleet router, so bad-input
+// handling is a contract: every malformed spec must fail with a message
+// naming the offending part, and never return a half-built injector.
+func TestParseSpecErrorPaths(t *testing.T) {
+	cases := []struct {
+		name, spec, wantSub string
+	}{
+		{"bare word", "nonsense", "not key=value"},
+		{"missing value", "cache=", "cache"},
+		{"non-numeric value", "cache=often", "cache"},
+		{"unknown key", "cosmic-rays=0.5", `unknown key "cosmic-rays"`},
+		{"probability above one", "cache=1.5", "outside [0,1]"},
+		{"negative probability", "run-hard=-0.1", "outside [0,1]"},
+		{"NaN probability", "dvfs-fail=NaN", "outside [0,1]"},
+		{"negative magnitude", "sensor-noise=-2", "negative"},
+		{"negative retry cycles", "cache=0.1,cache-retry=-40", "negative"},
+		{"bad pair among good", "cache=0.1,bogus", "not key=value"},
+		{"unknown among good", "sensor-noise=1,warp=9", `unknown key "warp"`},
+	}
+	for _, tc := range cases {
+		inj, err := ParseSpec(tc.spec, 1)
+		if err == nil {
+			t.Errorf("%s: ParseSpec(%q) accepted, want error", tc.name, tc.spec)
+			continue
+		}
+		if inj != nil {
+			t.Errorf("%s: error return carried a non-nil injector", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+// TestParseSpecAcceptance pins the accepting side: empty specs are a nil
+// injector, whitespace and empty pairs are tolerated, and the seed key
+// overrides the caller's seed.
+func TestParseSpecAcceptance(t *testing.T) {
+	for _, spec := range []string{"", "   ", "\t"} {
+		inj, err := ParseSpec(spec, 7)
+		if err != nil || inj != nil {
+			t.Errorf("ParseSpec(%q) = (%v, %v), want (nil, nil)", spec, inj, err)
+		}
+	}
+	inj, err := ParseSpec(" sensor-noise = 2 , , dvfs-fail=0.1, ", 7)
+	if err != nil {
+		t.Fatalf("whitespace spec rejected: %v", err)
+	}
+	if got := inj.Config(); got.SensorNoiseSigmaC != 2 || got.DVFSFailProb != 0.1 || got.Seed != 7 {
+		t.Errorf("parsed config %+v, want sigma 2, dvfs 0.1, seed 7", got)
+	}
+	inj, err = ParseSpec("seed=99,cache=0.5", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inj.Config().Seed; got != 99 {
+		t.Errorf("explicit seed key gave seed %d, want 99", got)
+	}
+}
+
+// TestParseChaosSpec covers the fleet-level chaos grammar: acceptance
+// with defaults, the same rejection discipline as ParseSpec, and the
+// nil-Chaos inertness the router relies on.
+func TestParseChaosSpec(t *testing.T) {
+	if c, err := ParseChaosSpec("", 1); err != nil || c != nil {
+		t.Fatalf("empty chaos spec = (%v, %v), want (nil, nil)", c, err)
+	}
+
+	c, err := ParseChaosSpec("kill-period=5,stall=0.25,stall-ms=200,err=0.1,err-slot=2", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := c.Config()
+	if cfg.KillPeriod != 5*time.Second || cfg.KillDowntime != time.Second {
+		t.Errorf("kill config %v/%v, want 5s period with 1s default downtime", cfg.KillPeriod, cfg.KillDowntime)
+	}
+	if cfg.StallProb != 0.25 || cfg.StallFor != 200*time.Millisecond || cfg.StallSlot != -1 {
+		t.Errorf("stall config %+v, want prob 0.25, 200ms, any slot", cfg)
+	}
+	if cfg.ErrProb != 0.1 || cfg.ErrSlot != 2 {
+		t.Errorf("err config %+v, want prob 0.1 on slot 2", cfg)
+	}
+	if !cfg.Enabled() {
+		t.Error("configured chaos reports disabled")
+	}
+
+	rejections := []struct {
+		name, spec, wantSub string
+	}{
+		{"bare word", "mayhem", "not key=value"},
+		{"unknown key", "explode=1", `unknown key "explode"`},
+		{"non-numeric", "stall=sometimes", "stall"},
+		{"probability above one", "stall=2", "outside [0,1]"},
+		{"negative probability", "err=-1", "outside [0,1]"},
+		{"negative duration", "kill-period=-5", "negative"},
+		{"bad slot", "stall=0.1,stall-slot=-2", "stall-slot"},
+	}
+	for _, tc := range rejections {
+		if c, err := ParseChaosSpec(tc.spec, 1); err == nil {
+			t.Errorf("%s: ParseChaosSpec(%q) accepted", tc.name, tc.spec)
+		} else if c != nil {
+			t.Errorf("%s: error return carried a non-nil chaos", tc.name)
+		} else if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+// TestChaosDeterministicAndNilSafe pins the two Chaos guarantees: the
+// same seed yields the same decision schedule, and a nil Chaos is inert.
+func TestChaosDeterministicAndNilSafe(t *testing.T) {
+	mk := func(seed uint64) *Chaos {
+		c, err := ParseChaosSpec("kill-period=2,stall=0.5,stall-ms=10,err=0.3", seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	type draw struct {
+		wait, down, stall time.Duration
+		kill              int
+		errHit            bool
+	}
+	sample := func(c *Chaos) []draw {
+		out := make([]draw, 64)
+		for i := range out {
+			w, d, ok := c.NextKill()
+			if !ok {
+				t.Fatal("kill schedule disabled despite kill-period")
+			}
+			out[i] = draw{wait: w, down: d, kill: c.KillTarget(3),
+				stall: c.Stall(i % 4), errHit: c.BackendError(i % 4)}
+		}
+		return out
+	}
+	a, b, other := sample(mk(42)), sample(mk(42)), sample(mk(43))
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs between same-seed chaos instances: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i] != other[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 produced identical chaos schedules")
+	}
+
+	var nilChaos *Chaos
+	if _, _, ok := nilChaos.NextKill(); ok {
+		t.Error("nil chaos scheduled a kill")
+	}
+	if d := nilChaos.Stall(0); d != 0 {
+		t.Error("nil chaos stalled")
+	}
+	if nilChaos.BackendError(0) {
+		t.Error("nil chaos injected an error")
+	}
+	if cfg := nilChaos.Config(); cfg.Enabled() {
+		t.Error("nil chaos reports enabled")
+	}
+}

@@ -1,0 +1,55 @@
+// Package identity defines the client-visible identity of a serving
+// request: the canonical key that names "the same computation" across
+// every layer of the stack. The server's response cache and singleflight
+// coalescing key on it, the experiment memo cache dedupes the simulation
+// underneath it, and the fleet router hashes it to pick a backend shard —
+// so requests that would coalesce on one server also land on one shard,
+// keeping every shard's caches naturally hot (memo-affinity routing).
+//
+// A key is the endpoint path plus the deterministic JSON encoding of the
+// defaults-applied request. encoding/json emits struct fields in
+// declaration order and sorts map keys, so two requests meaning the same
+// computation produce byte-equal keys.
+package identity
+
+import "encoding/json"
+
+// Key derives the canonical identity of a normalized request: endpoint
+// path plus the deterministic JSON of the defaults-applied request. The
+// caller must normalize (ApplyDefaults) first — the raw wire form of a
+// request is not its identity.
+func Key(path string, normalized any) string {
+	b, err := json.Marshal(normalized)
+	if err != nil {
+		// Requests are plain data structs; Marshal cannot fail on them.
+		panic(err)
+	}
+	return path + "?" + string(b)
+}
+
+// Hash maps a key to a uniform 64-bit value (FNV-1a) for ring placement.
+// The function is fixed: changing it re-shards every key, so it is part
+// of the fleet's compatibility surface.
+func Hash(key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
+}
+
+// Mix folds a shard slot into a key hash (splitmix64 finalizer over the
+// xor), giving the per-(key, slot) score rendezvous hashing ranks shards
+// by. Deterministic and stateless: every router instance computes the
+// same ranking for the same membership.
+func Mix(keyHash, slot uint64) uint64 {
+	z := keyHash ^ (slot+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

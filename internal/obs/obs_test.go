@@ -197,3 +197,54 @@ func TestWriteTextFormat(t *testing.T) {
 		t.Fatalf("WriteText output:\n%s\nwant:\n%s", got, want)
 	}
 }
+
+// TestWriteTextLabeledNames pins the labeled-name convention the fleet
+// router's per-shard counters use: names carrying an inline label set
+// (obs.WithShard) are emitted with one TYPE line per family and the
+// labels folded into each sample line, including histogram _bucket and
+// _count series.
+func TestWriteTextLabeledNames(t *testing.T) {
+	r := NewRegistry()
+	r.VolatileCounter(WithShard("router_routes_total", 0)).Add(7)
+	r.VolatileCounter(WithShard("router_routes_total", 1)).Add(3)
+	h := r.VolatileHistogram(WithShard("router_latency_seconds", 0), []float64{1})
+	h.Observe(0.5)
+	h.Observe(2)
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	got := buf.String()
+	want := strings.Join([]string{
+		"# TYPE router_latency_seconds histogram",
+		`router_latency_seconds_bucket{shard="0",le="1"} 1`,
+		`router_latency_seconds_bucket{shard="0",le="+Inf"} 2`,
+		`router_latency_seconds_count{shard="0"} 2`,
+		"# TYPE router_routes_total counter",
+		`router_routes_total{shard="0"} 7`,
+		`router_routes_total{shard="1"} 3`,
+		"",
+	}, "\n")
+	if got != want {
+		t.Fatalf("WriteText output:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestSplitName pins family/label splitting on the shapes that appear in
+// practice, including names that merely contain a brace without ending
+// in one (treated as unlabeled).
+func TestSplitName(t *testing.T) {
+	cases := []struct{ in, family, labels string }{
+		{"plain_total", "plain_total", ""},
+		{`x_total{shard="3"}`, "x_total", `shard="3"`},
+		{`x{a="1",b="2"}`, "x", `a="1",b="2"`},
+		{"odd{brace", "odd{brace", ""},
+	}
+	for _, tc := range cases {
+		f, l := SplitName(tc.in)
+		if f != tc.family || l != tc.labels {
+			t.Errorf("SplitName(%q) = (%q, %q), want (%q, %q)", tc.in, f, l, tc.family, tc.labels)
+		}
+	}
+}

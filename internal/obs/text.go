@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"strconv"
+	"strings"
 )
 
 // Metric is one entry of a registry snapshot, shaped for JSON embedding in
@@ -33,6 +34,28 @@ func formatLE(v float64) string {
 		return "+Inf"
 	}
 	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// SplitName splits a metric name into its family and label set. Labeled
+// names carry the labels inline — `router_routes_total{shard="2"}` — so
+// the flat registry needs no label machinery; the text writer re-folds
+// them into correct exposition (one TYPE line per family, labels merged
+// into histogram _bucket/_count series). An unlabeled name returns
+// labels == "".
+func SplitName(name string) (family, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, ""
+	}
+	return name[:i], name[i+1 : len(name)-1]
+}
+
+// WithShard labels a metric name with a shard slot, the fleet router's
+// per-shard counter convention: WithShard("router_routes_total", 2) is
+// `router_routes_total{shard="2"}`. Sorted exposition keeps one family's
+// shards adjacent.
+func WithShard(name string, slot int) string {
+	return fmt.Sprintf("%s{shard=%q}", name, strconv.Itoa(slot))
 }
 
 // snapshotNames materializes the metrics behind a sorted name list.
@@ -88,27 +111,47 @@ func (r *Registry) SnapshotVolatile() []Metric {
 
 // WriteText emits every metric — deterministic first, then volatile — in
 // the Prometheus text exposition format. Histograms are rendered with
-// cumulative `le` buckets and a `_count` series. Deterministic given the
-// same registry contents.
+// cumulative `le` buckets and a `_count` series. Labeled names (see
+// SplitName) are emitted with the labels on the sample lines and the
+// TYPE line on the bare family, once per family — sorted order keeps a
+// family's label sets adjacent. Deterministic given the same registry
+// contents.
 func (r *Registry) WriteText(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
 	bw := bufio.NewWriter(w)
+	lastTyped := ""
 	for _, m := range append(r.Snapshot(), r.SnapshotVolatile()...) {
+		family, labels := SplitName(m.Name)
+		if family != lastTyped {
+			fmt.Fprintf(bw, "# TYPE %s %s\n", family, m.Type)
+			lastTyped = family
+		}
 		switch m.Type {
 		case "histogram":
-			fmt.Fprintf(bw, "# TYPE %s histogram\n", m.Name)
+			sep := ""
+			if labels != "" {
+				sep = labels + ","
+			}
 			var cum int64
 			for _, b := range m.Buckets {
 				cum += b.Count
-				fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", m.Name, b.LE, cum)
+				fmt.Fprintf(bw, "%s_bucket{%sle=%q} %d\n", family, sep, b.LE, cum)
 			}
-			fmt.Fprintf(bw, "%s_count %d\n", m.Name, m.Count)
+			fmt.Fprintf(bw, "%s_count%s %d\n", family, braced(labels), m.Count)
 		default:
-			fmt.Fprintf(bw, "# TYPE %s %s\n", m.Name, m.Type)
-			fmt.Fprintf(bw, "%s %s\n", m.Name, strconv.FormatFloat(m.Value, 'g', -1, 64))
+			fmt.Fprintf(bw, "%s%s %s\n", family, braced(labels),
+				strconv.FormatFloat(m.Value, 'g', -1, 64))
 		}
 	}
 	return bw.Flush()
+}
+
+// braced re-wraps a non-empty label set for a sample line.
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
 }

@@ -13,6 +13,8 @@ import (
 	"math"
 	"sync/atomic"
 	"time"
+
+	"cmppower/internal/identity"
 )
 
 // errOverloaded is returned when the wait queue is full; it carries the
@@ -34,6 +36,9 @@ type admission struct {
 	// avgRunNs is an EWMA of recent simulation durations, feeding the
 	// Retry-After estimate. Stored as nanoseconds for atomic updates.
 	avgRunNs atomic.Int64
+	// jitterSeq numbers rejections; hashing it jitters each Retry-After
+	// deterministically (no global RNG).
+	jitterSeq atomic.Uint64
 }
 
 func newAdmission(workers, queueDepth int) *admission {
@@ -84,12 +89,19 @@ func (a *admission) observe(d time.Duration) {
 
 // retryAfter estimates how long until a queue slot frees: the backlog
 // ahead of a new arrival, spread over the worker pool, at the recent
-// average run duration. Clamped to [1s, 120s] — a header of 0 invites an
-// immediate retry storm.
+// average run duration, jittered ±20%. Without jitter every client
+// rejected in one overload burst gets the same header and the whole
+// cohort retries in one synchronized herd — the jitter decorrelates
+// them. The jitter stream hashes a rejection sequence number, so it is
+// deterministic given rejection order (no global RNG). Clamped after
+// jittering to [1s, 120s] — a header of 0 invites an immediate retry
+// storm.
 func (a *admission) retryAfter() time.Duration {
 	backlog := float64(a.queued.Load() + 1)
 	avg := time.Duration(a.avgRunNs.Load())
 	est := time.Duration(math.Ceil(backlog/float64(a.workers))) * avg
+	frac := float64(identity.Mix(a.jitterSeq.Add(1), 0)>>11) / float64(1<<53) // [0,1)
+	est = time.Duration(float64(est) * (0.8 + 0.4*frac))
 	if est < time.Second {
 		return time.Second
 	}

@@ -1,0 +1,40 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRetryAfterJitter: the Retry-After estimate carries ±20% jitter so
+// one overload burst's rejected clients do not re-synchronize into a
+// retry herd — distinct rejections must spread across the band, and the
+// clamps still hold.
+func TestRetryAfterJitter(t *testing.T) {
+	a := newAdmission(2, 4)
+	a.avgRunNs.Store(int64(10 * time.Second))
+	a.queued.Store(4)
+
+	// Base estimate: ceil(5/2) * 10s = 30s; jittered into [24s, 36s].
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 64; i++ {
+		got := a.retryAfter()
+		if got < 24*time.Second || got > 36*time.Second {
+			t.Fatalf("retryAfter %v outside the ±20%% band [24s, 36s]", got)
+		}
+		seen[got] = true
+	}
+	if len(seen) < 4 {
+		t.Errorf("64 rejections produced only %d distinct Retry-After values; jitter missing", len(seen))
+	}
+
+	// Clamps apply after jitter: a tiny estimate still floors at 1s and a
+	// huge one still caps at 120s.
+	a.avgRunNs.Store(int64(time.Millisecond))
+	if got := a.retryAfter(); got != time.Second {
+		t.Errorf("floor clamp: %v, want 1s", got)
+	}
+	a.avgRunNs.Store(int64(10 * time.Minute))
+	if got := a.retryAfter(); got != 2*time.Minute {
+		t.Errorf("cap clamp: %v, want 2m", got)
+	}
+}

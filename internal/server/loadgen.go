@@ -112,8 +112,17 @@ type StepResult struct {
 	// bound was hit (client-side saturation; the latency numbers for
 	// completed requests stay honest).
 	Dropped int64 `json:"dropped,omitempty"`
-	// Status maps HTTP status code → count.
-	Status map[int]int64 `json:"status"`
+	// Status maps HTTP status code → count; the Class* fields summarize
+	// it by outcome kind for the CLI table: successes, admission
+	// backpressure, server failures, and client-closed (499).
+	Status   map[int]int64 `json:"status"`
+	Class2xx int64         `json:"class_2xx"`
+	Class429 int64         `json:"class_429,omitempty"`
+	Class5xx int64         `json:"class_5xx,omitempty"`
+	Class499 int64         `json:"class_499,omitempty"`
+	// Backoffs counts closed-loop worker sleeps honoring a 429's
+	// Retry-After header.
+	Backoffs int64 `json:"backoffs,omitempty"`
 	// ThroughputRPS is Requests / Duration.
 	ThroughputRPS float64 `json:"throughput_rps"`
 	// Latency percentiles over completed requests.
@@ -188,6 +197,18 @@ func (c *collector) result(elapsed time.Duration) StepResult {
 	}
 	if elapsed > 0 {
 		s.ThroughputRPS = float64(s.Requests) / elapsed.Seconds()
+	}
+	for code, n := range c.status {
+		switch {
+		case code >= 200 && code <= 299:
+			s.Class2xx += n
+		case code == http.StatusTooManyRequests:
+			s.Class429 += n
+		case code == 499: // client closed request
+			s.Class499 += n
+		case code >= 500:
+			s.Class5xx += n
+		}
 	}
 	if len(c.latencies) > 0 {
 		sorted := append([]time.Duration(nil), c.latencies...)
@@ -274,14 +295,16 @@ func Load(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 	return out, nil
 }
 
-// fire issues one request and records it.
-func fire(ctx context.Context, cfg LoadConfig, col *collector, body []byte) {
+// fire issues one request and records it. It returns the response
+// status and any Retry-After hint (0 when absent) so closed-loop
+// workers can honor backpressure.
+func fire(ctx context.Context, cfg LoadConfig, col *collector, body []byte) (int, time.Duration) {
 	rctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(rctx, cfg.Method, cfg.URL, bytes.NewReader(body))
 	if err != nil {
 		col.record(0, 0, err)
-		return
+		return 0, 0
 	}
 	if len(body) > 0 {
 		req.Header.Set("Content-Type", "application/json")
@@ -293,36 +316,56 @@ func fire(ctx context.Context, cfg LoadConfig, col *collector, body []byte) {
 		// The run deadline expiring mid-request is the harness stopping,
 		// not a server failure.
 		if ctx.Err() != nil {
-			return
+			return 0, 0
 		}
 		col.record(d, 0, err)
-		return
+		return 0, 0
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	col.record(d, resp.StatusCode, nil)
+	var retryAfter time.Duration
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		retryAfter = time.Duration(secs) * time.Second
+	}
+	return resp.StatusCode, retryAfter
 }
 
 // closedLoop runs conc workers for cfg.Duration, each firing
-// back-to-back requests.
+// back-to-back requests. Workers behave like well-behaved clients: a
+// 429 with a Retry-After header puts the worker to sleep for that long
+// (bounded by the step deadline) instead of hammering the admission
+// queue — so under overload the measured arrival rate self-regulates
+// the way real backed-off clients would. Open-loop mode deliberately
+// does not back off: its arrival process models an external population
+// the server cannot slow down.
 func closedLoop(ctx context.Context, cfg LoadConfig, conc int, nextBody func() []byte) (StepResult, error) {
 	col := newCollector()
 	stepCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
 	defer cancel()
 	start := time.Now()
+	var backoffs atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(conc)
 	for w := 0; w < conc; w++ {
 		go func() {
 			defer wg.Done()
 			for stepCtx.Err() == nil {
-				fire(stepCtx, cfg, col, nextBody())
+				status, retryAfter := fire(stepCtx, cfg, col, nextBody())
+				if status == http.StatusTooManyRequests && retryAfter > 0 {
+					backoffs.Add(1)
+					select {
+					case <-stepCtx.Done():
+					case <-time.After(retryAfter):
+					}
+				}
 			}
 		}()
 	}
 	wg.Wait()
 	step := col.result(time.Since(start))
 	step.Concurrency = conc
+	step.Backoffs = backoffs.Load()
 	return step, ctx.Err()
 }
 

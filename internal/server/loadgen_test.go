@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -177,5 +178,61 @@ func TestLoadConfigValidation(t *testing.T) {
 		if _, err := Load(context.Background(), cfg); err == nil {
 			t.Errorf("config %d accepted, want error", i)
 		}
+	}
+}
+
+// TestClosedLoopHonorsRetryAfter: a stub that always answers 429 with
+// Retry-After: 1 puts every worker to sleep after its first request, so
+// a 300ms step completes roughly one request per worker — not the
+// thousands an ill-behaved client would hammer through — and records
+// the backoffs and the 429 status class.
+func TestClosedLoopHonorsRetryAfter(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	res, err := Load(context.Background(), LoadConfig{
+		URL:         ts.URL,
+		Body:        []byte(`{}`),
+		Duration:    300 * time.Millisecond,
+		Concurrency: 4,
+		Client:      ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Steps[0]
+	if s.Backoffs < 4 {
+		t.Errorf("backoffs = %d, want >= 4 (one per worker)", s.Backoffs)
+	}
+	// Each worker fires once, sleeps 1s, and the 300ms step ends first;
+	// allow slack for a worker waking near the deadline.
+	if n := hits.Load(); n > 8 {
+		t.Errorf("%d requests against a backpressuring server, want ~4 (workers ignored Retry-After)", n)
+	}
+	if s.Class429 != s.Requests || s.Class2xx != 0 {
+		t.Errorf("class counts 2xx=%d 429=%d over %d requests", s.Class2xx, s.Class429, s.Requests)
+	}
+	if !s.OK() {
+		t.Error("pure-429 step must pass the smoke gate (backpressure is correct behavior)")
+	}
+}
+
+// TestStatusClassCounts: the Class* summary partitions the status map.
+func TestStatusClassCounts(t *testing.T) {
+	col := newCollector()
+	for code, n := range map[int]int{200: 3, 204: 1, 429: 2, 499: 1, 500: 2, 404: 1} {
+		for i := 0; i < n; i++ {
+			col.record(time.Millisecond, code, nil)
+		}
+	}
+	s := col.result(time.Second)
+	if s.Class2xx != 4 || s.Class429 != 2 || s.Class499 != 1 || s.Class5xx != 2 {
+		t.Errorf("classes 2xx=%d 429=%d 499=%d 5xx=%d, want 4/2/1/2",
+			s.Class2xx, s.Class429, s.Class499, s.Class5xx)
 	}
 }

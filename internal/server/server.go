@@ -195,6 +195,22 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
+// Close abruptly stops the server: the flight base context is cancelled
+// first (in-flight simulations die immediately), then every listener and
+// active connection is closed mid-stream. This is the chaos kill path a
+// fleet uses to model a crashed shard — a clean stop is Shutdown.
+func (s *Server) Close() error {
+	s.draining.Store(true)
+	s.baseCancel()
+	s.mu.Lock()
+	srv := s.httpSrv
+	s.mu.Unlock()
+	if srv != nil {
+		return srv.Close()
+	}
+	return nil
+}
+
 // Draining reports whether Shutdown has begun (readyz's answer).
 func (s *Server) Draining() bool { return s.draining.Load() }
 

@@ -1,12 +1,12 @@
 package server
 
 import (
-	"encoding/json"
 	"fmt"
 	"strings"
 
 	"cmppower/internal/experiment"
 	"cmppower/internal/explore"
+	"cmppower/internal/identity"
 	"cmppower/internal/splash"
 )
 
@@ -239,17 +239,13 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
-// cacheKey derives the canonical identity of a normalized request:
-// endpoint path plus the deterministic JSON of the defaults-applied
-// request. encoding/json emits struct fields in declaration order and
-// sorts map keys, so equal requests produce equal keys.
+// cacheKey derives the canonical identity of a normalized request. The
+// definition lives in internal/identity so the fleet router hashes the
+// exact key the response cache and singleflight group here key on —
+// that shared identity is what makes affinity routing keep each shard's
+// caches hot.
 func cacheKey(path string, normalized any) string {
-	b, err := json.Marshal(normalized)
-	if err != nil {
-		// Requests are plain data structs; Marshal cannot fail on them.
-		panic(err)
-	}
-	return path + "?" + string(b)
+	return identity.Key(path, normalized)
 }
 
 // resolveApps resolves names in input order (the sweep engine preserves
