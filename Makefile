@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race doctor bench bench-check cover fuzz golden serve-smoke router-smoke
+.PHONY: check build test vet race doctor bench bench-check cover fuzz golden serve-smoke router-smoke traffic-smoke
 
 check:
 	./scripts/check.sh
@@ -48,6 +48,13 @@ serve-smoke:
 # SIGTERM drain.
 router-smoke:
 	./scripts/router_smoke.sh
+
+# End-to-end smoke of the traffic language: deterministic plan replay,
+# the 3-client example spec played strictly through a 2-shard router
+# fleet with the achieved rate within 10% of target, and per-SLO-class
+# metrics visible on the router and forwarded to the shards.
+traffic-smoke:
+	./scripts/traffic_smoke.sh
 
 # Longer fuzz exploration than the 10s smokes inside `make check`.
 FUZZTIME ?= 2m

@@ -6,19 +6,25 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"cmppower/internal/report"
 	"cmppower/internal/server"
+	"cmppower/internal/traffic"
 )
 
-// runLoadgen drives a running cmppower serve instance and reports
-// throughput and latency percentiles per step.
+// runLoadgen drives a running cmppower serve (or route) instance and
+// reports throughput and latency percentiles per step. Three sources:
+// a single request template (-url/-body, the default), a multi-tenant
+// traffic spec (-spec, DESIGN.md §12), or a recorded CSV trace
+// (-trace). Spec and trace schedules play open-loop against -url as
+// the base URL, tagging every request with its client and SLO class.
 func runLoadgen(args []string) error {
 	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
-	url := fs.String("url", "http://127.0.0.1:8080/v1/run", "target `URL`")
+	url := fs.String("url", "http://127.0.0.1:8080/v1/run", "target `URL` (base URL in -spec/-trace mode)")
 	body := fs.String("body", `{"app":"FFT","n":4}`, "JSON request body (empty = GET)")
 	duration := fs.Duration("duration", 10*time.Second, "length of each load step")
 	conc := fs.Int("c", 8, "closed-loop concurrency")
@@ -26,9 +32,34 @@ func runLoadgen(args []string) error {
 	ramp := fs.String("ramp", "", "comma-separated closed-loop concurrency steps, e.g. 1,4,16,64")
 	vary := fs.String("vary", "", "top-level JSON `field` to vary per request (defeats caching)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout")
+	spec := fs.String("spec", "", "traffic spec `file` (JSON, see examples/traffic)")
+	trace := fs.String("trace", "", "CSV trace `file` (timestamp_us,client,endpoint,body[,class])")
+	seed := fs.Uint64("seed", 0, "override the spec seed (0 = use the spec's)")
+	plan := fs.Bool("plan", false, "with -spec/-trace: print the deterministic plan report and exit without playing")
+	achievedMin := fs.Float64("achieved-min", 0, "with -strict: fail unless achieved rps >= this `fraction` of the target")
 	asJSON := fs.Bool("json", false, "emit the result as JSON instead of a table")
 	strict := fs.Bool("strict", false, "exit non-zero unless every response was 2xx or 429")
 	fs.Parse(args)
+	urlSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "url" {
+			urlSet = true
+		}
+	})
+
+	if *spec != "" || *trace != "" {
+		if *spec != "" && *trace != "" {
+			return fmt.Errorf("-spec and -trace are mutually exclusive")
+		}
+		base := *url
+		if !urlSet {
+			base = "http://127.0.0.1:8080"
+		}
+		return runScheduled(*spec, *trace, base, *seed, *timeout, *plan, *asJSON, *strict, *achievedMin)
+	}
+	if *plan {
+		return fmt.Errorf("-plan needs -spec or -trace")
+	}
 
 	cfg := server.LoadConfig{
 		URL:         *url,
@@ -69,6 +100,78 @@ func runLoadgen(args []string) error {
 	return nil
 }
 
+// loadSchedule compiles the spec (with optional seed override) or
+// parses the trace into the common schedule form.
+func loadSchedule(specPath, tracePath string, seed uint64) (*traffic.Schedule, error) {
+	if specPath != "" {
+		f, err := os.Open(specPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		sp, err := traffic.ParseSpec(f)
+		if err != nil {
+			return nil, err
+		}
+		if seed != 0 {
+			sp.Seed = seed
+		}
+		return traffic.Compile(sp)
+	}
+	f, err := os.Open(tracePath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return traffic.ParseTrace(f)
+}
+
+// runScheduled handles the -spec/-trace modes: plan-only, or play the
+// schedule open-loop and report per-client and per-class breakdowns.
+func runScheduled(specPath, tracePath, base string, seed uint64, timeout time.Duration, plan, asJSON, strict bool, achievedMin float64) error {
+	sched, err := loadSchedule(specPath, tracePath, seed)
+	if err != nil {
+		return err
+	}
+	if plan {
+		// The plan report is a pure function of (spec, seed): same inputs
+		// produce byte-identical output on every host, which is what the
+		// replay CI pin compares.
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(sched.Report())
+	}
+
+	res, err := server.PlaySchedule(context.Background(), server.LoadConfig{
+		URL:     strings.TrimRight(base, "/"),
+		Timeout: timeout,
+	}, sched)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			return err
+		}
+	} else if err := writeScheduleTable(res); err != nil {
+		return err
+	}
+	if strict {
+		if !res.OK() {
+			return &exitError{code: 1, msg: "loadgen: non-2xx/non-429 responses or transport errors"}
+		}
+		s := &res.Steps[0]
+		if achievedMin > 0 && sched.TargetRPS > 0 && s.AchievedRPS < achievedMin*sched.TargetRPS {
+			return &exitError{code: 1, msg: fmt.Sprintf(
+				"loadgen: achieved %.1f rps < %.0f%% of target %.1f rps",
+				s.AchievedRPS, achievedMin*100, sched.TargetRPS)}
+		}
+	}
+	return nil
+}
+
 // writeLoadTable renders the per-step results with one column per
 // status class: successes, admission backpressure (and how often the
 // closed loop honored its Retry-After), server failures, client-closed.
@@ -92,6 +195,50 @@ func writeLoadTable(res *server.LoadResult) error {
 			report.F(float64(s.P99)/1e6, 3), report.F(float64(s.Max)/1e6, 3)); err != nil {
 			return err
 		}
+	}
+	return t.WriteText(os.Stdout)
+}
+
+// writeScheduleTable renders a schedule play: the aggregate step first,
+// then one row per client and per SLO class with achieved-vs-target
+// rates and tail latency.
+func writeScheduleTable(res *server.LoadResult) error {
+	s := &res.Steps[0]
+	t := report.NewTable("Traffic playback",
+		"bucket", "req", "err", "2xx", "429", "other",
+		"target rps", "achieved rps", "p50 ms", "p99 ms")
+	other := s.Class5xx + s.Class499 + s.ClassOther
+	if err := t.AddRow("all",
+		report.I(int(s.Requests)), report.I(int(s.Errors)),
+		report.I(int(s.Class2xx)), report.I(int(s.Class429)), report.I(int(other)),
+		report.F(s.RateRPS, 1), report.F(s.AchievedRPS, 1),
+		report.F(float64(s.P50)/1e6, 3), report.F(float64(s.P99)/1e6, 3)); err != nil {
+		return err
+	}
+	addBuckets := func(prefix string, m map[string]*server.BucketStats) error {
+		names := make([]string, 0, len(m))
+		for name := range m {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			b := m[name]
+			bOther := b.Class5xx + b.Class499 + b.ClassOther
+			if err := t.AddRow(prefix+name,
+				report.I(int(b.Requests)), report.I(int(b.Errors)),
+				report.I(int(b.Class2xx)), report.I(int(b.Class429)), report.I(int(bOther)),
+				report.F(b.TargetRPS, 1), report.F(b.AchievedRPS, 1),
+				report.F(float64(b.P50)/1e6, 3), report.F(float64(b.P99)/1e6, 3)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := addBuckets("client:", s.Clients); err != nil {
+		return err
+	}
+	if err := addBuckets("class:", s.Classes); err != nil {
+		return err
 	}
 	return t.WriteText(os.Stdout)
 }

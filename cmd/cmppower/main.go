@@ -27,6 +27,7 @@
 //	cmppower serve  [-addr :8080] [-j N] [-queue N] [-cache N] [-memo N] [-timeout D] [-drain D]
 //	cmppower router [-addr :8070] [-shards N | -backends URLS] [-j N] [-autoscale] [-chaos SPEC] [-drain D]
 //	cmppower loadgen [-url U] [-body JSON] [-duration D] [-c N] [-rate R] [-ramp list] [-vary FIELD] [-json] [-strict]
+//	cmppower loadgen -spec FILE | -trace FILE [-url BASE] [-seed N] [-plan] [-achieved-min F] [-json] [-strict]
 //
 // Sweep-style commands accept -j to fan work across a bounded worker pool
 // (0 = GOMAXPROCS); output is bit-identical for every -j.
@@ -240,8 +241,14 @@ Commands:
            and chaos injection (-chaos kill-period=5,stall=0.05,...)
   loadgen  Load generator for a running serve or router instance
            (closed-loop -c honoring 429 Retry-After backpressure,
-           open-loop -rate, -ramp concurrency steps; reports per-class
-           status counts, throughput, p50/p90/p99/max latency)
+           open-loop -rate on an absolute dispatch schedule, -ramp
+           concurrency steps; reports per-class status counts,
+           throughput, achieved-vs-target rate, p50/p90/p99/max
+           latency). -spec FILE plays a multi-tenant traffic spec
+           (named clients with rate fractions, SLO classes, seeded
+           arrival processes, request mixes) and -trace FILE replays a
+           recorded CSV trace, both deterministically: -plan prints the
+           byte-identical schedule report for a given seed
 
 Global flags (before the command):
   -cpuprofile FILE   write a CPU profile of the whole command

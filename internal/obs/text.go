@@ -58,6 +58,14 @@ func WithShard(name string, slot int) string {
 	return fmt.Sprintf("%s{shard=%q}", name, strconv.Itoa(slot))
 }
 
+// WithClass labels a metric name with an SLO class, the serving layer's
+// per-class convention: WithClass("server_requests_total", "batch") is
+// `server_requests_total{class="batch"}`. Same folding rules as
+// WithShard.
+func WithClass(name, class string) string {
+	return fmt.Sprintf("%s{class=%q}", name, class)
+}
+
 // snapshotNames materializes the metrics behind a sorted name list.
 func (r *Registry) snapshotNames(names []string) []Metric {
 	out := make([]Metric, 0, len(names))

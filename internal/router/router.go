@@ -46,6 +46,7 @@ import (
 	"cmppower/internal/identity"
 	"cmppower/internal/obs"
 	"cmppower/internal/server"
+	"cmppower/internal/traffic"
 )
 
 // Config parameterizes a Router. The zero value of every field takes the
@@ -494,11 +495,25 @@ func normalizeKey(path string, body []byte) (string, error) {
 // the identity hash → dispatch with hedging and budgeted retries →
 // relay the winning shard response verbatim.
 func (rt *Router) proxy(w http.ResponseWriter, r *http.Request) {
+	class := traffic.NormalizeClass(r.Header.Get(traffic.HeaderClass))
+	client := r.Header.Get(traffic.HeaderClient)
 	rt.reg.VolatileCounter("router_requests_total").Add(1)
+	rt.reg.VolatileCounter(obs.WithClass("router_class_requests_total", class)).Add(1)
+	// Touch the class's 429 counter so the family is visible on /metrics
+	// at zero, before any rejection happens.
+	rt.reg.VolatileCounter(obs.WithClass("router_class_429_total", class)).Add(0)
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	w = sw
 	start := time.Now()
 	defer func() {
+		elapsed := time.Since(start).Seconds()
 		rt.reg.VolatileHistogram("router_request_seconds", requestSecondsBounds).
-			Observe(time.Since(start).Seconds())
+			Observe(elapsed)
+		rt.reg.VolatileHistogram(obs.WithClass("router_class_request_seconds", class), requestSecondsBounds).
+			Observe(elapsed)
+		if sw.status == http.StatusTooManyRequests {
+			rt.reg.VolatileCounter(obs.WithClass("router_class_429_total", class)).Add(1)
+		}
 	}()
 	rt.budget.deposit()
 
@@ -524,7 +539,7 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.RequestTimeout)
 	defer cancel()
-	out := rt.dispatch(ctx, r.URL.Path, body, ranked)
+	out := rt.dispatch(ctx, r.URL.Path, body, ranked, class, client)
 	if out.err != nil {
 		switch {
 		case r.Context().Err() != nil:
@@ -548,6 +563,18 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request) {
 	w.Write(out.body)
 }
 
+// statusWriter records the response status so proxy can attribute
+// outcomes (429s in particular) to the request's SLO class.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
 // requestSecondsBounds bins router latency from cache-hit to long sweep.
 var requestSecondsBounds = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2, 10, 60}
 
@@ -569,7 +596,9 @@ func (a *attemptOut) usable() bool { return a.err == nil && a.status < 500 }
 
 // dispatch runs the hedged, budgeted attempt ladder over the ranked
 // shards and returns the first usable outcome, or the last failure.
-func (rt *Router) dispatch(ctx context.Context, path string, body []byte, ranked []target) *attemptOut {
+// class and client are the traffic tags to forward to the backend so
+// shard-level per-class metrics line up with the router's.
+func (rt *Router) dispatch(ctx context.Context, path string, body []byte, ranked []target, class, client string) *attemptOut {
 	maxAttempts := rt.cfg.MaxAttempts
 	if maxAttempts > len(ranked) {
 		maxAttempts = len(ranked)
@@ -595,7 +624,7 @@ func (rt *Router) dispatch(ctx context.Context, path string, body []byte, ranked
 			}
 			rt.reg.VolatileCounter(obs.WithShard("router_routes_total", t.shard.slot)).Add(1)
 			launched++
-			go rt.attempt(attemptCtx, path, body, t, hedged, results)
+			go rt.attempt(attemptCtx, path, body, t, hedged, class, client, results)
 			return true
 		}
 		return false
@@ -679,7 +708,7 @@ func (rt *Router) dispatch(ctx context.Context, path string, body []byte, ranked
 // and reports the outcome. The result channel is buffered for every
 // possible attempt, so a loser's send never blocks after dispatch
 // returns.
-func (rt *Router) attempt(ctx context.Context, path string, body []byte, t target, hedged bool, results chan<- *attemptOut) {
+func (rt *Router) attempt(ctx context.Context, path string, body []byte, t target, hedged bool, class, client string, results chan<- *attemptOut) {
 	out := &attemptOut{target: t, hedged: hedged}
 	start := time.Now()
 	defer func() {
@@ -710,6 +739,12 @@ func (rt *Router) attempt(ctx context.Context, path string, body []byte, t targe
 		return
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if class != "" {
+		req.Header.Set(traffic.HeaderClass, class)
+	}
+	if client != "" {
+		req.Header.Set(traffic.HeaderClient, client)
+	}
 	resp, err := rt.client.Do(req)
 	if err != nil {
 		out.err = err

@@ -17,6 +17,7 @@ import (
 	"cmppower/internal/faults"
 	"cmppower/internal/identity"
 	"cmppower/internal/server"
+	"cmppower/internal/traffic"
 )
 
 // post fires one JSON POST and returns status, body (status 0 on
@@ -424,6 +425,66 @@ func TestAttachMode(t *testing.T) {
 	status, _ := post(t, ts.URL, "/v1/run", `{"app":"FFT","n":2,"scale":0.05,"seed":1}`)
 	if status != http.StatusOK {
 		t.Fatalf("attach-mode request failed with %d", status)
+	}
+}
+
+// TestPerClassMetricsForwarded: a request tagged with the traffic class
+// header is counted per class at the router AND the tag is forwarded to
+// the winning shard, so the shard's per-class families line up with the
+// router's.
+func TestPerClassMetricsForwarded(t *testing.T) {
+	backend := server.New(server.Config{Workers: 2})
+	b0 := httptest.NewServer(backend.Handler())
+	defer b0.Close()
+
+	rt := mustRouter(t, Config{
+		Backends:       []string{b0.URL},
+		HealthInterval: 10 * time.Millisecond,
+		HedgeMin:       5 * time.Second,
+		HedgeMax:       5 * time.Second,
+	})
+	ts := httptest.NewServer(rt.Handler())
+	defer ts.Close()
+
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/run",
+		strings.NewReader(`{"app":"FFT","n":2,"scale":0.05,"seed":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(traffic.HeaderClass, "batch")
+	req.Header.Set(traffic.HeaderClient, "nightly")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tagged request failed with %d", resp.StatusCode)
+	}
+
+	fetch := func(url string) string {
+		r, err := http.Get(url + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(r.Body)
+		r.Body.Close()
+		return string(b)
+	}
+	routerText := fetch(ts.URL)
+	for _, want := range []string{
+		`router_class_requests_total{class="batch"} 1`,
+		`router_class_429_total{class="batch"} 0`,
+		`router_class_request_seconds_count{class="batch"} 1`,
+	} {
+		if !strings.Contains(routerText, want) {
+			t.Errorf("router /metrics missing %q", want)
+		}
+	}
+	shardText := fetch(b0.URL)
+	if !strings.Contains(shardText, `server_class_requests_total{class="batch"} 1`) {
+		t.Errorf("shard /metrics missing the forwarded class count:\n%s", shardText)
 	}
 }
 

@@ -1,10 +1,18 @@
 // Loadgen is the serving layer's in-repo load generator: closed-loop
 // (fixed concurrency, each worker fires as soon as the previous response
 // lands), open-loop (fixed arrival rate, latency measured under queueing
-// like a real external client population), and a closed-loop concurrency
-// ramp. It reports throughput and the latency distribution (p50/p90/p99
-// and max) per step, so `cmppower serve`'s throughput and tail latency
-// are measurable without external tooling.
+// like a real external client population), a closed-loop concurrency
+// ramp, and traffic-spec playback (PlaySchedule, loadspec.go). It
+// reports throughput and the latency distribution (p50/p90/p99 and max)
+// per step, so `cmppower serve`'s throughput and tail latency are
+// measurable without external tooling.
+//
+// Open-loop measurement discipline (DESIGN.md §12): arrivals dispatch
+// on an absolute schedule (start + n·interval), not a ticker — tickers
+// coalesce at sub-millisecond intervals and silently undershoot high
+// target rates — and the reported Duration is the dispatch window only,
+// with the post-deadline drain of in-flight requests reported
+// separately, so ThroughputRPS is never deflated by drain time.
 
 package server
 
@@ -20,11 +28,14 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"cmppower/internal/traffic"
 )
 
 // LoadConfig parameterizes one load generation run.
 type LoadConfig struct {
-	// URL is the target endpoint.
+	// URL is the target endpoint (for PlaySchedule: the base URL the
+	// schedule's endpoint paths are appended to).
 	URL string
 	// Method defaults to POST when Body is non-empty, GET otherwise.
 	Method string
@@ -36,7 +47,8 @@ type LoadConfig struct {
 	// when Ramp is set.
 	Concurrency int
 	// Rate switches to open-loop mode: arrivals per second, dispatched
-	// on a fixed clock regardless of completions. 0 means closed loop.
+	// on an absolute schedule regardless of completions. 0 means closed
+	// loop.
 	Rate float64
 	// Ramp runs one closed-loop step per listed concurrency.
 	Ramp []int
@@ -95,14 +107,46 @@ func (c LoadConfig) withDefaults() (LoadConfig, error) {
 	return c, nil
 }
 
+// BucketStats is one accounting bucket's summary — per client or per
+// SLO class — inside a StepResult.
+type BucketStats struct {
+	// Requests counts completed responses; Errors counts transport
+	// failures.
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors,omitempty"`
+	// Status classes, partitioning Requests (Other is everything not in
+	// a named class: 1xx, 3xx, and 4xx other than 429/499).
+	Class2xx   int64 `json:"class_2xx"`
+	Class429   int64 `json:"class_429,omitempty"`
+	Class5xx   int64 `json:"class_5xx,omitempty"`
+	Class499   int64 `json:"class_499,omitempty"`
+	ClassOther int64 `json:"class_other,omitempty"`
+	// TargetRPS and AchievedRPS are filled by schedule playback: the
+	// spec's per-client target rate vs the dispatch rate attained.
+	TargetRPS   float64 `json:"target_rps,omitempty"`
+	AchievedRPS float64 `json:"achieved_rps,omitempty"`
+	// Latency percentiles over this bucket's completed requests.
+	P50 time.Duration `json:"p50_ns"`
+	P99 time.Duration `json:"p99_ns"`
+}
+
 // StepResult is one load step's measurement.
 type StepResult struct {
 	// Concurrency is the closed-loop worker count (0 in open-loop mode).
 	Concurrency int `json:"concurrency,omitempty"`
 	// RateRPS is the open-loop target arrival rate (0 in closed loop).
 	RateRPS float64 `json:"rate_rps,omitempty"`
-	// Duration is the measured wall-clock span.
+	// Duration is the measured dispatch window: open-loop arrivals are
+	// only offered inside it, and ThroughputRPS divides by it. The
+	// post-deadline wait for in-flight requests is Drain, kept separate
+	// so drain time never deflates the reported throughput.
 	Duration time.Duration `json:"duration_ns"`
+	Drain    time.Duration `json:"drain_ns,omitempty"`
+	// Dispatched counts open-loop arrivals actually fired; AchievedRPS
+	// is Dispatched over the dispatch window, reported against RateRPS
+	// so clock undershoot is visible instead of silent.
+	Dispatched  int64   `json:"dispatched,omitempty"`
+	AchievedRPS float64 `json:"achieved_rps,omitempty"`
 	// Requests counts completed requests; Errors counts transport
 	// failures (connection refused, timeout) — HTTP error statuses are
 	// counted per code in Status instead.
@@ -114,27 +158,35 @@ type StepResult struct {
 	Dropped int64 `json:"dropped,omitempty"`
 	// Status maps HTTP status code → count; the Class* fields summarize
 	// it by outcome kind for the CLI table: successes, admission
-	// backpressure, server failures, and client-closed (499).
-	Status   map[int]int64 `json:"status"`
-	Class2xx int64         `json:"class_2xx"`
-	Class429 int64         `json:"class_429,omitempty"`
-	Class5xx int64         `json:"class_5xx,omitempty"`
-	Class499 int64         `json:"class_499,omitempty"`
-	// Backoffs counts closed-loop worker sleeps honoring a 429's
-	// Retry-After header.
+	// backpressure, server failures, client-closed (499), and a
+	// catch-all (ClassOther: 1xx, 3xx, 4xx other than 429/499) so the
+	// classes always sum to Requests.
+	Status     map[int]int64 `json:"status"`
+	Class2xx   int64         `json:"class_2xx"`
+	Class429   int64         `json:"class_429,omitempty"`
+	Class5xx   int64         `json:"class_5xx,omitempty"`
+	Class499   int64         `json:"class_499,omitempty"`
+	ClassOther int64         `json:"class_other,omitempty"`
+	// Backoffs counts closed-loop worker sleeps after a 429 — honoring
+	// the Retry-After header, or the small default backoff when the
+	// header is missing (a well-behaved client never spins on 429).
 	Backoffs int64 `json:"backoffs,omitempty"`
-	// ThroughputRPS is Requests / Duration.
+	// ThroughputRPS is Requests / Duration (dispatch window).
 	ThroughputRPS float64 `json:"throughput_rps"`
 	// Latency percentiles over completed requests.
 	P50 time.Duration `json:"p50_ns"`
 	P90 time.Duration `json:"p90_ns"`
 	P99 time.Duration `json:"p99_ns"`
 	Max time.Duration `json:"max_ns"`
+	// Clients and Classes break the step down per traffic-spec client
+	// and per SLO class (schedule playback only; keys marshal sorted).
+	Clients map[string]*BucketStats `json:"clients,omitempty"`
+	Classes map[string]*BucketStats `json:"classes,omitempty"`
 }
 
 // OK reports whether every completed response was 2xx or 429 and no
-// transport errors occurred — the serve-smoke gate: under admission
-// control, overload rejection is correct behavior, anything else is not.
+// transport errors occurred — the smoke gate: under admission control,
+// overload rejection is correct behavior, anything else is not.
 func (s *StepResult) OK() bool {
 	if s.Errors > 0 {
 		return false
@@ -162,61 +214,136 @@ func (r *LoadResult) OK() bool {
 	return true
 }
 
-// collector accumulates one step's samples.
-type collector struct {
-	mu        sync.Mutex
+// sample group: one bucket's raw measurements.
+type samples struct {
 	latencies []time.Duration
 	status    map[int]int64
 	errors    int64
 }
 
-func newCollector() *collector {
-	return &collector{status: make(map[int]int64)}
+func newSamples() *samples {
+	return &samples{status: make(map[int]int64)}
 }
 
-func (c *collector) record(d time.Duration, status int, err error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+func (s *samples) record(d time.Duration, status int, err error) {
 	if err != nil {
-		c.errors++
+		s.errors++
 		return
 	}
-	c.latencies = append(c.latencies, d)
-	c.status[status]++
+	s.latencies = append(s.latencies, d)
+	s.status[status]++
 }
 
-// result folds the samples into a StepResult.
+// classify folds a status map into the class counters.
+func classify(status map[int]int64) (c2xx, c429, c5xx, c499, other int64) {
+	for code, n := range status {
+		switch {
+		case code >= 200 && code <= 299:
+			c2xx += n
+		case code == http.StatusTooManyRequests:
+			c429 += n
+		case code == 499: // client closed request
+			c499 += n
+		case code >= 500:
+			c5xx += n
+		default: // 1xx, 3xx, 4xx other than 429/499
+			other += n
+		}
+	}
+	return
+}
+
+// collector accumulates one step's samples, overall and (when requests
+// are tagged) per client and per SLO class.
+type collector struct {
+	mu       sync.Mutex
+	all      *samples
+	byClient map[string]*samples
+	byClass  map[string]*samples
+}
+
+func newCollector() *collector {
+	return &collector{all: newSamples()}
+}
+
+func (c *collector) record(d time.Duration, status int, err error, client, class string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.all.record(d, status, err)
+	if client != "" {
+		if c.byClient == nil {
+			c.byClient = make(map[string]*samples)
+		}
+		g, ok := c.byClient[client]
+		if !ok {
+			g = newSamples()
+			c.byClient[client] = g
+		}
+		g.record(d, status, err)
+	}
+	if class != "" {
+		if c.byClass == nil {
+			c.byClass = make(map[string]*samples)
+		}
+		g, ok := c.byClass[class]
+		if !ok {
+			g = newSamples()
+			c.byClass[class] = g
+		}
+		g.record(d, status, err)
+	}
+}
+
+// bucket folds one sample group into its summary.
+func bucket(s *samples) *BucketStats {
+	b := &BucketStats{
+		Requests: int64(len(s.latencies)),
+		Errors:   s.errors,
+	}
+	b.Class2xx, b.Class429, b.Class5xx, b.Class499, b.ClassOther = classify(s.status)
+	if len(s.latencies) > 0 {
+		sorted := append([]time.Duration(nil), s.latencies...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		b.P50 = percentile(sorted, 0.50)
+		b.P99 = percentile(sorted, 0.99)
+	}
+	return b
+}
+
+// result folds the samples into a StepResult. elapsed is the dispatch
+// window, not wall time including drain.
 func (c *collector) result(elapsed time.Duration) StepResult {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	s := StepResult{
 		Duration: elapsed,
-		Requests: int64(len(c.latencies)),
-		Errors:   c.errors,
-		Status:   c.status,
+		Requests: int64(len(c.all.latencies)),
+		Errors:   c.all.errors,
+		Status:   c.all.status,
 	}
 	if elapsed > 0 {
 		s.ThroughputRPS = float64(s.Requests) / elapsed.Seconds()
 	}
-	for code, n := range c.status {
-		switch {
-		case code >= 200 && code <= 299:
-			s.Class2xx += n
-		case code == http.StatusTooManyRequests:
-			s.Class429 += n
-		case code == 499: // client closed request
-			s.Class499 += n
-		case code >= 500:
-			s.Class5xx += n
-		}
-	}
-	if len(c.latencies) > 0 {
-		sorted := append([]time.Duration(nil), c.latencies...)
+	s.Class2xx, s.Class429, s.Class5xx, s.Class499, s.ClassOther = classify(c.all.status)
+	if len(c.all.latencies) > 0 {
+		sorted := append([]time.Duration(nil), c.all.latencies...)
 		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 		s.P50 = percentile(sorted, 0.50)
 		s.P90 = percentile(sorted, 0.90)
 		s.P99 = percentile(sorted, 0.99)
 		s.Max = sorted[len(sorted)-1]
+	}
+	for name, g := range c.byClient {
+		if s.Clients == nil {
+			s.Clients = make(map[string]*BucketStats, len(c.byClient))
+		}
+		s.Clients[name] = bucket(g)
+	}
+	for name, g := range c.byClass {
+		if s.Classes == nil {
+			s.Classes = make(map[string]*BucketStats, len(c.byClass))
+		}
+		s.Classes[name] = bucket(g)
 	}
 	return s
 }
@@ -295,19 +422,27 @@ func Load(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 	return out, nil
 }
 
-// fire issues one request and records it. It returns the response
-// status and any Retry-After hint (0 when absent) so closed-loop
-// workers can honor backpressure.
-func fire(ctx context.Context, cfg LoadConfig, col *collector, body []byte) (int, time.Duration) {
+// fire issues one request at url and records it under (client, class).
+// Tagged requests carry the traffic headers so the server and router
+// can label their per-class metrics. It returns the response status and
+// any Retry-After hint (0 when absent) so closed-loop workers can honor
+// backpressure.
+func fire(ctx context.Context, cfg LoadConfig, col *collector, method, url string, body []byte, client, class string) (int, time.Duration) {
 	rctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(rctx, cfg.Method, cfg.URL, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(rctx, method, url, bytes.NewReader(body))
 	if err != nil {
-		col.record(0, 0, err)
+		col.record(0, 0, err, client, class)
 		return 0, 0
 	}
 	if len(body) > 0 {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if client != "" {
+		req.Header.Set(traffic.HeaderClient, client)
+	}
+	if class != "" {
+		req.Header.Set(traffic.HeaderClass, class)
 	}
 	start := time.Now()
 	resp, err := cfg.Client.Do(req)
@@ -318,12 +453,12 @@ func fire(ctx context.Context, cfg LoadConfig, col *collector, body []byte) (int
 		if ctx.Err() != nil {
 			return 0, 0
 		}
-		col.record(d, 0, err)
+		col.record(d, 0, err, client, class)
 		return 0, 0
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	col.record(d, resp.StatusCode, nil)
+	col.record(d, resp.StatusCode, nil, client, class)
 	var retryAfter time.Duration
 	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
 		retryAfter = time.Duration(secs) * time.Second
@@ -331,14 +466,20 @@ func fire(ctx context.Context, cfg LoadConfig, col *collector, body []byte) (int
 	return resp.StatusCode, retryAfter
 }
 
+// default429Backoff is the closed-loop sleep after a 429 whose
+// Retry-After header is missing or zero: without it a worker would spin
+// at full speed against the admission queue, which no well-behaved
+// client does.
+const default429Backoff = 50 * time.Millisecond
+
 // closedLoop runs conc workers for cfg.Duration, each firing
 // back-to-back requests. Workers behave like well-behaved clients: a
-// 429 with a Retry-After header puts the worker to sleep for that long
-// (bounded by the step deadline) instead of hammering the admission
-// queue — so under overload the measured arrival rate self-regulates
-// the way real backed-off clients would. Open-loop mode deliberately
-// does not back off: its arrival process models an external population
-// the server cannot slow down.
+// 429 puts the worker to sleep for the Retry-After duration — or the
+// small default backoff when the header is absent — instead of
+// hammering the admission queue, so under overload the measured arrival
+// rate self-regulates the way real backed-off clients would. Open-loop
+// mode deliberately does not back off: its arrival process models an
+// external population the server cannot slow down.
 func closedLoop(ctx context.Context, cfg LoadConfig, conc int, nextBody func() []byte) (StepResult, error) {
 	col := newCollector()
 	stepCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
@@ -351,8 +492,11 @@ func closedLoop(ctx context.Context, cfg LoadConfig, conc int, nextBody func() [
 		go func() {
 			defer wg.Done()
 			for stepCtx.Err() == nil {
-				status, retryAfter := fire(stepCtx, cfg, col, nextBody())
-				if status == http.StatusTooManyRequests && retryAfter > 0 {
+				status, retryAfter := fire(stepCtx, cfg, col, cfg.Method, cfg.URL, nextBody(), "", "")
+				if status == http.StatusTooManyRequests {
+					if retryAfter <= 0 {
+						retryAfter = default429Backoff
+					}
 					backoffs.Add(1)
 					select {
 					case <-stepCtx.Done():
@@ -369,9 +513,14 @@ func closedLoop(ctx context.Context, cfg LoadConfig, conc int, nextBody func() [
 	return step, ctx.Err()
 }
 
-// openLoop dispatches arrivals on a fixed clock for cfg.Duration. The
-// in-flight population is bounded (4096) so a stalled server saturates
-// the client visibly (Dropped) instead of exhausting its memory.
+// openLoop dispatches arrivals on an absolute schedule (start +
+// n·interval) for cfg.Duration. A ticker would coalesce ticks at
+// sub-millisecond intervals and silently undershoot the target rate;
+// the absolute clock instead catches up after stalls by firing overdue
+// arrivals back to back, and AchievedRPS reports what was actually
+// offered. The in-flight population is bounded (4096) so a stalled
+// server saturates the client visibly (Dropped) instead of exhausting
+// its memory.
 func openLoop(ctx context.Context, cfg LoadConfig, nextBody func() []byte) (StepResult, error) {
 	col := newCollector()
 	stepCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
@@ -380,35 +529,50 @@ func openLoop(ctx context.Context, cfg LoadConfig, nextBody func() []byte) (Step
 	if interval <= 0 {
 		interval = time.Microsecond
 	}
-	ticker := time.NewTicker(interval)
-	defer ticker.Stop()
 	sem := make(chan struct{}, 4096)
-	var dropped atomic.Int64
+	var dropped, dispatched int64
 	var wg sync.WaitGroup
 	start := time.Now()
-loop:
-	for {
-		select {
-		case <-stepCtx.Done():
-			break loop
-		case <-ticker.C:
-			select {
-			case sem <- struct{}{}:
-			default:
-				dropped.Add(1)
-				continue
-			}
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				defer func() { <-sem }()
-				fire(stepCtx, cfg, col, nextBody())
-			}()
+	deadline := start.Add(cfg.Duration)
+	for n := int64(0); ; n++ {
+		next := start.Add(time.Duration(n) * interval)
+		if !next.Before(deadline) {
+			break
 		}
+		if d := time.Until(next); d > 0 {
+			select {
+			case <-stepCtx.Done():
+			case <-time.After(d):
+			}
+		}
+		if stepCtx.Err() != nil {
+			break
+		}
+		select {
+		case sem <- struct{}{}:
+		default:
+			dropped++
+			continue
+		}
+		dispatched++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			fire(stepCtx, cfg, col, cfg.Method, cfg.URL, nextBody(), "", "")
+		}()
 	}
+	// The dispatch window closes here; everything after is drain.
+	window := time.Since(start)
+	drainStart := time.Now()
 	wg.Wait()
-	step := col.result(time.Since(start))
+	step := col.result(window)
+	step.Drain = time.Since(drainStart)
 	step.RateRPS = cfg.Rate
-	step.Dropped = dropped.Load()
+	step.Dropped = dropped
+	step.Dispatched = dispatched
+	if window > 0 {
+		step.AchievedRPS = float64(dispatched) / window.Seconds()
+	}
 	return step, ctx.Err()
 }

@@ -222,17 +222,186 @@ func TestClosedLoopHonorsRetryAfter(t *testing.T) {
 	}
 }
 
-// TestStatusClassCounts: the Class* summary partitions the status map.
+// TestStatusClassCounts: the Class* summary partitions the status map —
+// every status lands in exactly one class, with ClassOther catching
+// 1xx, 3xx, and 4xx other than 429/499, so the classes always sum to
+// Requests.
 func TestStatusClassCounts(t *testing.T) {
-	col := newCollector()
-	for code, n := range map[int]int{200: 3, 204: 1, 429: 2, 499: 1, 500: 2, 404: 1} {
-		for i := 0; i < n; i++ {
-			col.record(time.Millisecond, code, nil)
-		}
+	cases := []struct {
+		name   string
+		status map[int]int
+		want   StepResult // class fields only
+	}{
+		{
+			name:   "full spread",
+			status: map[int]int{200: 3, 204: 1, 429: 2, 499: 1, 500: 2, 404: 1},
+			want:   StepResult{Class2xx: 4, Class429: 2, Class499: 1, Class5xx: 2, ClassOther: 1},
+		},
+		{
+			name:   "other statuses only",
+			status: map[int]int{301: 2, 304: 1, 400: 3, 404: 2, 101: 1},
+			want:   StepResult{ClassOther: 9},
+		},
+		{
+			name:   "edge codes",
+			status: map[int]int{199: 1, 200: 1, 299: 1, 300: 1, 428: 1, 430: 1, 498: 1, 503: 1},
+			want:   StepResult{Class2xx: 2, Class499: 0, Class5xx: 1, ClassOther: 5},
+		},
 	}
-	s := col.result(time.Second)
-	if s.Class2xx != 4 || s.Class429 != 2 || s.Class499 != 1 || s.Class5xx != 2 {
-		t.Errorf("classes 2xx=%d 429=%d 499=%d 5xx=%d, want 4/2/1/2",
-			s.Class2xx, s.Class429, s.Class499, s.Class5xx)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			col := newCollector()
+			var total int64
+			for code, n := range tc.status {
+				for i := 0; i < n; i++ {
+					col.record(time.Millisecond, code, nil, "", "")
+					total++
+				}
+			}
+			s := col.result(time.Second)
+			if s.Class2xx != tc.want.Class2xx || s.Class429 != tc.want.Class429 ||
+				s.Class499 != tc.want.Class499 || s.Class5xx != tc.want.Class5xx ||
+				s.ClassOther != tc.want.ClassOther {
+				t.Errorf("classes 2xx=%d 429=%d 499=%d 5xx=%d other=%d, want %d/%d/%d/%d/%d",
+					s.Class2xx, s.Class429, s.Class499, s.Class5xx, s.ClassOther,
+					tc.want.Class2xx, tc.want.Class429, tc.want.Class499, tc.want.Class5xx, tc.want.ClassOther)
+			}
+			if sum := s.Class2xx + s.Class429 + s.Class499 + s.Class5xx + s.ClassOther; sum != total {
+				t.Errorf("classes sum to %d over %d requests (a status fell through)", sum, total)
+			}
+		})
+	}
+}
+
+// TestClosedLoopDefault429Backoff: a 429 with no Retry-After header
+// still puts the worker to sleep for the default backoff instead of
+// letting it spin at full speed against the admission queue.
+func TestClosedLoopDefault429Backoff(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusTooManyRequests) // no Retry-After
+	}))
+	defer ts.Close()
+
+	res, err := Load(context.Background(), LoadConfig{
+		URL:         ts.URL,
+		Body:        []byte(`{}`),
+		Duration:    300 * time.Millisecond,
+		Concurrency: 2,
+		Client:      ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Steps[0]
+	if s.Backoffs < 2 {
+		t.Errorf("backoffs = %d, want >= 2 (default backoff must count)", s.Backoffs)
+	}
+	// 2 workers over 300ms with a 50ms default backoff can fire at most
+	// ~7 requests each; a spinning worker would manage thousands.
+	if n := hits.Load(); n > 20 {
+		t.Errorf("%d requests against header-less 429s, want <= 20 (workers spun without backoff)", n)
+	}
+}
+
+// TestOpenLoopDrainFreeDuration: a server that stalls responses past
+// the step deadline must not inflate the reported Duration — the
+// drain is reported separately, and ThroughputRPS divides by the
+// dispatch window only.
+func TestOpenLoopDrainFreeDuration(t *testing.T) {
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	duration := 200 * time.Millisecond
+	done := make(chan *LoadResult, 1)
+	go func() {
+		res, err := Load(context.Background(), LoadConfig{
+			URL:      ts.URL,
+			Duration: duration,
+			Rate:     50,
+			Timeout:  5 * time.Second,
+			Client:   ts.Client(),
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		done <- res
+	}()
+	// Hold every response well past the step deadline, then release.
+	time.Sleep(duration + 300*time.Millisecond)
+	close(release)
+	res := <-done
+	s := res.Steps[0]
+	if s.Duration > duration+100*time.Millisecond {
+		t.Errorf("Duration %v includes drain (dispatch window was %v)", s.Duration, duration)
+	}
+	if s.Dispatched == 0 {
+		t.Fatal("nothing dispatched")
+	}
+}
+
+// TestOpenLoopAchievedRate: on an absolute dispatch schedule the
+// achieved rate tracks the target within 10% even at a sub-millisecond
+// interval, where a ticker-based clock coalesces ticks and silently
+// undershoots.
+func TestOpenLoopAchievedRate(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	const target = 2000.0 // 500µs interval — ticker territory
+	res, err := Load(context.Background(), LoadConfig{
+		URL:      ts.URL,
+		Duration: 500 * time.Millisecond,
+		Rate:     target,
+		Client:   ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Steps[0]
+	if s.AchievedRPS < 0.9*target || s.AchievedRPS > 1.1*target {
+		t.Errorf("achieved %.0f rps vs target %.0f, want within 10%%", s.AchievedRPS, target)
+	}
+	if s.Dispatched == 0 {
+		t.Error("dispatched count missing")
+	}
+}
+
+// TestPercentileNearestRank pins the nearest-rank edges: single sample,
+// two samples, q=0 floor, q=1 ceiling.
+func TestPercentileNearestRank(t *testing.T) {
+	one := []time.Duration{7}
+	if got := percentile(one, 0.5); got != 7 {
+		t.Errorf("single sample p50 = %v, want 7", got)
+	}
+	if got := percentile(one, 0.99); got != 7 {
+		t.Errorf("single sample p99 = %v, want 7", got)
+	}
+	two := []time.Duration{1, 9}
+	if got := percentile(two, 0.50); got != 1 {
+		t.Errorf("two samples p50 = %v, want 1 (nearest rank)", got)
+	}
+	if got := percentile(two, 0.99); got != 9 {
+		t.Errorf("two samples p99 = %v, want 9", got)
+	}
+	ten := make([]time.Duration, 10)
+	for i := range ten {
+		ten[i] = time.Duration(i + 1)
+	}
+	if got := percentile(ten, 0); got != 1 {
+		t.Errorf("q=0 = %v, want first sample", got)
+	}
+	if got := percentile(ten, 1); got != 10 {
+		t.Errorf("q=1 = %v, want last sample", got)
+	}
+	if got := percentile(ten, 0.90); got != 9 {
+		t.Errorf("p90 of 1..10 = %v, want 9", got)
 	}
 }

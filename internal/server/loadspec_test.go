@@ -1,0 +1,159 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cmppower/internal/traffic"
+)
+
+const playSpecJSON = `{
+  "seed": 11,
+  "rate_rps": 400,
+  "duration_sec": 0.5,
+  "clients": [
+    {
+      "name": "dash",
+      "rate_fraction": 0.5,
+      "class": "interactive",
+      "arrival": {"process": "poisson"},
+      "requests": [{"endpoint": "run", "apps": ["FFT"], "cores": [2]}]
+    },
+    {
+      "name": "nightly",
+      "rate_fraction": 0.5,
+      "class": "batch",
+      "arrival": {"process": "fixed"},
+      "requests": [{"endpoint": "explore", "apps": ["Ocean"], "scale": 0.05}]
+    }
+  ]
+}`
+
+// TestPlaySchedule plays a compiled two-client spec against a stub and
+// checks the request tagging (class/client headers on the wire, correct
+// endpoint paths) and the per-client/per-class accounting, including
+// achieved-vs-target rates.
+func TestPlaySchedule(t *testing.T) {
+	spec, err := traffic.ParseSpec(strings.NewReader(playSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := traffic.Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	classByPath := make(map[string]map[string]int)
+	clients := make(map[string]int)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		if classByPath[r.URL.Path] == nil {
+			classByPath[r.URL.Path] = make(map[string]int)
+		}
+		classByPath[r.URL.Path][r.Header.Get(traffic.HeaderClass)]++
+		clients[r.Header.Get(traffic.HeaderClient)]++
+		mu.Unlock()
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	res, err := PlaySchedule(context.Background(), LoadConfig{
+		URL:    ts.URL,
+		Client: ts.Client(),
+	}, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 1 {
+		t.Fatalf("steps %d, want 1", len(res.Steps))
+	}
+	s := res.Steps[0]
+	if s.Requests == 0 || !res.OK() {
+		t.Fatalf("requests=%d errors=%d OK=%v", s.Requests, s.Errors, res.OK())
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if n := classByPath["/v1/run"][traffic.ClassInteractive]; n == 0 {
+		t.Errorf("no interactive-tagged /v1/run requests seen: %v", classByPath)
+	}
+	if n := classByPath["/v1/explore"][traffic.ClassBatch]; n == 0 {
+		t.Errorf("no batch-tagged /v1/explore requests seen: %v", classByPath)
+	}
+	if clients["dash"] == 0 || clients["nightly"] == 0 {
+		t.Errorf("client headers missing: %v", clients)
+	}
+
+	for _, name := range []string{"dash", "nightly"} {
+		b := s.Clients[name]
+		if b == nil {
+			t.Fatalf("no bucket for client %q: %v", name, s.Clients)
+		}
+		if b.Requests == 0 || b.Class2xx != b.Requests {
+			t.Errorf("client %q bucket %+v", name, *b)
+		}
+		if b.TargetRPS != 200 {
+			t.Errorf("client %q target %.0f, want 200", name, b.TargetRPS)
+		}
+		if b.AchievedRPS < 0.5*b.TargetRPS {
+			t.Errorf("client %q achieved %.0f vs target %.0f", name, b.AchievedRPS, b.TargetRPS)
+		}
+	}
+	for _, class := range []string{traffic.ClassInteractive, traffic.ClassBatch} {
+		b := s.Classes[class]
+		if b == nil || b.Requests == 0 {
+			t.Fatalf("no bucket for class %q: %v", class, s.Classes)
+		}
+	}
+	if s.AchievedRPS < 0.9*sched.TargetRPS {
+		t.Errorf("aggregate achieved %.0f vs target %.0f", s.AchievedRPS, sched.TargetRPS)
+	}
+
+	// The step marshals deterministically field-wise (maps sort keys).
+	if _, err := json.Marshal(&s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlayScheduleEmpty rejects an arrival-free schedule.
+func TestPlayScheduleEmpty(t *testing.T) {
+	if _, err := PlaySchedule(context.Background(), LoadConfig{URL: "http://x"}, &traffic.Schedule{}); err == nil {
+		t.Error("empty schedule accepted")
+	}
+}
+
+// TestPlayScheduleCancel stops dispatch when the context is cancelled.
+func TestPlayScheduleCancel(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	sched := &traffic.Schedule{
+		DurationSec: 30,
+		Arrivals: []traffic.Arrival{
+			{AtMicros: 0, Client: "a", Class: "batch", Endpoint: "/v1/explore", Body: json.RawMessage(`{}`)},
+			{AtMicros: 25_000_000, Client: "a", Class: "batch", Endpoint: "/v1/explore", Body: json.RawMessage(`{}`)},
+		},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, err := PlaySchedule(ctx, LoadConfig{URL: ts.URL, Client: ts.Client()}, sched)
+	if err == nil {
+		t.Error("cancelled play returned nil error")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancel did not stop the schedule clock")
+	}
+	if res == nil || res.Steps[0].Dispatched != 1 {
+		t.Errorf("dispatched %+v, want exactly the first arrival", res)
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"cmppower/internal/explore"
 	"cmppower/internal/faults"
 	"cmppower/internal/obs"
+	"cmppower/internal/traffic"
 )
 
 // StatusClientClosedRequest is the 499 status the server reports when
@@ -214,23 +215,49 @@ func (s *Server) Close() error {
 // Draining reports whether Shutdown has begun (readyz's answer).
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// instrument wraps a compute handler with the request-level metrics and
-// the per-request deadline.
+// instrument wraps a compute handler with the request-level metrics —
+// overall and per SLO class, read from the X-Cmppower-Class header the
+// traffic layer tags requests with (untagged requests count under the
+// catch-all class) — and the per-request deadline.
 func (s *Server) instrument(h func(http.ResponseWriter, *http.Request)) func(http.ResponseWriter, *http.Request) {
 	return func(w http.ResponseWriter, r *http.Request) {
+		class := traffic.NormalizeClass(r.Header.Get(traffic.HeaderClass))
 		s.reg.VolatileCounter("server_requests_total").Add(1)
+		s.reg.VolatileCounter(obs.WithClass("server_class_requests_total", class)).Add(1)
+		// Touch the class's 429 counter so the family is visible on
+		// /metrics at zero, before any rejection happens.
+		s.reg.VolatileCounter(obs.WithClass("server_class_429_total", class)).Add(0)
 		s.reg.VolatileGauge("server_inflight").Set(float64(s.inflight.Add(1)))
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		defer func() {
 			s.reg.VolatileGauge("server_inflight").Set(float64(s.inflight.Add(-1)))
+			elapsed := time.Since(start).Seconds()
 			s.reg.VolatileHistogram("server_request_seconds", requestSecondsBounds).
-				Observe(time.Since(start).Seconds())
+				Observe(elapsed)
+			s.reg.VolatileHistogram(obs.WithClass("server_class_request_seconds", class), requestSecondsBounds).
+				Observe(elapsed)
+			if sw.status == http.StatusTooManyRequests {
+				s.reg.VolatileCounter(obs.WithClass("server_class_429_total", class)).Add(1)
+			}
 		}()
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-		h(w, r.WithContext(ctx))
+		h(sw, r.WithContext(ctx))
 	}
+}
+
+// statusWriter records the response status so instrument can attribute
+// outcomes (429s in particular) to the request's SLO class.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
 }
 
 // requestSecondsBounds bins request latency from cache-hit to long sweep.

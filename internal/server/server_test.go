@@ -17,6 +17,7 @@ import (
 
 	"cmppower/internal/experiment"
 	"cmppower/internal/splash"
+	"cmppower/internal/traffic"
 )
 
 // post fires one JSON POST and returns status, body. Failures are
@@ -95,6 +96,49 @@ func TestRunEndpointMatchesLibrary(t *testing.T) {
 	}
 	if hits := s.reg.Counter("server_cache_hits_total").Value(); hits < 1 {
 		t.Errorf("server_cache_hits_total = %d, want >= 1", hits)
+	}
+}
+
+// TestPerClassMetrics: requests tagged with the traffic class header
+// land in per-class counter and histogram families on /metrics, with
+// untagged requests under the catch-all class, and every seen class's
+// 429 counter visible at zero before any rejection.
+func TestPerClassMetrics(t *testing.T) {
+	s := New(Config{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// One tagged request, one untagged.
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/run",
+		strings.NewReader(`{"app":"FFT","n":1,"scale":0.05}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(traffic.HeaderClass, "interactive")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	post(t, ts.Client(), ts.URL+"/v1/run", `{"app":"LU","n":1,"scale":0.05}`)
+
+	mresp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	text := string(b)
+	for _, want := range []string{
+		`server_class_requests_total{class="interactive"} 1`,
+		`server_class_requests_total{class="other"} 1`,
+		`server_class_429_total{class="interactive"} 0`,
+		`server_class_request_seconds_count{class="interactive"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
 	}
 }
 

@@ -1,0 +1,114 @@
+// Deterministic per-client random streams and the inter-arrival
+// samplers built on them. Every draw comes from a splitmix64 stream
+// seeded from (spec seed, client name), so a client's arrivals and
+// parameter choices are a pure function of the spec — stdlib math only,
+// no math/rand, no global state.
+
+package traffic
+
+import (
+	"math"
+
+	"cmppower/internal/identity"
+)
+
+// stream is a splitmix64 sequence; the zero value is a valid (seed 0)
+// stream but streams are always built via newStream.
+type stream struct {
+	state uint64
+}
+
+// newStream forks a stream for one named purpose under the spec seed.
+// Forking by (seed, name-hash) means adding or reordering clients never
+// perturbs another client's draws.
+func newStream(seed uint64, name string) *stream {
+	return &stream{state: identity.Mix(seed, identity.Hash(name))}
+}
+
+// next advances the stream (splitmix64).
+func (s *stream) next() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform draw in [0, 1) with 53-bit resolution.
+func (s *stream) float64() float64 {
+	return float64(s.next()>>11) / float64(1<<53)
+}
+
+// intn returns a uniform draw in [0, n).
+func (s *stream) intn(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(s.next() % uint64(n))
+}
+
+// expo returns a standard-exponential draw (mean 1).
+func (s *stream) expo() float64 {
+	// 1-u is in (0, 1], so the log is finite.
+	return -math.Log(1 - s.float64())
+}
+
+// normal returns a standard-normal draw (Box–Muller; the spare is
+// discarded to keep the stream's draw count input-independent).
+func (s *stream) normal() float64 {
+	u1 := 1 - s.float64() // (0, 1]
+	u2 := s.float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// gamma returns a draw from Gamma(shape k, scale 1) via Marsaglia–Tsang
+// squeeze, boosted for k < 1. Deterministic given the stream.
+func (s *stream) gamma(k float64) float64 {
+	if k < 1 {
+		// Gamma(k) = Gamma(k+1) * U^(1/k).
+		u := 1 - s.float64()
+		return s.gamma(k+1) * math.Pow(u, 1/k)
+	}
+	d := k - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := s.normal()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := 1 - s.float64() // (0, 1]
+		if math.Log(u) < 0.5*x*x+d-d*v+d*math.Log(v) {
+			return d * v
+		}
+	}
+}
+
+// interArrival returns one inter-arrival sampler for a client: each
+// call yields the next gap in seconds for the given mean (1/rate).
+func interArrival(a ArrivalSpec, mean float64, s *stream) func() float64 {
+	switch a.Process {
+	case "fixed":
+		return func() float64 { return mean }
+	case "gamma":
+		cv := a.CV
+		if cv == 0 {
+			cv = 1
+		}
+		// CV^2 = 1/k for a gamma renewal process; scale preserves the mean.
+		k := 1 / (cv * cv)
+		scale := mean / k
+		return func() float64 { return s.gamma(k) * scale }
+	case "weibull":
+		shape := a.Shape
+		if shape == 0 {
+			shape = 1
+		}
+		// Scale so the distribution mean is the target mean.
+		lambda := mean / math.Gamma(1+1/shape)
+		return func() float64 { return lambda * math.Pow(s.expo(), 1/shape) }
+	default: // poisson
+		return func() float64 { return mean * s.expo() }
+	}
+}

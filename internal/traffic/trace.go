@@ -1,0 +1,107 @@
+// CSV trace replay: the alternate schedule source. A trace row is
+// `timestamp_us,client,endpoint,body` (body quoted — it is JSON and
+// carries commas), with an optional fifth `class` column; ParseTrace
+// loads one into the same Schedule that Compile produces, so recorded
+// production traffic and synthetic specs play through one code path.
+
+package traffic
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// traceHeader is the canonical column set WriteCSV emits and ParseTrace
+// recognizes (the header row itself is optional on input).
+var traceHeader = []string{"timestamp_us", "client", "endpoint", "body", "class"}
+
+// ParseTrace reads a CSV trace into a Schedule. Rows must be time-
+// ordered; the class column is optional and defaults to ClassOther.
+func ParseTrace(r io.Reader) (*Schedule, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // 4 or 5 columns, checked per row
+	out := &Schedule{}
+	var lastAt int64
+	row := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("traffic: trace row %d: %w", row+1, err)
+		}
+		row++
+		if row == 1 && strings.EqualFold(rec[0], traceHeader[0]) {
+			continue // header row
+		}
+		if len(rec) != 4 && len(rec) != 5 {
+			return nil, fmt.Errorf("traffic: trace row %d has %d columns, want 4 or 5 (timestamp_us,client,endpoint,body[,class])", row, len(rec))
+		}
+		at, err := strconv.ParseInt(strings.TrimSpace(rec[0]), 10, 64)
+		if err != nil || at < 0 {
+			return nil, fmt.Errorf("traffic: trace row %d: bad timestamp_us %q", row, rec[0])
+		}
+		if at < lastAt {
+			return nil, fmt.Errorf("traffic: trace row %d: timestamp %d before previous %d (trace must be time-ordered)", row, at, lastAt)
+		}
+		lastAt = at
+		client := strings.TrimSpace(rec[1])
+		if client == "" {
+			return nil, fmt.Errorf("traffic: trace row %d: empty client", row)
+		}
+		endpoint := normalizeEndpoint(rec[2])
+		if endpoint == "" {
+			return nil, fmt.Errorf("traffic: trace row %d: endpoint %q (want run, sweep, or explore)", row, rec[2])
+		}
+		body := strings.TrimSpace(rec[3])
+		if body != "" && !json.Valid([]byte(body)) {
+			return nil, fmt.Errorf("traffic: trace row %d: body is not valid JSON", row)
+		}
+		class := ClassOther
+		if len(rec) == 5 {
+			class = NormalizeClass(rec[4])
+		}
+		out.Arrivals = append(out.Arrivals, Arrival{
+			AtMicros: at,
+			Client:   client,
+			Class:    class,
+			Endpoint: endpoint,
+			Body:     json.RawMessage(body),
+		})
+	}
+	if len(out.Arrivals) == 0 {
+		return nil, fmt.Errorf("traffic: trace has no arrivals")
+	}
+	// The horizon is the last arrival (a trace has no declared duration).
+	out.DurationSec = float64(lastAt) / 1e6
+	return out, nil
+}
+
+// WriteCSV emits the schedule in the trace format, header included.
+// ParseTrace(WriteCSV(s)) reproduces s arrival for arrival.
+func (s *Schedule) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(traceHeader); err != nil {
+		return err
+	}
+	for i := range s.Arrivals {
+		a := &s.Arrivals[i]
+		rec := []string{
+			strconv.FormatInt(a.AtMicros, 10),
+			a.Client,
+			a.Endpoint,
+			string(a.Body),
+			a.Class,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

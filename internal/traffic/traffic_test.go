@@ -1,0 +1,337 @@
+package traffic
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// specJSON is the three-client exemplar used across the tests.
+const specJSON = `{
+  "seed": 42,
+  "rate_rps": 200,
+  "duration_sec": 2,
+  "clients": [
+    {
+      "name": "dash",
+      "rate_fraction": 0.5,
+      "class": "interactive",
+      "arrival": {"process": "poisson"},
+      "requests": [
+        {"endpoint": "run", "apps": ["FFT", "LU"], "cores": [2, 4]}
+      ]
+    },
+    {
+      "name": "nightly",
+      "rate_fraction": 0.3,
+      "class": "batch",
+      "arrival": {"process": "gamma", "cv": 2},
+      "requests": [
+        {"endpoint": "run", "apps": ["Ocean"], "vary_seed": true, "weight": 3},
+        {"endpoint": "sweep", "apps": ["Radix"], "scenarios": ["I"]}
+      ]
+    },
+    {
+      "name": "frontier",
+      "rate_fraction": 0.2,
+      "class": "sweep",
+      "arrival": {"process": "weibull", "shape": 1.5},
+      "requests": [
+        {"endpoint": "explore", "apps": ["Barnes"], "scale": 0.1}
+      ]
+    }
+  ]
+}`
+
+func parseTestSpec(t *testing.T) *Spec {
+	t.Helper()
+	spec, err := ParseSpec(strings.NewReader(specJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// TestCompileDeterministic: the whole contract — same spec, same seed,
+// byte-identical schedule and byte-identical plan report across
+// independent compilations.
+func TestCompileDeterministic(t *testing.T) {
+	spec := parseTestSpec(t)
+	s1, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Compile(parseTestSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := json.Marshal(s1)
+	b2, _ := json.Marshal(s2)
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("same spec compiled to different schedules")
+	}
+	r1, _ := json.Marshal(s1.Report())
+	r2, _ := json.Marshal(s2.Report())
+	if !bytes.Equal(r1, r2) {
+		t.Fatal("same schedule produced different plan reports")
+	}
+	if s1.Digest() != s2.Digest() {
+		t.Fatal("digests differ for identical schedules")
+	}
+}
+
+// TestCompileSeedSensitivity: a different seed must actually change the
+// schedule (determinism that never varies is a constant, not a stream).
+func TestCompileSeedSensitivity(t *testing.T) {
+	a := parseTestSpec(t)
+	b := parseTestSpec(t)
+	b.Seed = 43
+	s1, err := Compile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Compile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Digest() == s2.Digest() {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestCompileShape: arrivals are time-ordered, inside the horizon,
+// correctly tagged, and each client's scheduled rate lands near its
+// target fraction.
+func TestCompileShape(t *testing.T) {
+	spec := parseTestSpec(t)
+	s, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Arrivals) == 0 {
+		t.Fatal("empty schedule")
+	}
+	horizon := int64(spec.DurationSec * 1e6)
+	classOf := map[string]string{"dash": ClassInteractive, "nightly": ClassBatch, "frontier": ClassSweep}
+	var last int64
+	for i := range s.Arrivals {
+		a := &s.Arrivals[i]
+		if a.AtMicros < last {
+			t.Fatalf("arrival %d out of order: %d after %d", i, a.AtMicros, last)
+		}
+		last = a.AtMicros
+		if a.AtMicros >= horizon {
+			t.Fatalf("arrival %d at %dus beyond the %dus horizon", i, a.AtMicros, horizon)
+		}
+		if classOf[a.Client] != a.Class {
+			t.Fatalf("arrival %d client %q class %q", i, a.Client, a.Class)
+		}
+		if !json.Valid(a.Body) {
+			t.Fatalf("arrival %d body is not JSON: %s", i, a.Body)
+		}
+	}
+	rep := s.Report()
+	targets := spec.PerClientTarget()
+	for _, cp := range rep.Clients {
+		want := targets[cp.Client]
+		if math.Abs(cp.ScheduledRPS-want) > 0.5*want {
+			t.Errorf("client %s scheduled %.1f rps, target %.1f", cp.Client, cp.ScheduledRPS, want)
+		}
+		if cp.GapP50Us <= 0 || cp.GapP99Us < cp.GapP50Us {
+			t.Errorf("client %s gap percentiles p50=%d p99=%d", cp.Client, cp.GapP50Us, cp.GapP99Us)
+		}
+	}
+}
+
+// TestVarySeedDistinct: vary_seed gives every generated request a
+// distinct, never-default workload seed.
+func TestVarySeedDistinct(t *testing.T) {
+	spec := parseTestSpec(t)
+	s, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint64]bool)
+	for i := range s.Arrivals {
+		a := &s.Arrivals[i]
+		if a.Client != "nightly" || a.Endpoint != PathRun {
+			continue
+		}
+		var body struct {
+			Seed uint64 `json:"seed"`
+		}
+		if err := json.Unmarshal(a.Body, &body); err != nil {
+			t.Fatal(err)
+		}
+		if body.Seed < 2 {
+			t.Fatalf("vary_seed produced reserved seed %d", body.Seed)
+		}
+		if seen[body.Seed] {
+			t.Fatalf("vary_seed repeated seed %d", body.Seed)
+		}
+		seen[body.Seed] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("only %d varied seeds generated", len(seen))
+	}
+}
+
+// TestArrivalProcessMeans: every process's sampler averages to the
+// requested mean (law of large numbers over a deterministic stream).
+func TestArrivalProcessMeans(t *testing.T) {
+	const mean = 0.25
+	for _, proc := range []ArrivalSpec{
+		{Process: "poisson"},
+		{Process: "fixed"},
+		{Process: "gamma", CV: 2},
+		{Process: "gamma", CV: 0.5},
+		{Process: "weibull", Shape: 1.5},
+		{Process: "weibull", Shape: 0.8},
+	} {
+		s := newStream(7, "mean:"+proc.Process)
+		gap := interArrival(proc, mean, s)
+		var sum float64
+		const n = 20000
+		for i := 0; i < n; i++ {
+			g := gap()
+			if g < 0 {
+				t.Fatalf("%s: negative gap %g", proc.Process, g)
+			}
+			sum += g
+		}
+		got := sum / n
+		if math.Abs(got-mean) > 0.05*mean {
+			t.Errorf("%s cv=%g shape=%g: mean gap %g, want %g +- 5%%", proc.Process, proc.CV, proc.Shape, got, mean)
+		}
+	}
+}
+
+// TestSpecParseErrors pins the validation error paths.
+func TestSpecParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+		want string
+	}{
+		{"bad json", `{`, "parse spec"},
+		{"unknown field", `{"seed":1,"rate_rps":10,"duration_sec":1,"bogus":1,"clients":[]}`, "parse spec"},
+		{"no rate", `{"duration_sec":1,"clients":[{"name":"a","rate_fraction":1,"class":"batch","arrival":{"process":"poisson"},"requests":[{"endpoint":"explore"}]}]}`, "rate_rps"},
+		{"no duration", `{"rate_rps":10,"clients":[{"name":"a","rate_fraction":1,"class":"batch","arrival":{"process":"poisson"},"requests":[{"endpoint":"explore"}]}]}`, "duration_sec"},
+		{"no clients", `{"rate_rps":10,"duration_sec":1,"clients":[]}`, "no clients"},
+		{"fraction sum", `{"rate_rps":10,"duration_sec":1,"clients":[{"name":"a","rate_fraction":0.5,"class":"batch","arrival":{"process":"poisson"},"requests":[{"endpoint":"explore"}]}]}`, "fractions sum"},
+		{"dup client", `{"rate_rps":10,"duration_sec":1,"clients":[{"name":"a","rate_fraction":0.5,"class":"batch","arrival":{"process":"poisson"},"requests":[{"endpoint":"explore"}]},{"name":"a","rate_fraction":0.5,"class":"batch","arrival":{"process":"poisson"},"requests":[{"endpoint":"explore"}]}]}`, "duplicate client"},
+		{"bad class", `{"rate_rps":10,"duration_sec":1,"clients":[{"name":"a","rate_fraction":1,"class":"gold","arrival":{"process":"poisson"},"requests":[{"endpoint":"explore"}]}]}`, "class"},
+		{"bad process", `{"rate_rps":10,"duration_sec":1,"clients":[{"name":"a","rate_fraction":1,"class":"batch","arrival":{"process":"pareto"},"requests":[{"endpoint":"explore"}]}]}`, "arrival process"},
+		{"no templates", `{"rate_rps":10,"duration_sec":1,"clients":[{"name":"a","rate_fraction":1,"class":"batch","arrival":{"process":"poisson"},"requests":[]}]}`, "no request templates"},
+		{"bad endpoint", `{"rate_rps":10,"duration_sec":1,"clients":[{"name":"a","rate_fraction":1,"class":"batch","arrival":{"process":"poisson"},"requests":[{"endpoint":"teleport"}]}]}`, "endpoint"},
+		{"run needs apps", `{"rate_rps":10,"duration_sec":1,"clients":[{"name":"a","rate_fraction":1,"class":"batch","arrival":{"process":"poisson"},"requests":[{"endpoint":"run"}]}]}`, "needs apps"},
+		{"unknown app", `{"rate_rps":10,"duration_sec":1,"clients":[{"name":"a","rate_fraction":1,"class":"batch","arrival":{"process":"poisson"},"requests":[{"endpoint":"run","apps":["NotAnApp"]}]}]}`, "NotAnApp"},
+		{"bad cores", `{"rate_rps":10,"duration_sec":1,"clients":[{"name":"a","rate_fraction":1,"class":"batch","arrival":{"process":"poisson"},"requests":[{"endpoint":"run","apps":["FFT"],"cores":[32]}]}]}`, "core count"},
+		{"bad scenario", `{"rate_rps":10,"duration_sec":1,"clients":[{"name":"a","rate_fraction":1,"class":"batch","arrival":{"process":"poisson"},"requests":[{"endpoint":"sweep","scenarios":["III"]}]}]}`, "scenario"},
+		{"scenario on run", `{"rate_rps":10,"duration_sec":1,"clients":[{"name":"a","rate_fraction":1,"class":"batch","arrival":{"process":"poisson"},"requests":[{"endpoint":"run","apps":["FFT"],"scenarios":["I"]}]}]}`, "scenarios only apply"},
+	}
+	for _, tc := range cases {
+		_, err := ParseSpec(strings.NewReader(tc.json))
+		if err == nil {
+			t.Errorf("%s: accepted, want error containing %q", tc.name, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestTraceRoundTrip: WriteCSV → ParseTrace reproduces the compiled
+// schedule arrival for arrival.
+func TestTraceRoundTrip(t *testing.T) {
+	s, err := Compile(parseTestSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Arrivals) != len(s.Arrivals) {
+		t.Fatalf("round trip %d arrivals, want %d", len(back.Arrivals), len(s.Arrivals))
+	}
+	a, _ := json.Marshal(s.Arrivals)
+	b, _ := json.Marshal(back.Arrivals)
+	if !bytes.Equal(a, b) {
+		t.Fatal("round-tripped arrivals differ")
+	}
+	if back.Digest() != s.Digest() {
+		t.Fatal("round-tripped digest differs")
+	}
+}
+
+// TestTraceParseErrors pins the trace error paths.
+func TestTraceParseErrors(t *testing.T) {
+	cases := []struct {
+		name, csv, want string
+	}{
+		{"empty", "", "no arrivals"},
+		{"columns", "100,client\n", "columns"},
+		{"timestamp", "abc,c,run,{}\n", "timestamp_us"},
+		{"order", "200,c,run,{}\n100,c,run,{}\n", "time-ordered"},
+		{"client", "100,,run,{}\n", "empty client"},
+		{"endpoint", "100,c,teleport,{}\n", "endpoint"},
+		{"body", "100,c,run,not-json\n", "valid JSON"},
+	}
+	for _, tc := range cases {
+		_, err := ParseTrace(strings.NewReader(tc.csv))
+		if err == nil {
+			t.Errorf("%s: accepted, want error containing %q", tc.name, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestTraceHeaderAndClassOptional: the header row and the class column
+// are both optional on input.
+func TestTraceHeaderAndClassOptional(t *testing.T) {
+	s, err := ParseTrace(strings.NewReader(
+		"timestamp_us,client,endpoint,body\n" +
+			`100,cli,run,"{""app"":""FFT"",""n"":2}"` + "\n" +
+			`250,cli,explore,"{}",interactive` + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Arrivals) != 2 {
+		t.Fatalf("arrivals %d, want 2", len(s.Arrivals))
+	}
+	if s.Arrivals[0].Class != ClassOther {
+		t.Errorf("classless row got %q, want %q", s.Arrivals[0].Class, ClassOther)
+	}
+	if s.Arrivals[1].Class != ClassInteractive {
+		t.Errorf("classed row got %q", s.Arrivals[1].Class)
+	}
+	if s.Arrivals[1].Endpoint != PathExplore {
+		t.Errorf("endpoint %q not normalized", s.Arrivals[1].Endpoint)
+	}
+}
+
+// TestNormalizeClass pins the closed label space.
+func TestNormalizeClass(t *testing.T) {
+	for in, want := range map[string]string{
+		"interactive": ClassInteractive,
+		" Batch ":     ClassBatch,
+		"SWEEP":       ClassSweep,
+		"":            ClassOther,
+		"platinum":    ClassOther,
+	} {
+		if got := NormalizeClass(in); got != want {
+			t.Errorf("NormalizeClass(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

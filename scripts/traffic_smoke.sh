@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Traffic-smoke gate: boot a 2-shard `cmppower router` fleet and play
+# the checked-in 3-client traffic spec through it open-loop. Requires
+# (1) the compiled plan to be byte-identical across two runs (the
+# deterministic-replay contract), (2) strict playback — every response
+# 2xx or 429 — with the achieved arrival rate within 10% of the spec
+# target, (3) per-SLO-class request and 429 counters visible on the
+# router's /metrics AND on a shard's /metrics (the class header is
+# forwarded), and (4) a clean SIGTERM drain.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT=${PORT:-18060}
+BASE="http://127.0.0.1:$PORT"
+SPEC=examples/traffic/spec.json
+
+WORKDIR=$(mktemp -d)
+BIN="$WORKDIR/cmppower"
+cleanup() {
+  [ -n "${ROUTER_PID:-}" ] && kill "$ROUTER_PID" 2>/dev/null || true
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+go build -o "$BIN" ./cmd/cmppower
+
+echo "== plan determinism (same spec + seed => byte-identical report) =="
+"$BIN" loadgen -spec "$SPEC" -plan > "$WORKDIR/plan1.json"
+"$BIN" loadgen -spec "$SPEC" -plan > "$WORKDIR/plan2.json"
+cmp "$WORKDIR/plan1.json" "$WORKDIR/plan2.json" || {
+  echo "plan reports differ between runs" >&2; exit 1
+}
+"$BIN" loadgen -spec "$SPEC" -plan -seed 7 > "$WORKDIR/plan3.json"
+cmp -s "$WORKDIR/plan1.json" "$WORKDIR/plan3.json" && {
+  echo "seed override did not change the plan" >&2; exit 1
+}
+
+"$BIN" router -addr "127.0.0.1:$PORT" -shards 2 &
+ROUTER_PID=$!
+for _ in $(seq 1 100); do
+  curl -fsS "$BASE/readyz" >/dev/null 2>&1 && break
+  kill -0 "$ROUTER_PID" 2>/dev/null || { echo "router exited early" >&2; exit 1; }
+  sleep 0.1
+done
+
+echo "== strict spec playback (3 clients, achieved within 10% of target) =="
+"$BIN" loadgen -spec "$SPEC" -url "$BASE" -strict -achieved-min 0.9
+
+echo "== per-class metrics on the router =="
+METRICS=$(curl -fsS "$BASE/metrics")
+for class in interactive batch sweep; do
+  echo "$METRICS" | grep -q "router_class_requests_total{class=\"$class\"}" || {
+    echo "router missing router_class_requests_total for class $class" >&2; exit 1
+  }
+  echo "$METRICS" | grep -q "router_class_429_total{class=\"$class\"}" || {
+    echo "router missing router_class_429_total for class $class" >&2; exit 1
+  }
+done
+echo "$METRICS" | grep '^router_class_requests_total'
+
+echo "== per-class metrics forwarded to the shards =="
+SHARD=$(curl -fsS "$BASE/fleet" | grep -o '"url":"[^"]*"' | head -1 | cut -d'"' -f4)
+[ -n "$SHARD" ] || { echo "no shard URL in /fleet" >&2; exit 1; }
+SHARD_METRICS=$(curl -fsS "$SHARD/metrics")
+echo "$SHARD_METRICS" | grep -q 'server_class_requests_total{class=' || {
+  echo "shard $SHARD missing per-class counters (header not forwarded?)" >&2; exit 1
+}
+echo "$SHARD_METRICS" | grep '^server_class_requests_total'
+
+echo "== graceful SIGTERM drain =="
+kill -TERM "$ROUTER_PID"
+wait "$ROUTER_PID"
+ROUTER_PID=
+
+echo "traffic-smoke: OK"
