@@ -1,0 +1,303 @@
+package cmp
+
+import (
+	"fmt"
+
+	"cmppower/internal/dvfs"
+	"cmppower/internal/workload"
+)
+
+// Checkpoint is the warm state captured from one completed run: the full
+// per-core workload event logs plus identity and verification fields. It
+// is the replay-exact half of the engine's state — the part that is both
+// expensive to regenerate (stream interpretation and RNG draws are ~30%
+// of a run) and invariant across DVFS rungs, because event generation is
+// a pure function of (program, tid, nCores, seed) and never sees the
+// operating point. Everything else the engine holds (clocks, cache
+// lines, bus and DRAM state) is frequency-coupled through the DRAM
+// cycle conversion and therefore cannot transfer between rungs
+// bit-identically; a forked run rebuilds that state from scratch while
+// replaying the recorded events, which is exactly what makes forked and
+// cold runs bit-for-bit equal (see checkpoint tests and doctor check 14).
+//
+// A Checkpoint is immutable after capture and safe to replay from any
+// number of concurrent runs: replaying never mutates the logs.
+type Checkpoint struct {
+	// prog identifies the recorded program by pointer: a checkpoint is
+	// only compatible with runs of the exact *workload.Program value it
+	// was recorded from. The experiment layer's fork cache guarantees
+	// pointer-stable programs per (app, scale); anything else cold-starts.
+	prog   *workload.Program
+	nCores int
+	seed   uint64
+	// logs[i] is core i's complete delivered event sequence, trailing
+	// EvDone included. Logs are shared, never copied: a fork of a fork
+	// points at the same *eventLog values as its ancestor.
+	logs []*eventLog
+	// events is the engine event count of the recorded run; clocks are the
+	// per-core finish clocks and cacheDigest folds the packed cache-line
+	// words at completion. A replay at the same operating point must
+	// reproduce clocks and cacheDigest exactly — the round-trip tests pin
+	// that — while a neighbor-rung replay legitimately diverges in both.
+	events      int64
+	clocks      []float64
+	cacheDigest uint64
+	// point is the operating point the recording ran at; the experiment
+	// layer's neighbor-distance policy measures rung distance from it.
+	point dvfs.OperatingPoint
+	bytes int64
+}
+
+// eventBytes is the in-memory footprint of one workload.Event (the
+// struct is deliberately 32 bytes; see workload.Event).
+const eventBytes = 32
+
+// NCores returns the core count the checkpoint was recorded at. Replay
+// at any other core count is incompatible: the event streams themselves
+// are functions of nCores.
+func (c *Checkpoint) NCores() int { return c.nCores }
+
+// Seed returns the workload seed of the recorded run.
+func (c *Checkpoint) Seed() uint64 { return c.seed }
+
+// Events returns the recorded run's engine event count.
+func (c *Checkpoint) Events() int64 { return c.events }
+
+// Point returns the operating point the recording ran at.
+func (c *Checkpoint) Point() dvfs.OperatingPoint { return c.point }
+
+// CacheDigest returns an FNV-1a fold of the packed cache-line words at
+// run completion, for round-trip verification.
+func (c *Checkpoint) CacheDigest() uint64 { return c.cacheDigest }
+
+// Program returns the recorded program.
+func (c *Checkpoint) Program() *workload.Program { return c.prog }
+
+// SizeBytes returns the checkpoint's approximate in-memory footprint —
+// what a bounded fork cache accounts against its budget.
+func (c *Checkpoint) SizeBytes() int64 { return c.bytes }
+
+// CompatibleWith reports whether the checkpoint can replace live stream
+// generation for a run of prog on nCores cores with the given seed.
+// Compatibility is exactly the identity of the event logs: the same
+// program value, the same core count, the same seed. The operating
+// point, core configuration, cache geometry, and prefetcher are all
+// irrelevant — event generation never sees them — which is what lets a
+// checkpoint recorded at one DVFS rung warm-start its rung neighbors.
+func (c *Checkpoint) CompatibleWith(prog *workload.Program, nCores int, seed uint64) error {
+	if c == nil {
+		return fmt.Errorf("cmp: nil checkpoint")
+	}
+	if prog != c.prog {
+		return fmt.Errorf("cmp: checkpoint records a different program value")
+	}
+	if nCores != c.nCores {
+		return fmt.Errorf("cmp: checkpoint recorded at %d cores, run wants %d", c.nCores, nCores)
+	}
+	if seed != c.seed {
+		return fmt.Errorf("cmp: checkpoint recorded with seed %d, run wants %d", c.seed, seed)
+	}
+	return nil
+}
+
+// Fork runs cfg on a fresh engine restored from cp: the recorded event
+// logs replace live stream generation, and everything else (cores,
+// caches, bus, DRAM) starts cold and is rebuilt by the replay. The
+// result is bit-identical to a cold run of the same configuration. The
+// config's NCores and Seed must match the checkpoint's.
+func Fork(cp *Checkpoint, cfg Config) (*Result, error) {
+	if cp == nil {
+		return nil, fmt.Errorf("cmp: Fork of nil checkpoint")
+	}
+	cfg.Replay = cp
+	return Run(cp.prog, cfg)
+}
+
+// logChunkEvents sizes an eventLog chunk: 32 Ki events = 1 MiB. Chunks
+// are allocated exactly once at this size and never grown, so recording
+// writes each event to memory once — a plain append-with-doubling log
+// was measured re-copying the whole stream ~3× through growslice, which
+// cost more than the stream generation the checkpoint exists to avoid.
+const logChunkEvents = 1 << 15
+
+// eventLog is one core's recorded event sequence as a chunked sequence.
+// Immutable once recording completes; replays only read it.
+type eventLog struct {
+	chunks [][]workload.Event
+	n      int
+}
+
+// push appends evs, filling the tail chunk and opening new ones as
+// needed. No existing chunk is ever re-allocated or copied.
+func (l *eventLog) push(evs []workload.Event) {
+	l.n += len(evs)
+	for len(evs) > 0 {
+		if len(l.chunks) == 0 || len(l.chunks[len(l.chunks)-1]) == logChunkEvents {
+			l.chunks = append(l.chunks, make([]workload.Event, 0, logChunkEvents))
+		}
+		tail := &l.chunks[len(l.chunks)-1]
+		k := copy((*tail)[len(*tail):logChunkEvents], evs)
+		*tail = (*tail)[:len(*tail)+k]
+		evs = evs[k:]
+	}
+}
+
+// recorder wraps one core's event source and appends every delivered
+// event to a log. Stream batches already terminate at EvDone, and the
+// engine never requests events past a core's EvDone, so the log is the
+// exact complete event sequence with the trailing EvDone included.
+type recorder struct {
+	src   eventSource
+	batch batchSource // nil when src cannot batch
+	log   eventLog
+}
+
+func (r *recorder) Next() workload.Event {
+	ev := r.src.Next()
+	r.log.push([]workload.Event{ev})
+	return ev
+}
+
+// NextWindow fills the tail of the log's current chunk directly from
+// the wrapped source and returns the newly recorded events: the engine
+// consumes the log's own storage, so recording writes each event to
+// memory exactly once.
+func (r *recorder) NextWindow(max int) []workload.Event {
+	l := &r.log
+	if len(l.chunks) == 0 || len(l.chunks[len(l.chunks)-1]) == logChunkEvents {
+		l.chunks = append(l.chunks, make([]workload.Event, 0, logChunkEvents))
+	}
+	tail := &l.chunks[len(l.chunks)-1]
+	room := logChunkEvents - len(*tail)
+	if room > max {
+		room = max
+	}
+	seg := (*tail)[len(*tail) : len(*tail)+room]
+	var n int
+	if r.batch != nil {
+		n = r.batch.NextBatch(seg)
+	} else {
+		seg[0] = r.src.Next()
+		n = 1
+	}
+	*tail = (*tail)[:len(*tail)+n]
+	l.n += n
+	return seg[:n]
+}
+
+func (r *recorder) NextBatch(buf []workload.Event) int {
+	var n int
+	if r.batch != nil {
+		n = r.batch.NextBatch(buf)
+	} else {
+		buf[0] = r.src.Next()
+		n = 1
+	}
+	r.log.push(buf[:n])
+	return n
+}
+
+// replaySource serves a recorded log back to the engine. Batch
+// boundaries need not (and do not) match the original stream's: the
+// engine's loops are insensitive to where refills fall — only the event
+// sequence matters — except for which event trips the MaxEvents budget
+// or a cancellation poll, both already-documented error-path shifts
+// (see runFused's contract).
+type replaySource struct {
+	log *eventLog
+	ci  int // chunk cursor
+	off int // offset within chunk ci
+}
+
+func (s *replaySource) Next() workload.Event {
+	for s.ci < len(s.log.chunks) {
+		c := s.log.chunks[s.ci]
+		if s.off < len(c) {
+			ev := c[s.off]
+			s.off++
+			return ev
+		}
+		s.ci++
+		s.off = 0
+	}
+	// Match stream semantics: keep delivering EvDone after the end.
+	return workload.Event{Kind: workload.EvDone}
+}
+
+// doneWindow is the shared past-the-end window: stream semantics keep
+// delivering EvDone after a core finishes.
+var doneWindow = []workload.Event{{Kind: workload.EvDone}}
+
+// NextWindow returns a read-only window of the recorded log itself —
+// replaying copies no event data at all.
+func (s *replaySource) NextWindow(max int) []workload.Event {
+	for s.ci < len(s.log.chunks) {
+		c := s.log.chunks[s.ci]
+		if s.off < len(c) {
+			end := s.off + max
+			if end > len(c) {
+				end = len(c)
+			}
+			w := c[s.off:end]
+			s.off = end
+			if s.off == len(c) {
+				s.ci++
+				s.off = 0
+			}
+			return w
+		}
+		s.ci++
+		s.off = 0
+	}
+	return doneWindow
+}
+
+func (s *replaySource) NextBatch(buf []workload.Event) int {
+	total := 0
+	for total < len(buf) && s.ci < len(s.log.chunks) {
+		c := s.log.chunks[s.ci]
+		k := copy(buf[total:], c[s.off:])
+		total += k
+		s.off += k
+		if s.off == len(c) {
+			s.ci++
+			s.off = 0
+		}
+	}
+	if total == 0 {
+		buf[0] = workload.Event{Kind: workload.EvDone}
+		return 1
+	}
+	return total
+}
+
+// buildCheckpoint assembles the completed run's checkpoint. When the run
+// itself replayed a checkpoint (a fork of a fork), the logs are shared
+// with the ancestor — they are identical by construction — and only the
+// verification fields are recaptured from this run.
+func buildCheckpoint(cfg Config, recs []*recorder, res *Result, digest uint64) *Checkpoint {
+	cp := &Checkpoint{
+		prog:        cfg.prog,
+		nCores:      cfg.NCores,
+		seed:        cfg.Seed,
+		events:      res.Events,
+		cacheDigest: digest,
+		point:       cfg.Point,
+	}
+	cp.clocks = make([]float64, len(res.PerCore))
+	for i, s := range res.PerCore {
+		cp.clocks[i] = s.FinishClock
+	}
+	if cfg.Replay != nil {
+		cp.logs = cfg.Replay.logs
+		cp.bytes = cfg.Replay.bytes
+		return cp
+	}
+	cp.logs = make([]*eventLog, len(recs))
+	for i := range recs {
+		cp.logs[i] = &recs[i].log
+		cp.bytes += int64(recs[i].log.n) * eventBytes
+	}
+	cp.bytes += int64(len(cp.clocks)) * 8
+	return cp
+}

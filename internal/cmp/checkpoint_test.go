@@ -1,0 +1,216 @@
+package cmp
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cmppower/internal/dvfs"
+	"cmppower/internal/phys"
+	"cmppower/internal/splash"
+	"cmppower/internal/workload"
+)
+
+func ladder(t *testing.T) *dvfs.Table {
+	t.Helper()
+	tab, err := dvfs.PentiumMStyle(phys.Tech65())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+// stripCheckpoint compares two results ignoring the Checkpoint field
+// (a cold run has none; a recording run does).
+func stripCheckpoint(r *Result) Result {
+	c := *r
+	c.Checkpoint = nil
+	return c
+}
+
+// TestCheckpointRoundTrip records a checkpoint at one operating point and
+// replays it both at the same point and at rung neighbors, across
+// several applications and core counts. Every forked run must equal the
+// equivalent cold run bit for bit — the fork cache's soundness rests on
+// exactly this property.
+func TestCheckpointRoundTrip(t *testing.T) {
+	tab := ladder(t)
+	pts := tab.Points()
+	for _, name := range []string{"FFT", "LU", "Radix", "Cholesky"} {
+		app, err := splash.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog := app.Program(0.05)
+		for _, n := range []int{1, 2, 4} {
+			if !app.RunsOn(n) {
+				continue
+			}
+			cfg := DefaultConfig(n, tab.Nominal())
+			cfg.Core = app.CoreConfig()
+			cfg.Record = true
+			rec, err := Run(prog, cfg)
+			if err != nil {
+				t.Fatalf("%s/%d record: %v", name, n, err)
+			}
+			cp := rec.Checkpoint
+			if cp == nil {
+				t.Fatalf("%s/%d: Record set but no checkpoint", name, n)
+			}
+			if cp.SizeBytes() <= 0 || cp.Events() != rec.Events {
+				t.Fatalf("%s/%d: checkpoint bookkeeping %d bytes / %d events (run had %d)",
+					name, n, cp.SizeBytes(), cp.Events(), rec.Events)
+			}
+			// The recording run itself must match a plain cold run at the
+			// same point: recording may not perturb the simulation.
+			cold := cfg
+			cold.Record = false
+			plain, err := Run(prog, cold)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(stripCheckpoint(rec), *plain) {
+				t.Fatalf("%s/%d: recording perturbed the run", name, n)
+			}
+			// Replay at the recorded point and at rung neighbors up and
+			// down the ladder; each must equal its cold counterpart.
+			for _, p := range []dvfs.OperatingPoint{tab.Nominal(), pts[0], pts[len(pts)/2]} {
+				fcfg := DefaultConfig(n, p)
+				fcfg.Core = app.CoreConfig()
+				forked, err := Fork(cp, fcfg)
+				if err != nil {
+					t.Fatalf("%s/%d fork at %.0f MHz: %v", name, n, p.Freq/1e6, err)
+				}
+				ccfg := fcfg
+				ccfg.Replay = nil
+				coldRun, err := Run(prog, ccfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(*forked, *coldRun) {
+					t.Errorf("%s/%d at %.0f MHz: forked run differs from cold run",
+						name, n, p.Freq/1e6)
+				}
+			}
+			// Same-point fork with recording on: the new checkpoint shares
+			// the ancestor's logs and must reproduce clocks and cache
+			// digest exactly.
+			fcfg := cfg
+			fcfg.Replay = cp
+			refork, err := Run(prog, fcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cp2 := refork.Checkpoint
+			if cp2 == nil {
+				t.Fatalf("%s/%d: fork-of-fork recorded no checkpoint", name, n)
+			}
+			if cp2.logs[0] != cp.logs[0] {
+				t.Errorf("%s/%d: fork-of-fork copied the logs instead of sharing them", name, n)
+			}
+			if cp2.CacheDigest() != cp.CacheDigest() {
+				t.Errorf("%s/%d: same-point refork cache digest %x != recorded %x",
+					name, n, cp2.CacheDigest(), cp.CacheDigest())
+			}
+			if !reflect.DeepEqual(cp2.clocks, cp.clocks) {
+				t.Errorf("%s/%d: same-point refork clocks differ", name, n)
+			}
+		}
+	}
+}
+
+// TestCheckpointNeighborChains is the property-style version: a random
+// walk over the DVFS ladder where each step forks from the checkpoint
+// the previous step recorded (forks of forks of forks...). Every step
+// must stay bit-identical to a cold run at that step's point.
+func TestCheckpointNeighborChains(t *testing.T) {
+	tab := ladder(t)
+	pts := tab.Points()
+	app, err := splash.ByName("FMM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := app.Program(0.05)
+	rng := rand.New(rand.NewSource(42))
+	for chain := 0; chain < 3; chain++ {
+		n := []int{1, 2, 4}[chain%3]
+		rung := rng.Intn(len(pts))
+		cfg := DefaultConfig(n, pts[rung])
+		cfg.Core = app.CoreConfig()
+		cfg.Record = true
+		cur, err := Run(prog, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 5; step++ {
+			// Move one rung up or down, clamped to the ladder.
+			if rng.Intn(2) == 0 && rung > 0 {
+				rung--
+			} else if rung < len(pts)-1 {
+				rung++
+			}
+			fcfg := DefaultConfig(n, pts[rung])
+			fcfg.Core = app.CoreConfig()
+			fcfg.Record = true
+			forked, err := Fork(cur.Checkpoint, fcfg)
+			if err != nil {
+				t.Fatalf("chain %d step %d: %v", chain, step, err)
+			}
+			ccfg := fcfg
+			ccfg.Record, ccfg.Replay = false, nil
+			cold, err := Run(prog, ccfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(stripCheckpoint(forked), *cold) {
+				t.Fatalf("chain %d step %d (n=%d rung=%d): forked != cold", chain, step, n, rung)
+			}
+			cur = forked
+		}
+	}
+}
+
+// TestCheckpointCompatibility pins the rejection paths: wrong program
+// value, wrong core count, wrong seed, and multiprogrammed runs.
+func TestCheckpointCompatibility(t *testing.T) {
+	tab := ladder(t)
+	app, err := splash.ByName("FFT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := app.Program(0.05)
+	cfg := DefaultConfig(2, tab.Nominal())
+	cfg.Core = app.CoreConfig()
+	cfg.Record = true
+	res, err := Run(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := res.Checkpoint
+
+	bad := cfg
+	bad.Record = false
+	bad.NCores = 4
+	if _, err := Fork(cp, bad); err == nil {
+		t.Error("fork accepted a different core count")
+	}
+	bad = cfg
+	bad.Record = false
+	bad.Seed = cfg.Seed + 1
+	if _, err := Fork(cp, bad); err == nil {
+		t.Error("fork accepted a different seed")
+	}
+	other := app.Program(0.05) // equal contents, different value
+	rcfg := cfg
+	rcfg.Record = false
+	rcfg.Replay = cp
+	if _, err := Run(other, rcfg); err == nil {
+		t.Error("replay accepted a different program value")
+	}
+	if _, err := RunMulti([]*workload.Program{prog, prog}, Config{
+		NCores: 2, TotalCores: 16, Point: tab.Nominal(), Core: app.CoreConfig(),
+		Seed: 1, Record: true,
+	}); err == nil {
+		t.Error("RunMulti accepted Record")
+	}
+}

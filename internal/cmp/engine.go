@@ -20,6 +20,16 @@ type batchSource interface {
 	NextBatch(buf []workload.Event) int
 }
 
+// windowSource is the zero-copy extension of batchSource: instead of
+// filling the caller's buffer it returns a read-only window of its own
+// storage, at most max events long. The checkpoint recorder and replay
+// sources implement it so recording writes each event to memory exactly
+// once (the engine consumes the log's own chunks) and replaying copies
+// nothing at all. The engine never mutates a window's contents.
+type windowSource interface {
+	NextWindow(max int) []workload.Event
+}
+
 // batchCap is the per-core event buffer length. Big enough that refill
 // overhead (and its cancellation poll) amortizes to noise, small enough
 // that per-run buffer allocation stays trivial.
@@ -31,7 +41,8 @@ const batchCap = 256
 // back into a stream.
 type runner struct {
 	src    eventSource
-	batch  batchSource // nil when src cannot batch
+	batch  batchSource  // nil when src cannot batch
+	win    windowSource // nil when src cannot hand out windows
 	buf    []workload.Event
 	pos, n int
 }
@@ -222,9 +233,17 @@ func (e *engine) refill(r *runner) error {
 		default:
 		}
 	}
-	if r.batch != nil {
+	switch {
+	case r.win != nil:
+		// Zero-copy path: point the runner at the source's own storage.
+		// The window is at most batchCap long, so the poll cadence and
+		// budget-trip granularity match the buffered path.
+		w := r.win.NextWindow(batchCap)
+		r.buf = w
+		r.n = len(w)
+	case r.batch != nil:
 		r.n = r.batch.NextBatch(r.buf)
-	} else {
+	default:
 		r.buf[0] = r.src.Next()
 		r.n = 1
 	}
@@ -256,6 +275,7 @@ func (e *engine) runFused() error {
 		r := &runners[i]
 		r.src = e.sources[i]
 		r.batch, _ = e.sources[i].(batchSource)
+		r.win, _ = e.sources[i].(windowSource)
 		r.buf = make([]workload.Event, batchCap)
 	}
 	// keys[i] is core i's clock at its pending shared event — the seed's
@@ -421,6 +441,7 @@ func (e *engine) runBatched() error {
 		r := &runners[i]
 		r.src = e.sources[i]
 		r.batch, _ = e.sources[i].(batchSource)
+		r.win, _ = e.sources[i].(windowSource)
 		r.buf = make([]workload.Event, batchCap)
 	}
 	tracing := e.ring != nil

@@ -72,6 +72,13 @@ type Rig struct {
 	// parallel sweep dedupes the baseline/profiling runs repeated within
 	// and across Scenario I and II. Enable with EnableMemo.
 	memo *memoCache
+
+	// fork, when non-nil, caches warm-state checkpoints keyed by
+	// (app, n, seed, scale) so a sweep point forks from a completed
+	// neighbor's recorded event logs instead of regenerating them (see
+	// fork.go and cmp.Checkpoint). Shared by clones like the memo.
+	// Enable with EnableFork; forked and cold runs are bit-identical.
+	fork *forkCache
 }
 
 // Clone returns an independent copy of the rig for concurrent use. The
@@ -95,6 +102,23 @@ func (r *Rig) cloneFor(salt string) *Rig {
 		c.DTM = &dtm
 	}
 	return &c
+}
+
+// CloneForScale returns a clone of the rig serving a different workload
+// scale. Nothing in the apparatus depends on the scale — the floorplan,
+// thermal model (and its factorization), meter, and calibration are all
+// functions of the chip alone — so the clone shares every expensive
+// structure and skips the rebuild-and-recalibrate cost of NewRig
+// entirely. The memo and fork caches are shared too: both key on scale,
+// so entries never cross scales. The server's rig pool uses this to make
+// new-scale requests cost a struct copy instead of a calibration.
+func (r *Rig) CloneForScale(scale float64) (*Rig, error) {
+	if !(scale > 0) {
+		return nil, fmt.Errorf("experiment: invalid scale %g", scale)
+	}
+	c := r.cloneFor(fmt.Sprintf("scale/%g", scale))
+	c.Scale = scale
+	return c, nil
 }
 
 // NewRig builds and calibrates the default 16-core 65 nm apparatus.
@@ -248,9 +272,48 @@ func (r *Rig) runApp(ctx context.Context, app splash.App, n int, p dvfs.Operatin
 		}
 	}
 	cfg := r.runConfig(ctx, app, n, p, seed)
-	res, err := cmp.Run(app.Program(r.Scale), cfg)
+	prog := app.Program(r.Scale)
+	var fk forkKey
+	recording := false
+	if r.fork != nil && r.memoizable() {
+		// Warm-state forking: replay a completed neighbor's recorded
+		// event logs when one exists for this (app, n, seed, scale)
+		// column; otherwise run cold, and — if this run holds the
+		// column's single recording reservation — capture the logs for
+		// the neighbors still to come. Active fault injection skips this
+		// entire block (memoizable is false), so faulty runs are never
+		// recorded or replayed, only ever simulated from scratch.
+		prog = r.fork.program(app, r.Scale)
+		fk = forkKey{app: app.Name, n: n, seed: seed, scale: r.Scale}
+		cp, reserve := r.fork.acquire(fk)
+		if cp != nil && cp.CompatibleWith(prog, n, seed) == nil {
+			cfg.Replay = cp
+			r.Obs.VolatileCounter("sweep_fork_hits").Add(1)
+			r.Obs.VolatileHistogram("sweep_fork_distance_rungs", forkDistanceBounds).
+				Observe(rungDistance(r.Table, cp.Point(), p))
+		} else {
+			r.Obs.VolatileCounter("sweep_fork_misses").Add(1)
+			if reserve {
+				cfg.Record = true
+				recording = true
+				// The reservation must not leak if the run fails or
+				// panics: later runs of this column would then never
+				// record. fulfill flips recording off on success below.
+				defer func() {
+					if recording {
+						r.fork.abandon(fk)
+					}
+				}()
+			}
+		}
+	}
+	res, err := cmp.Run(prog, cfg)
 	if err != nil {
 		return nil, fail("simulate", err)
+	}
+	if recording && res.Checkpoint != nil {
+		r.fork.fulfill(fk, res.Checkpoint)
+		recording = false
 	}
 	pw, err := r.Meter.Evaluate(r.FP, r.TM, res.Activity, res.Seconds, int64(res.Cycles)+1, p, n)
 	if err != nil {

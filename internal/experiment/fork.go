@@ -1,0 +1,253 @@
+package experiment
+
+import (
+	"container/list"
+	"math"
+	"sync"
+
+	"cmppower/internal/cmp"
+	"cmppower/internal/dvfs"
+	"cmppower/internal/splash"
+	"cmppower/internal/workload"
+)
+
+// forkKey is the identity of a checkpoint's event logs: the application,
+// the active core count, the workload seed, and the scale. Deliberately
+// *smaller* than memoKey — event generation is a pure function of
+// (program, tid, nCores, seed) and never sees the operating point, the
+// prefetcher, system-wide DVFS, or the DTM — so one checkpoint warm-starts
+// every DVFS rung of the same (app, n) sweep column. A different core
+// count is a different key outright: the streams themselves change with
+// n, which is why the neighbor policy only ever forks within a column
+// (rung neighbors), never across N (those cold-start).
+type forkKey struct {
+	app   string
+	n     int
+	seed  uint64
+	scale float64
+}
+
+// progKey identifies one built program; the cache keeps programs
+// pointer-stable per key so checkpoint compatibility (which is pointer
+// identity on the program) holds across sweep workers.
+type progKey struct {
+	app   string
+	scale float64
+}
+
+// DefaultForkCapacityBytes bounds EnableFork's cache by checkpoint
+// memory (event logs dominate at 32 bytes/event). Sized so a full
+// fig3+fig4 campaign at the default scale keeps every column's
+// checkpoint resident; long-lived serving processes can pass their own
+// budget via EnableForkBounded.
+const DefaultForkCapacityBytes int64 = 256 << 20
+
+// forkEntry is one reserved or completed checkpoint. cp is nil while the
+// recording run is in flight; unlike the memo cache there is no ready
+// channel, because a would-be second recorder does not wait — it simply
+// runs cold without recording, keeping workers busy instead of serialized.
+type forkEntry struct {
+	key  forkKey
+	cp   *cmp.Checkpoint
+	elem *list.Element
+}
+
+// forkCache is the sweep-scoped warm-state store: completed runs leave a
+// checkpoint keyed by forkKey, later runs of the same column fork from
+// it. It is shared across rig clones exactly like the memo cache
+// (pointer copy), safe for concurrent workers, bounded in bytes with LRU
+// eviction over completed entries, and single-flight on *recording* —
+// at most one run per key ever pays the recording overhead.
+type forkCache struct {
+	mu        sync.Mutex
+	capacity  int64
+	size      int64
+	m         map[forkKey]*forkEntry
+	ll        *list.List // completed entries, front = most recently used
+	hits      int64
+	misses    int64
+	records   int64
+	evictions int64
+
+	progMu sync.Mutex
+	progs  map[progKey]*workload.Program
+}
+
+func newForkCache(capacityBytes int64) *forkCache {
+	if capacityBytes <= 0 {
+		capacityBytes = DefaultForkCapacityBytes
+	}
+	return &forkCache{
+		capacity: capacityBytes,
+		m:        make(map[forkKey]*forkEntry),
+		ll:       list.New(),
+		progs:    make(map[progKey]*workload.Program),
+	}
+}
+
+// program returns the pointer-stable program for (app, scale), building
+// it on first use. Programs are immutable after construction (streams
+// and the engine only read them), so sharing one value across all
+// concurrent runs is safe — and it is what makes checkpoint
+// compatibility checkable by pointer identity.
+func (c *forkCache) program(app splash.App, scale float64) *workload.Program {
+	k := progKey{app: app.Name, scale: scale}
+	c.progMu.Lock()
+	defer c.progMu.Unlock()
+	if p, ok := c.progs[k]; ok {
+		return p
+	}
+	p := app.Program(scale)
+	c.progs[k] = p
+	return p
+}
+
+// acquire consults the cache for k. It returns the checkpoint to replay
+// (nil on a miss) and whether the caller holds the recording
+// reservation for this key — in which case it must later call fulfill
+// or abandon. A key whose recording is in flight elsewhere returns
+// (nil, false): the caller runs cold and unrecorded.
+func (c *forkCache) acquire(k forkKey) (*cmp.Checkpoint, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[k]; ok {
+		if e.cp != nil {
+			c.hits++
+			if e.elem != nil {
+				c.ll.MoveToFront(e.elem)
+			}
+			return e.cp, false
+		}
+		c.misses++
+		return nil, false
+	}
+	c.m[k] = &forkEntry{key: k}
+	c.misses++
+	return nil, true
+}
+
+// fulfill completes a reservation with the recorded checkpoint and
+// evicts least-recently-used entries past the byte budget. A checkpoint
+// larger than the whole budget is dropped outright (the reservation is
+// released so a later run may try again after the budget changes).
+func (c *forkCache) fulfill(k forkKey, cp *cmp.Checkpoint) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[k]
+	if !ok || e.cp != nil {
+		return
+	}
+	if cp.SizeBytes() > c.capacity {
+		delete(c.m, k)
+		return
+	}
+	e.cp = cp
+	e.elem = c.ll.PushFront(e)
+	c.size += cp.SizeBytes()
+	c.records++
+	for c.size > c.capacity {
+		back := c.ll.Back()
+		v := back.Value.(*forkEntry)
+		c.ll.Remove(back)
+		delete(c.m, v.key)
+		c.size -= v.cp.SizeBytes()
+		c.evictions++
+	}
+}
+
+// peek returns the completed checkpoint for k, or nil, without taking a
+// recording reservation; secondary runs of an already-recorded column
+// (the DTM re-simulation) use it.
+func (c *forkCache) peek(k forkKey) *cmp.Checkpoint {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[k]; ok && e.cp != nil {
+		c.hits++
+		if e.elem != nil {
+			c.ll.MoveToFront(e.elem)
+		}
+		return e.cp
+	}
+	return nil
+}
+
+// abandon releases a reservation whose recording run failed.
+func (c *forkCache) abandon(k forkKey) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[k]; ok && e.cp == nil {
+		delete(c.m, k)
+	}
+}
+
+// ForkStats reports the fork cache's traffic and occupancy.
+type ForkStats struct {
+	// Hits counts runs that forked from a warm checkpoint; Misses counts
+	// runs that cold-started (no compatible ancestor yet, or its
+	// recording was in flight on another worker).
+	Hits   int64
+	Misses int64
+	// Records counts checkpoints stored; Evictions counts completed
+	// checkpoints dropped by the byte budget.
+	Records   int64
+	Evictions int64
+	// Entries and SizeBytes describe current occupancy; CapacityBytes is
+	// the budget.
+	Entries       int
+	SizeBytes     int64
+	CapacityBytes int64
+}
+
+func (c *forkCache) stats() ForkStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ForkStats{
+		Hits: c.hits, Misses: c.misses, Records: c.records, Evictions: c.evictions,
+		Entries: c.ll.Len(), SizeBytes: c.size, CapacityBytes: c.capacity,
+	}
+}
+
+// EnableFork attaches a warm-state fork cache to the rig (idempotent),
+// bounded at DefaultForkCapacityBytes. Clones made afterwards share it;
+// a parallel sweep's workers thereby fork from each other's completed
+// columns. Runs under active fault injection bypass the cache entirely
+// — both recording and replay — because such runs advance the
+// injector's streams and are not pure functions of their key (the same
+// reason they bypass the memo).
+func (r *Rig) EnableFork() { r.EnableForkBounded(DefaultForkCapacityBytes) }
+
+// EnableForkBounded is EnableFork with an explicit byte budget for the
+// retained checkpoints (<= 0 means DefaultForkCapacityBytes).
+func (r *Rig) EnableForkBounded(capacityBytes int64) {
+	if r.fork == nil {
+		r.fork = newForkCache(capacityBytes)
+	}
+}
+
+// ForkStats returns the fork cache counters (zero without EnableFork).
+func (r *Rig) ForkStats() ForkStats {
+	if r.fork == nil {
+		return ForkStats{}
+	}
+	return r.fork.stats()
+}
+
+// forkDistanceBounds bins the rung distance between the checkpoint's
+// recorded operating point and the forked run's (0 = same point, the
+// memo-adjacent case; fig4's profile grid forks several rungs out).
+var forkDistanceBounds = []float64{0, 1, 2, 4, 8, 16}
+
+// rungDistance measures how many ladder steps apart two operating
+// points sit — the fork neighbor-distance metric. Off-ladder
+// (interpolated) frequencies count fractionally and are rounded.
+func rungDistance(tab *dvfs.Table, a, b dvfs.OperatingPoint) float64 {
+	pts := tab.Points()
+	if len(pts) < 2 {
+		return 0
+	}
+	step := (pts[len(pts)-1].Freq - pts[0].Freq) / float64(len(pts)-1)
+	if step <= 0 {
+		return 0
+	}
+	return math.Round(math.Abs(a.Freq-b.Freq) / step)
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"cmppower/internal/splash"
+	"cmppower/internal/thermal"
 )
 
 // SweepConfig configures a fault-isolated scenario sweep. The zero value
@@ -25,6 +26,12 @@ type SweepConfig struct {
 	// NoMemo disables the measurement memo cache for this sweep, forcing
 	// every baseline/profiling run to re-simulate.
 	NoMemo bool
+	// NoFork disables warm-state forking for this sweep: every run
+	// regenerates its workload event streams from scratch instead of
+	// replaying a completed neighbor's recorded logs. Outputs are
+	// bit-identical either way (doctor check 14); the flag exists for
+	// benchmarking and fault isolation.
+	NoFork bool
 }
 
 // workersOrDefault resolves the worker count.
@@ -87,6 +94,9 @@ func (r *Rig) sweepApps(ctx context.Context, kind string, apps []splash.App, cfg
 	if !cfg.NoMemo {
 		r.EnableMemo()
 	}
+	if !cfg.NoFork {
+		r.EnableFork()
+	}
 	workers := cfg.workersOrDefault()
 	results := make([]*SweepOutcome, len(apps))
 	var busyNs atomic.Int64
@@ -118,6 +128,11 @@ func (r *Rig) sweepApps(ctx context.Context, kind string, apps []splash.App, cfg
 		if denom := wall * float64(workers); denom > 0 {
 			r.Obs.VolatileGauge("sweep_pool_utilization").Set(busy / denom)
 		}
+		// Factorization reuse is process-cumulative (the pool outlives any
+		// one sweep) and its hit/miss split depends on construction order
+		// across goroutines, so it is volatile like the pool gauges above.
+		facHits, _ := thermal.FactorStats()
+		r.Obs.VolatileGauge("thermal_factor_reuse").Set(float64(facHits))
 	}
 	return out, err
 }

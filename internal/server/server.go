@@ -603,15 +603,19 @@ func decodeJSON(r *http.Request, v any) error {
 	return nil
 }
 
-// rigPool caches calibrated rigs by workload scale. Calibration costs
-// real time (thermal solves), so a serving process keeps one rig per
-// scale, bounded; each rig owns a shared LRU memo cache and publishes
-// into the server registry.
+// rigPool caches calibrated rigs by workload scale. The first request
+// pays one full NewRig (calibration: thermal solves); every later scale
+// derives from that base via CloneForScale — a struct copy, since
+// nothing in the apparatus depends on the scale and the thermal
+// factorization is pooled process-wide. Derived rigs share the base
+// rig's memo cache (entries key on scale, so they never cross), making
+// the memo budget a single pool-wide bound rather than per scale.
 type rigPool struct {
 	mu       sync.Mutex
 	reg      *obs.Registry
 	memoCap  int
 	capacity int
+	base     *experiment.Rig // first rig built; ancestor for CloneForScale
 	rigs     map[float64]*experiment.Rig
 	order    []float64 // LRU, last = most recently used
 }
@@ -620,8 +624,10 @@ func newRigPool(reg *obs.Registry, memoCap int) *rigPool {
 	return &rigPool{reg: reg, memoCap: memoCap, capacity: 8, rigs: make(map[float64]*experiment.Rig)}
 }
 
-// get returns the rig for scale, building and calibrating it on first
-// use and evicting the least-recently-used rig past the pool bound.
+// get returns the rig for scale, deriving it on first use (a clone of
+// the base rig when one exists, a full build otherwise) and evicting the
+// least-recently-used rig past the pool bound. The base rig is kept as
+// the clone ancestor even after its scale is evicted.
 func (p *rigPool) get(scale float64) (*experiment.Rig, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -629,12 +635,21 @@ func (p *rigPool) get(scale float64) (*experiment.Rig, error) {
 		p.touch(scale)
 		return rig, nil
 	}
-	rig, err := experiment.NewRig(scale)
+	var rig *experiment.Rig
+	var err error
+	if p.base != nil {
+		rig, err = p.base.CloneForScale(scale)
+	} else {
+		rig, err = experiment.NewRig(scale)
+		if err == nil {
+			rig.Obs = p.reg
+			rig.EnableMemoBounded(p.memoCap)
+			p.base = rig
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
-	rig.Obs = p.reg
-	rig.EnableMemoBounded(p.memoCap)
 	p.rigs[scale] = rig
 	p.order = append(p.order, scale)
 	if len(p.order) > p.capacity {

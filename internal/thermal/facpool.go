@@ -1,0 +1,166 @@
+package thermal
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"cmppower/internal/floorplan"
+)
+
+// derived bundles every structure NewModel computes beyond the raw
+// conductances: the LDLᵀ factorization, the CSR-flattened adjacency the
+// transient integrator walks, and the stable Euler step. All of it is a
+// deterministic function of (floorplan, params) alone, so two models
+// built from equal inputs produce bit-identical derived state — which is
+// what makes sharing one bundle across them sound (pinned by
+// TestSharedFactorizationBitIdentical).
+type derived struct {
+	fac      *ldlt
+	csrStart []int32
+	csrCol   []int32
+	csrLat   []float64
+	dtStable float64
+}
+
+// facPoolCapacity bounds the pool; eviction is FIFO by insertion. A
+// process rarely sees more than a handful of distinct floorplans (the
+// server's rig pool shares one; the design-space exploration varies core
+// count), so the bound exists only to keep pathological callers from
+// growing the pool without limit.
+const facPoolCapacity = 64
+
+// facPool shares derived thermal state across every Model built from
+// identical (floorplan, params) inputs — the fleet-wide factorization
+// reuse that stops Rig construction, Rig.CloneForScale, and the server's
+// per-scale rigs from re-factoring a conductance matrix that never
+// changed. Keyed by a content digest, not pointer identity, so
+// independently built but equal floorplans share too.
+var facPool = struct {
+	mu    sync.Mutex
+	m     map[[sha256.Size]byte]*derived
+	order [][sha256.Size]byte
+}{m: make(map[[sha256.Size]byte]*derived)}
+
+var facHits, facMisses atomic.Int64
+
+// FactorStats reports how many Model constructions reused a pooled
+// factorization versus factoring fresh, cumulative over the process.
+// The split depends on construction order across goroutines, so
+// consumers publish it volatile (see the experiment sweep layer).
+func FactorStats() (hits, misses int64) {
+	return facHits.Load(), facMisses.Load()
+}
+
+// modelDigest fingerprints everything the derived state depends on: the
+// exact float bits of every block's geometry and identity, and the
+// network parameters. Adjacency is a pure function of the geometry, so
+// it needs no separate contribution.
+func modelDigest(fp *floorplan.Floorplan, p Params) [sha256.Size]byte {
+	h := sha256.New()
+	var buf [8]byte
+	w64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	wf := func(v float64) { w64(math.Float64bits(v)) }
+	w64(uint64(len(fp.Blocks)))
+	for _, b := range fp.Blocks {
+		wf(b.X)
+		wf(b.Y)
+		wf(b.W)
+		wf(b.H)
+		w64(uint64(b.Unit))
+		w64(uint64(int64(b.Core)))
+	}
+	wf(p.KSi)
+	wf(p.DieThickness)
+	wf(p.RVerticalSpecific)
+	wf(p.RConvection)
+	wf(p.AmbientC)
+	wf(p.VolHeatCapacity)
+	wf(p.SinkHeatCapacity)
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// sharedDerived returns the pooled derived state for m's inputs,
+// building and inserting it on first use.
+func sharedDerived(m *Model) (*derived, error) {
+	key := modelDigest(m.fp, m.params)
+	facPool.mu.Lock()
+	if d, ok := facPool.m[key]; ok {
+		facPool.mu.Unlock()
+		facHits.Add(1)
+		return d, nil
+	}
+	facPool.mu.Unlock()
+	// Build outside the lock: factorization is the expensive part and
+	// holding the pool across it would serialize unrelated floorplans.
+	// A concurrent duplicate build is wasted work, not an error; the
+	// first insert wins and later losers share it.
+	d, err := buildDerived(m)
+	if err != nil {
+		return nil, err
+	}
+	facMisses.Add(1)
+	facPool.mu.Lock()
+	defer facPool.mu.Unlock()
+	if prev, ok := facPool.m[key]; ok {
+		return prev, nil
+	}
+	facPool.m[key] = d
+	facPool.order = append(facPool.order, key)
+	if len(facPool.order) > facPoolCapacity {
+		evict := facPool.order[0]
+		facPool.order = facPool.order[1:]
+		delete(facPool.m, evict)
+	}
+	return d, nil
+}
+
+// buildDerived factors the conductance matrix and precomputes the
+// transient integrator's CSR walk and stable step for m. This is the
+// un-pooled constructor the pool memoizes; the bit-identity test builds
+// through it directly to compare against a pooled model.
+func buildDerived(m *Model) (*derived, error) {
+	fac, err := newLDLT(m)
+	if err != nil {
+		return nil, err
+	}
+	n := len(m.fp.Blocks)
+	d := &derived{fac: fac, csrStart: make([]int32, n+1)}
+	for i, ns := range m.neighbors {
+		d.csrStart[i+1] = d.csrStart[i] + int32(len(ns))
+		for k, j := range ns {
+			d.csrCol = append(d.csrCol, int32(j))
+			d.csrLat = append(d.csrLat, m.gLat[i][k])
+		}
+	}
+	// Stable explicit-Euler step: dt < min(C/Gsum)/2, bounded by the sink
+	// time constant. The reduction order matches the historical per-call
+	// computation so chained transient results stay bit-identical.
+	dt := math.Inf(1)
+	for i := 0; i < n; i++ {
+		if s := m.capBlock[i] / m.gSum[i]; s < dt {
+			dt = s
+		}
+	}
+	gConv := 1 / m.params.RConvection
+	var gVertSum float64
+	for _, g := range m.gVert {
+		gVertSum += g
+	}
+	if s := m.params.SinkHeatCapacity / (gVertSum + gConv); s < dt {
+		dt = s
+	}
+	dt *= 0.4
+	if dt <= 0 || math.IsInf(dt, 0) {
+		return nil, errPoolStep
+	}
+	d.dtStable = dt
+	return d, nil
+}

@@ -1,0 +1,115 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"cmppower/internal/floorplan"
+)
+
+func poolChip(t *testing.T) *floorplan.Floorplan {
+	t.Helper()
+	fp, err := floorplan.Chip(floorplan.DefaultChipConfig(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp
+}
+
+// TestFactorPoolShares pins the reuse itself: two models built from equal
+// inputs share one factorization (pointer-equal), and the pool counters
+// move accordingly.
+func TestFactorPoolShares(t *testing.T) {
+	fp := poolChip(t)
+	h0, _ := FactorStats()
+	m1, err := NewModel(fp, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := NewModel(fp, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.fac != m2.fac {
+		t.Error("equal inputs did not share a factorization")
+	}
+	if &m1.csrLat[0] != &m2.csrLat[0] {
+		t.Error("equal inputs did not share the CSR arrays")
+	}
+	if h1, _ := FactorStats(); h1 <= h0 {
+		t.Errorf("factor reuse counter did not advance: %d -> %d", h0, h1)
+	}
+	// A different parameter set must not share.
+	p := DefaultParams()
+	p.KSi *= 1.01
+	m3, err := NewModel(fp, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3.fac == m1.fac {
+		t.Error("different params shared a factorization")
+	}
+}
+
+// TestSharedFactorizationBitIdentical is the satellite guarantee: a model
+// running on a pooled (shared) factorization produces byte-identical
+// SteadyState and TransientStep results to one that factored fresh,
+// bypassing the pool.
+func TestSharedFactorizationBitIdentical(t *testing.T) {
+	fp := poolChip(t)
+	pooled, err := NewModel(fp, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-derive everything from scratch for the same model, bypassing the
+	// pool, and attach it to a copy.
+	d, err := buildDerived(pooled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := *pooled
+	fresh.attach(d)
+	if pooled.fac == fresh.fac {
+		t.Fatal("test is vacuous: fresh model shares the pooled factorization")
+	}
+	if math.Float64bits(pooled.dtStable) != math.Float64bits(fresh.dtStable) {
+		t.Fatalf("stable step differs: %x vs %x", pooled.dtStable, fresh.dtStable)
+	}
+
+	n := pooled.NumNodes()
+	power := make([]float64, n)
+	for i := range power {
+		power[i] = 0.5 + float64(i%7)*1.3
+	}
+	a, err := pooled.SteadyState(power)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fresh.SteadyState(power)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			t.Fatalf("SteadyState[%d] differs: %x vs %x", i, a[i], b[i])
+		}
+	}
+
+	sa, sb := pooled.NewTransientState(), fresh.NewTransientState()
+	for step := 0; step < 5; step++ {
+		if err := pooled.TransientStep(sa, power, 0.003); err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.TransientStep(sb, power, 0.003); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if math.Float64bits(sa.SinkC) != math.Float64bits(sb.SinkC) {
+		t.Fatalf("sink temp differs: %x vs %x", sa.SinkC, sb.SinkC)
+	}
+	for i := range sa.Block {
+		if math.Float64bits(sa.Block[i]) != math.Float64bits(sb.Block[i]) {
+			t.Fatalf("TransientStep block %d differs: %x vs %x", i, sa.Block[i], sb.Block[i])
+		}
+	}
+}

@@ -128,43 +128,33 @@ func NewModel(fp *floorplan.Floorplan, p Params) (*Model, error) {
 		}
 		m.gSum[i] = s
 	}
-	fac, err := newLDLT(m)
+	// The factorization, the CSR walk, and the stable step are shared
+	// through a process-wide pool keyed by the exact (floorplan, params)
+	// content: every Model built from equal inputs derives bit-identical
+	// structures, so re-deriving them per Model was pure waste — the
+	// server's per-scale rigs and every Rig clone hit this path. See
+	// facpool.go; buildDerived keeps the historical reduction orders so
+	// pooled and fresh models agree to the last bit.
+	d, err := sharedDerived(m)
 	if err != nil {
 		return nil, err
 	}
-	m.fac = fac
-	m.csrStart = make([]int32, n+1)
-	for i, ns := range m.neighbors {
-		m.csrStart[i+1] = m.csrStart[i] + int32(len(ns))
-		for k, j := range ns {
-			m.csrCol = append(m.csrCol, int32(j))
-			m.csrLat = append(m.csrLat, m.gLat[i][k])
-		}
-	}
-	// Stable explicit-Euler step: dt < min(C/Gsum)/2, bounded by the sink
-	// time constant. The reduction order matches the historical per-call
-	// computation so chained transient results stay bit-identical.
-	dt := math.Inf(1)
-	for i := 0; i < n; i++ {
-		if s := m.capBlock[i] / m.gSum[i]; s < dt {
-			dt = s
-		}
-	}
+	m.attach(d)
 	m.gConv = 1 / p.RConvection
-	var gVertSum float64
-	for _, g := range m.gVert {
-		gVertSum += g
-	}
-	if s := p.SinkHeatCapacity / (gVertSum + m.gConv); s < dt {
-		dt = s
-	}
-	dt *= 0.4
-	if dt <= 0 || math.IsInf(dt, 0) {
-		return nil, errors.New("thermal: cannot choose stable step")
-	}
-	m.dtStable = dt
 	return m, nil
 }
+
+// attach installs a derived bundle (pooled or freshly built) on m.
+func (m *Model) attach(d *derived) {
+	m.fac = d.fac
+	m.csrStart = d.csrStart
+	m.csrCol = d.csrCol
+	m.csrLat = d.csrLat
+	m.dtStable = d.dtStable
+}
+
+// errPoolStep mirrors the historical stable-step failure.
+var errPoolStep = errors.New("thermal: cannot choose stable step")
 
 // Floorplan returns the floorplan the model was built from.
 func (m *Model) Floorplan() *floorplan.Floorplan { return m.fp }

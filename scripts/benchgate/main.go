@@ -1,7 +1,7 @@
 // Command benchgate compares a fresh `cmppower bench` report against the
-// committed baseline (BENCH_3.json) and fails on a real regression.
+// committed baseline (BENCH_8.json) and fails on a real regression.
 //
-//	go run ./scripts/benchgate BENCH_3.json /tmp/bench.json [tolerance]
+//	go run ./scripts/benchgate BENCH_8.json /tmp/bench.json [tolerance]
 //
 // Only the speedup ratios are gated — fast path vs reference
 // implementation, measured in the same process — because both sides of a
@@ -10,6 +10,11 @@
 // 20%: a ratio may drift down to 0.8× its committed value before the
 // gate fails. Absolute numbers are still printed, benchstat-style, for
 // the reader.
+//
+// Schema 3 (pre-incremental-simulation) and schema 8 reports are both
+// accepted; the sweep cold/warm ratio is gated only when baseline and
+// current both carry it, so an old baseline still gates the engine and
+// thermal ratios.
 package main
 
 import (
@@ -35,6 +40,11 @@ type report struct {
 	Fig3 struct {
 		Seconds float64 `json:"seconds"`
 	} `json:"fig3"`
+	Sweep struct {
+		ColdSeconds float64 `json:"cold_seconds"`
+		WarmSeconds float64 `json:"warm_seconds"`
+		Speedup     float64 `json:"speedup"`
+	} `json:"sweep"`
 }
 
 func load(path string) (report, error) {
@@ -46,8 +56,8 @@ func load(path string) (report, error) {
 	if err := json.Unmarshal(data, &r); err != nil {
 		return r, fmt.Errorf("%s: %w", path, err)
 	}
-	if r.Schema != 3 {
-		return r, fmt.Errorf("%s: schema %d, want 3", path, r.Schema)
+	if r.Schema != 3 && r.Schema != 8 {
+		return r, fmt.Errorf("%s: schema %d, want 3 or 8", path, r.Schema)
 	}
 	return r, nil
 }
@@ -92,6 +102,16 @@ func main() {
 	row("thermal reference solves/s", base.Thermal.ReferenceSolvesPerSec, cur.Thermal.ReferenceSolvesPerSec)
 	row("thermal speedup [gated]", base.Thermal.Speedup, cur.Thermal.Speedup)
 	row("fig3 seconds", base.Fig3.Seconds, cur.Fig3.Seconds)
+	gateSweep := base.Sweep.Speedup > 0 && cur.Sweep.Speedup > 0
+	if cur.Sweep.Speedup > 0 {
+		row("sweep cold seconds", base.Sweep.ColdSeconds, cur.Sweep.ColdSeconds)
+		row("sweep warm seconds", base.Sweep.WarmSeconds, cur.Sweep.WarmSeconds)
+		name := "sweep speedup"
+		if gateSweep {
+			name += " [gated]"
+		}
+		row(name, base.Sweep.Speedup, cur.Sweep.Speedup)
+	}
 
 	fail := false
 	gate := func(name string, old, new float64) {
@@ -103,6 +123,9 @@ func main() {
 	}
 	gate("engine speedup", base.Engine.Speedup, cur.Engine.Speedup)
 	gate("thermal speedup", base.Thermal.Speedup, cur.Thermal.Speedup)
+	if gateSweep {
+		gate("sweep speedup", base.Sweep.Speedup, cur.Sweep.Speedup)
+	}
 	if fail {
 		os.Exit(1)
 	}
