@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race doctor bench bench-check cover fuzz golden serve-smoke router-smoke traffic-smoke
+.PHONY: check build test vet race doctor bench bench-check cover fuzz golden serve-smoke router-smoke traffic-smoke surrogate-smoke
 
 check:
 	./scripts/check.sh
@@ -25,14 +25,14 @@ doctor: build
 
 # Regenerate the committed benchmark baseline (slow; run on a quiet host).
 bench: build
-	$(GO) run ./cmd/cmppower bench -out BENCH_8.json
-	@cat BENCH_8.json
+	$(GO) run ./cmd/cmppower bench -out BENCH_9.json
+	@cat BENCH_9.json
 
 # CI regression gate: quick re-measure, then compare speedup ratios
 # against the committed baseline (fails on >20% regression).
 bench-check: build
 	$(GO) run ./cmd/cmppower bench -quick -out /tmp/bench-current.json
-	$(GO) run ./scripts/benchgate BENCH_8.json /tmp/bench-current.json
+	$(GO) run ./scripts/benchgate BENCH_9.json /tmp/bench-current.json
 
 # Coverage regression gate (floor recorded in scripts/covergate.sh).
 cover:
@@ -49,6 +49,12 @@ serve-smoke:
 router-smoke:
 	./scripts/router_smoke.sh
 
+# End-to-end smoke of the surrogate fast path: warm a fit over live HTTP
+# traffic, then assert surrogate-mode requests are served from the model
+# with zero bound violations and exact mode stays byte-identical.
+surrogate-smoke:
+	./scripts/surrogate_smoke.sh
+
 # End-to-end smoke of the traffic language: deterministic plan replay,
 # the 3-client example spec played strictly through a 2-shard router
 # fleet with the achieved rate within 10% of target, and per-SLO-class
@@ -61,6 +67,7 @@ FUZZTIME ?= 2m
 fuzz:
 	$(GO) test ./internal/dvfs -run='^$$' -fuzz=FuzzQuantize -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/workload -run='^$$' -fuzz=FuzzWorkloadIR -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/surrogate -run='^$$' -fuzz=FuzzSurrogateFit -fuzztime=$(FUZZTIME)
 
 # Rewrite the CLI golden files after a deliberate output change; review
 # the testdata/golden diff before committing.

@@ -22,16 +22,17 @@ import (
 // tell which safety net tore without parsing output; the baseline checks
 // share code 1 as before.
 const (
-	exitDoctorBaseline    = 1 // any baseline model/simulator check failed
-	exitDoctorFaultInject = 2 // fault-injector round-trip broken
-	exitDoctorDTM         = 3 // DTM failed to contain a thermal emergency
-	exitDoctorCancel      = 4 // context cancellation did not stop a run
-	exitDoctorParallel    = 5 // parallel sweep diverged from serial sweep
-	exitDoctorBatched     = 6 // batched engine diverged from the reference loop
-	exitDoctorObs         = 7 // metric snapshot / manifest differed across -j
-	exitDoctorServe       = 8 // HTTP serving layer diverged from the library
-	exitDoctorRouter      = 9 // fleet router diverged, dropped, or failed to hedge
+	exitDoctorBaseline    = 1  // any baseline model/simulator check failed
+	exitDoctorFaultInject = 2  // fault-injector round-trip broken
+	exitDoctorDTM         = 3  // DTM failed to contain a thermal emergency
+	exitDoctorCancel      = 4  // context cancellation did not stop a run
+	exitDoctorParallel    = 5  // parallel sweep diverged from serial sweep
+	exitDoctorBatched     = 6  // batched engine diverged from the reference loop
+	exitDoctorObs         = 7  // metric snapshot / manifest differed across -j
+	exitDoctorServe       = 8  // HTTP serving layer diverged from the library
+	exitDoctorRouter      = 9  // fleet router diverged, dropped, or failed to hedge
 	exitDoctorFork        = 10 // warm-fork sweep diverged from cold, or forked under faults
+	exitDoctorSurrogate   = 11 // surrogate fast path leaked into exact mode, or broke its bound
 )
 
 // runDoctor runs the repository's end-to-end self-checks: determinism,
@@ -64,6 +65,7 @@ func runDoctor(args []string) error {
 		{"serve round-trip deterministic", checkServe, exitDoctorServe},
 		{"router fleet invisible under faults", checkRouter, exitDoctorRouter},
 		{"warm-fork sweep matches cold", checkForkDeterminism, exitDoctorFork},
+		{"surrogate path exact-invisible and bound-honest", checkSurrogate, exitDoctorSurrogate},
 	}
 	// Every check builds its own rigs and injectors, so they fan out over
 	// the worker pool; results are collected and reported in list order.

@@ -7,9 +7,11 @@ import (
 	"os"
 
 	"cmppower"
+	"cmppower/internal/experiment"
 	"cmppower/internal/explore"
 	"cmppower/internal/report"
 	"cmppower/internal/splash"
+	"cmppower/internal/surrogate"
 )
 
 // runExplore runs the iso-area design-space exploration: few wide cores vs
@@ -20,6 +22,7 @@ func runExplore(args []string) error {
 	scale := fs.Float64("scale", 0.3, "workload scale factor")
 	csv := fs.Bool("csv", false, "emit CSV")
 	jobs := fs.Int("j", 0, "worker count; 0 = GOMAXPROCS (output is identical for every -j)")
+	useSurr := fs.Bool("surrogate", false, "warm per-app surrogate fits first and skip simulating clearly-dominated cells")
 	obsF := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -34,24 +37,64 @@ func runExplore(args []string) error {
 		}
 		apps = publicApps
 	}
-	outs, err := explore.ExploreObs(context.Background(), apps, explore.StandardOptions(), *scale, *jobs, obsF.registry())
-	if err != nil {
-		return err
+	var outs []explore.Outcome
+	var cells []explore.SourcedOutcome
+	if *useSurr {
+		rig, err := experiment.NewRig(*scale)
+		if err != nil {
+			return err
+		}
+		rig.EnableMemo()
+		store := surrogate.NewStore(surrogate.Options{Registry: obsF.registry()})
+		rig.Surrogate = store
+		if err := warmSurrogateGrid(context.Background(), rig, apps); err != nil {
+			return err
+		}
+		cells, err = explore.ExploreSurrogate(context.Background(), apps, explore.StandardOptions(),
+			*scale, *jobs, obsF.registry(), store, rig.SurrogateKey)
+		if err != nil {
+			return err
+		}
+		outs = explore.Outcomes(cells)
+	} else {
+		var err error
+		outs, err = explore.ExploreObs(context.Background(), apps, explore.StandardOptions(), *scale, *jobs, obsF.registry())
+		if err != nil {
+			return err
+		}
+	}
+	header := []string{"app", "option", "cores(threads)", "time(ms)", "power(W)", "energy(mJ)", "EDP(uJ*s)", "speedup-vs-16x"}
+	if *useSurr {
+		header = append(header, "source")
 	}
 	t := report.NewTable(
 		"Design-space exploration: fixed die, fixed thermal envelope, nominal V/f",
-		"app", "option", "cores(threads)", "time(ms)", "power(W)", "energy(mJ)", "EDP(uJ*s)", "speedup-vs-16x")
-	for _, o := range outs {
-		if err := t.AddRow(o.App, o.Option.Name,
+		header...)
+	for i, o := range outs {
+		row := []string{o.App, o.Option.Name,
 			fmt.Sprintf("%d(%d)", o.Option.Cores, o.N),
 			report.F(o.Seconds*1e3, 3), report.F(o.PowerW, 2),
 			report.F(o.EnergyJ*1e3, 3), report.F(o.EDP*1e6, 4),
-			report.F(o.Speedup, 2)); err != nil {
+			report.F(o.Speedup, 2)}
+		if *useSurr {
+			row = append(row, cells[i].Source)
+		}
+		if err := t.AddRow(row...); err != nil {
 			return err
 		}
 	}
 	if err := emit(t, *csv); err != nil {
 		return err
+	}
+	if *useSurr {
+		pruned := 0
+		for _, c := range cells {
+			if c.Source == "surrogate" {
+				pruned++
+			}
+		}
+		fmt.Printf("\nsurrogate pruning: %d cell(s) simulated, %d pruned (margin > %g)\n",
+			len(cells)-pruned, pruned, explore.PruneMargin)
 	}
 	fmt.Println()
 	// Print in app-catalog (outcome) order, not map order, so the output

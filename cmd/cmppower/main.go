@@ -13,7 +13,7 @@
 //	cmppower ablate [-what leakage|vmin|sysdvfs]
 //	cmppower trace  [-app NAME] [-n N] [-dilate D] [-chart]
 //	cmppower validate [-apps list] [-scale S]
-//	cmppower explore [-apps list] [-scale S] [-j N]
+//	cmppower explore [-apps list] [-scale S] [-j N] [-surrogate]
 //	cmppower edp    [-app NAME] [-scale S]
 //	cmppower events [-app NAME] [-n N] [-last K] [-jsonl] [-out FILE]
 //	cmppower mix    [-apps list] [-freq MHz]
@@ -22,9 +22,10 @@
 //	cmppower pareto [-tech 65|130] [-serial s] [-comm c] [-chart]
 //	cmppower svg    [-app NAME] [-n N] [-out FILE]
 //	cmppower all    [-out DIR] [-scale S]
+//	cmppower analyze -surrogate [-apps list] [-scale S] [-out FILE]
 //	cmppower doctor [-j N]
 //	cmppower bench  [-quick] [-out FILE] [-manifests DIR]
-//	cmppower serve  [-addr :8080] [-j N] [-queue N] [-cache N] [-memo N] [-timeout D] [-drain D]
+//	cmppower serve  [-addr :8080] [-j N] [-queue N] [-cache N] [-memo N] [-timeout D] [-drain D] [-surrogate=false]
 //	cmppower router [-addr :8070] [-shards N | -backends URLS] [-j N] [-autoscale] [-chaos SPEC] [-drain D]
 //	cmppower loadgen [-url U] [-body JSON] [-duration D] [-c N] [-rate R] [-ramp list] [-vary FIELD] [-json] [-strict]
 //	cmppower loadgen -spec FILE | -trace FILE [-url BASE] [-seed N] [-plan] [-achieved-min F] [-json] [-strict]
@@ -168,6 +169,8 @@ func run(cmd string, args []string) int {
 		err = runSVG(args)
 	case "all":
 		err = runAll(args)
+	case "analyze":
+		err = runAnalyze(args)
 	case "doctor":
 		err = runDoctor(args)
 	case "cachesweep":
@@ -220,13 +223,18 @@ Commands:
   pareto   Analytical speedup/power Pareto frontier
   svg      Thermal-map SVG of one run
   all      Regenerate every artifact into a directory
+  analyze  Inspect fitted serving artifacts; -surrogate warms the
+           per-app surrogate models over the seed grid and reports
+           coefficients, confidence regions, and error bounds as
+           deterministic JSON (digest pinned by the golden test)
   doctor   End-to-end self-checks (determinism, coherence, calibration,
            fault injection, DTM, cancellation, parallel-sweep determinism,
            batched-engine equivalence, manifest determinism, serve
            round-trip; distinct exit codes per resilience failure:
            2=injector, 3=DTM, 4=cancellation, 5=parallel-divergence,
            6=batched-engine-divergence, 7=manifest-divergence,
-           8=serve-divergence, 9=router-divergence)
+           8=serve-divergence, 9=router-divergence, 10=fork-divergence,
+           11=surrogate-divergence)
   cachesweep  L1 capacity sensitivity across core counts
   bench    Performance benchmarks (engine events/sec, thermal solves/sec,
            end-to-end fig3 time) as BENCH JSON for the regression gate;

@@ -25,6 +25,7 @@ func runServe(args []string) error {
 	memo := fs.Int("memo", 0, "per-rig memo-cache entries (0 = default)")
 	timeout := fs.Duration("timeout", 0, "per-request simulation deadline (0 = 120s)")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain bound")
+	surr := fs.Bool("surrogate", true, "learn surrogate fits from served runs and answer mode=surrogate requests from them")
 	fs.Parse(args)
 
 	srv := server.New(server.Config{
@@ -33,6 +34,7 @@ func runServe(args []string) error {
 		CacheEntries:   *cache,
 		MemoCapacity:   *memo,
 		RequestTimeout: *timeout,
+		SurrogateOff:   !*surr,
 		Registry:       obs.NewRegistry(),
 	})
 

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cmppower/internal/server"
+)
+
+// TestGoldenAnalyzeSurrogate pins the `analyze -surrogate` fit report:
+// every fitted coefficient, the confidence region, the error bound, and
+// the digest over all of it. Any change to the fitter's math shows up
+// here as a one-line digest diff before it shows up as a serving bug.
+func TestGoldenAnalyzeSurrogate(t *testing.T) {
+	args := []string{"-surrogate", "-apps", "FFT,LU", "-scale", "0.05"}
+	got := captureStdout(t, runAnalyze, args)
+	checkGolden(t, "analyze_surrogate.json", got)
+
+	again := captureStdout(t, runAnalyze, args)
+	if !bytes.Equal(got, again) {
+		t.Error("two analyze -surrogate runs differ")
+	}
+}
+
+// TestGoldenServeSurrogateRun pins the wire shape of a surrogate-served
+// /v1/run response — source, bound, and the prediction fields — after a
+// deterministic warm-up. The simulator and fitter are deterministic, so
+// the body is byte-stable; external callers parse exactly this.
+func TestGoldenServeSurrogateRun(t *testing.T) {
+	s := server.New(server.Config{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(body string) (*http.Response, []byte) {
+		resp, err := ts.Client().Post(ts.URL+"/v1/run", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, b)
+		}
+		return resp, b
+	}
+	for _, n := range []int{1, 2, 4, 8} {
+		for _, mhz := range []float64{3200, 2400, 1760} {
+			for seed := 1; seed <= 2; seed++ {
+				post(fmt.Sprintf(`{"app":"FFT","n":%d,"scale":0.05,"seed":%d,"freq_mhz":%g}`, n, seed, mhz))
+			}
+		}
+	}
+	resp, body := post(`{"app":"FFT","n":4,"scale":0.05,"seed":55,"freq_mhz":2400,"mode":"surrogate"}`)
+	if got := resp.Header.Get(server.HeaderSource); got != "surrogate" {
+		t.Fatalf("%s = %q, want surrogate (fit never activated?)", server.HeaderSource, got)
+	}
+	checkGolden(t, "serve_surrogate_run.json", body)
+}

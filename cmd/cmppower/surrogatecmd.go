@@ -1,0 +1,126 @@
+package main
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"cmppower/internal/experiment"
+	"cmppower/internal/splash"
+	"cmppower/internal/surrogate"
+)
+
+// surrogateSeedGrid is the serve-style warm-up grid: core counts ×
+// frequency fractions × seeds. Two seeds per point give the fitter a
+// cross-seed holdout; three rungs span the region's frequency axis.
+var (
+	surrogateSeedNs     = []int{1, 2, 4, 8, 16}
+	surrogateSeedFracs  = []float64{1.0, 0.75, 0.55}
+	surrogateSeedCounts = []uint64{1, 2}
+)
+
+// warmSurrogateGrid feeds a rig's surrogate store by simulating the seed
+// grid for each application (memoized runs make repeats free). The rig
+// must already carry the store.
+func warmSurrogateGrid(ctx context.Context, rig *experiment.Rig, apps []splash.App) error {
+	nom := rig.Table.Nominal()
+	for _, a := range apps {
+		for _, n := range surrogateSeedNs {
+			if !a.RunsOn(n) || n > rig.TotalCores {
+				continue
+			}
+			for _, fr := range surrogateSeedFracs {
+				p := rig.Table.PointFor(nom.Freq * fr)
+				for _, seed := range surrogateSeedCounts {
+					if _, err := rig.RunAppSeeded(ctx, a, n, p, seed); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// surrogateAppReport is one application's entry in the fit report.
+type surrogateAppReport struct {
+	App     string         `json:"app"`
+	Samples int            `json:"samples"`
+	Active  bool           `json:"active"`
+	Reason  string         `json:"reason,omitempty"`
+	Fit     *surrogate.Fit `json:"fit,omitempty"`
+}
+
+// surrogateReport is the `analyze -surrogate` output: the activated fits
+// (or refusal reasons) for a seed-grid warm-up, with a digest over the
+// per-app entries so CI can pin the whole fit pipeline with one string.
+type surrogateReport struct {
+	Scale  float64              `json:"scale"`
+	Apps   []surrogateAppReport `json:"apps"`
+	Digest string               `json:"digest"`
+}
+
+// runAnalyze inspects fitted serving artifacts. Its one mode today is
+// -surrogate: warm the surrogate store over the seed grid and report
+// every fit — coefficients, confidence region, and error bound — as
+// deterministic JSON (the golden test pins the digest).
+func runAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	surr := fs.Bool("surrogate", false, "fit and report the per-app surrogate models")
+	appSel := fs.String("apps", "FFT,LU", "comma-separated application names, or all")
+	scale := fs.Float64("scale", 0.05, "workload scale factor")
+	out := fs.String("out", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if !*surr {
+		return fmt.Errorf("nothing to analyze: pass -surrogate")
+	}
+	apps, err := appsFor(*appSel)
+	if err != nil {
+		return err
+	}
+	rig, err := experiment.NewRig(*scale)
+	if err != nil {
+		return err
+	}
+	rig.EnableMemo()
+	store := surrogate.NewStore(surrogate.Options{})
+	rig.Surrogate = store
+	if err := warmSurrogateGrid(context.Background(), rig, apps); err != nil {
+		return err
+	}
+	rep := surrogateReport{Scale: *scale}
+	for _, a := range apps {
+		key := rig.SurrogateKey(a.Name)
+		entry := surrogateAppReport{
+			App:     a.Name,
+			Samples: len(store.Samples(key)),
+			Fit:     store.FitFor(key),
+		}
+		if entry.Fit != nil {
+			entry.Active = true
+		} else {
+			entry.Reason = store.Reason(key)
+		}
+		rep.Apps = append(rep.Apps, entry)
+	}
+	canon, err := json.Marshal(rep.Apps)
+	if err != nil {
+		return err
+	}
+	rep.Digest = fmt.Sprintf("sha256:%x", sha256.Sum256(canon))
+	b, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(*out, b, 0o644)
+}

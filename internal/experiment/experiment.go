@@ -21,6 +21,7 @@ import (
 	"cmppower/internal/power"
 	"cmppower/internal/splash"
 	"cmppower/internal/stats"
+	"cmppower/internal/surrogate"
 	"cmppower/internal/thermal"
 )
 
@@ -72,6 +73,13 @@ type Rig struct {
 	// parallel sweep dedupes the baseline/profiling runs repeated within
 	// and across Scenario I and II. Enable with EnableMemo.
 	memo *memoCache
+
+	// Surrogate, when non-nil, receives every completed clean run (no
+	// fault injection, no DTM) as a training sample for the closed-form
+	// fast path (see package surrogate). Clones share the store the same
+	// way they share the memo: the struct copy keeps the pointer, and the
+	// store is concurrency-safe.
+	Surrogate *surrogate.Store
 
 	// fork, when non-nil, caches warm-state checkpoints keyed by
 	// (app, n, seed, scale) so a sweep point forks from a completed
@@ -342,6 +350,7 @@ func (r *Rig) runApp(ctx context.Context, app splash.App, n int, p dvfs.Operatin
 		}
 	}
 	r.Obs.Counter("experiment_runs_total").Add(1)
+	r.feedSurrogate(m)
 	return m, nil
 }
 

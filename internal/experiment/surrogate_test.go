@@ -1,0 +1,98 @@
+package experiment
+
+import (
+	"testing"
+
+	"cmppower/internal/faults"
+	"cmppower/internal/splash"
+	"cmppower/internal/surrogate"
+)
+
+// TestSurrogateFeeding: clean runs train the attached store; fault- and
+// DTM-perturbed runs must not (they don't measure the pure simulator).
+func TestSurrogateFeeding(t *testing.T) {
+	newRig := func(t *testing.T) (*Rig, splash.App) {
+		t.Helper()
+		rig, err := NewRig(0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rig.Surrogate = surrogate.NewStore(surrogate.Options{})
+		app, err := splash.ByName("FFT")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rig, app
+	}
+
+	t.Run("clean runs feed", func(t *testing.T) {
+		rig, app := newRig(t)
+		nom := rig.Table.Nominal()
+		for _, n := range []int{1, 2} {
+			if _, err := rig.RunAppCtx(t.Context(), app, n, nom); err != nil {
+				t.Fatal(err)
+			}
+		}
+		key := rig.SurrogateKey("FFT")
+		got := rig.Surrogate.Samples(key)
+		if len(got) != 2 {
+			t.Fatalf("store holds %d samples after 2 clean runs, want 2", len(got))
+		}
+		for _, s := range got {
+			if s.Freq != nom.Freq || s.Volt != nom.Volt || s.Seconds <= 0 ||
+				s.PowerW <= 0 || s.DynW+s.StaticW != s.PowerW {
+				t.Errorf("fed sample inconsistent with the measurement: %+v", s)
+			}
+		}
+		// Clones share the store: a clone's run lands in the same bucket.
+		clone := rig.Clone()
+		if _, err := clone.RunAppCtx(t.Context(), app, 4, nom); err != nil {
+			t.Fatal(err)
+		}
+		if got := rig.Surrogate.Samples(key); len(got) != 3 {
+			t.Fatalf("store holds %d samples after a clone run, want 3", len(got))
+		}
+	})
+
+	t.Run("fault-injected runs do not feed", func(t *testing.T) {
+		rig, app := newRig(t)
+		inj, err := faults.New(faults.Config{Seed: 3, SensorNoiseSigmaC: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rig.Faults = inj
+		if _, err := rig.RunAppCtx(t.Context(), app, 1, rig.Table.Nominal()); err != nil {
+			t.Fatal(err)
+		}
+		if got := rig.Surrogate.Samples(rig.SurrogateKey("FFT")); len(got) != 0 {
+			t.Fatalf("fault-injected run fed %d samples, want 0", len(got))
+		}
+	})
+
+	t.Run("DTM runs do not feed", func(t *testing.T) {
+		rig, app := newRig(t)
+		dtm := DefaultDTMConfig()
+		rig.DTM = &dtm
+		if _, err := rig.RunAppCtx(t.Context(), app, 1, rig.Table.Nominal()); err != nil {
+			t.Fatal(err)
+		}
+		if got := rig.Surrogate.Samples(rig.SurrogateKey("FFT")); len(got) != 0 {
+			t.Fatalf("DTM run fed %d samples, want 0", len(got))
+		}
+	})
+
+	t.Run("memo hits feed once per simulation", func(t *testing.T) {
+		rig, app := newRig(t)
+		rig.EnableMemo()
+		nom := rig.Table.Nominal()
+		for i := 0; i < 3; i++ {
+			if _, err := rig.RunAppCtx(t.Context(), app, 1, nom); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := rig.Surrogate.Samples(rig.SurrogateKey("FFT"))
+		if len(got) != 1 {
+			t.Fatalf("3 memoized repeats fed %d samples, want 1 (only the real simulation)", len(got))
+		}
+	})
+}

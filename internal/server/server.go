@@ -31,6 +31,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,6 +40,7 @@ import (
 	"cmppower/internal/explore"
 	"cmppower/internal/faults"
 	"cmppower/internal/obs"
+	"cmppower/internal/surrogate"
 	"cmppower/internal/traffic"
 )
 
@@ -66,6 +68,12 @@ type Config struct {
 	RequestTimeout time.Duration
 	// MaxBodyBytes bounds request bodies (<= 0 means 1 MiB).
 	MaxBodyBytes int64
+	// SurrogateOff disables the surrogate fast path: no store is built,
+	// no runs train fits, and surrogate-mode requests always fall back to
+	// simulation. The zero value (surrogate on) changes nothing about
+	// exact-mode responses — doctor check 15 proves they stay
+	// byte-identical either way.
+	SurrogateOff bool
 	// Registry collects server and simulation metrics; nil allocates a
 	// fresh one (GET /metrics always has something to serve).
 	Registry *obs.Registry
@@ -109,6 +117,7 @@ type Server struct {
 	flights *flightGroup
 	cache   *lruCache
 	rigs    *rigPool
+	surr    *surrogate.Store
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -128,17 +137,26 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
+	var surr *surrogate.Store
+	if !cfg.SurrogateOff {
+		surr = surrogate.NewStore(surrogate.Options{Registry: cfg.Registry})
+	}
 	return &Server{
 		cfg:        cfg,
 		reg:        cfg.Registry,
 		adm:        newAdmission(cfg.Workers, cfg.QueueDepth),
 		flights:    newFlightGroup(),
 		cache:      newLRUCache(cfg.CacheEntries),
-		rigs:       newRigPool(cfg.Registry, cfg.MemoCapacity),
+		rigs:       newRigPool(cfg.Registry, cfg.MemoCapacity, surr),
+		surr:       surr,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 	}
 }
+
+// SurrogateStore exposes the server's fit store (nil when SurrogateOff);
+// the analyze command and tests read fits and refusal reasons off it.
+func (s *Server) SurrogateStore() *surrogate.Store { return s.surr }
 
 // Handler returns the server's routing handler (also usable under
 // httptest).
@@ -297,9 +315,16 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if strings.TrimSpace(req.Mode) == "" && approxRequested(r) {
+		req.Mode = ModeSurrogate
+	}
 	req.ApplyDefaults()
 	if err := req.Validate(); err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Mode == ModeSurrogate {
+		s.handleRunSurrogate(w, r, &req)
 		return
 	}
 	s.serveCoalesced(w, r, cacheKey("/v1/run", &req), func(ctx context.Context) (*response, error) {
@@ -339,9 +364,16 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if strings.TrimSpace(req.Mode) == "" && approxRequested(r) {
+		req.Mode = ModeSurrogate
+	}
 	req.ApplyDefaults()
 	if err := req.Validate(); err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Mode == ModeSurrogate {
+		s.handleExploreSurrogate(w, r, &req)
 		return
 	}
 	s.serveCoalesced(w, r, cacheKey("/v1/explore", &req), func(ctx context.Context) (*response, error) {
@@ -614,14 +646,15 @@ type rigPool struct {
 	mu       sync.Mutex
 	reg      *obs.Registry
 	memoCap  int
+	surr     *surrogate.Store
 	capacity int
 	base     *experiment.Rig // first rig built; ancestor for CloneForScale
 	rigs     map[float64]*experiment.Rig
 	order    []float64 // LRU, last = most recently used
 }
 
-func newRigPool(reg *obs.Registry, memoCap int) *rigPool {
-	return &rigPool{reg: reg, memoCap: memoCap, capacity: 8, rigs: make(map[float64]*experiment.Rig)}
+func newRigPool(reg *obs.Registry, memoCap int, surr *surrogate.Store) *rigPool {
+	return &rigPool{reg: reg, memoCap: memoCap, surr: surr, capacity: 8, rigs: make(map[float64]*experiment.Rig)}
 }
 
 // get returns the rig for scale, deriving it on first use (a clone of
@@ -644,6 +677,9 @@ func (p *rigPool) get(scale float64) (*experiment.Rig, error) {
 		if err == nil {
 			rig.Obs = p.reg
 			rig.EnableMemoBounded(p.memoCap)
+			// Every simulated run trains the surrogate; scale-derived and
+			// per-request clones share the pointer like the memo cache.
+			rig.Surrogate = p.surr
 			p.base = rig
 		}
 	}

@@ -39,6 +39,14 @@ type RunRequest struct {
 	Faults string `json:"faults,omitempty"`
 	// DTM enables the dynamic thermal-management controller replay.
 	DTM bool `json:"dtm,omitempty"`
+	// Mode selects the serving path: "" or "exact" (full simulation,
+	// byte-identical to the library) or "surrogate" (the analytical fit
+	// may answer when the query is inside its confidence region; the
+	// response carries source and error bound either way). The
+	// X-Cmppower-Approx header is folded into this field, so Mode is part
+	// of the cache identity. "exact" normalizes to "" — the two spell the
+	// same request.
+	Mode string `json:"mode,omitempty"`
 }
 
 // ApplyDefaults normalizes the request in place so that two requests
@@ -52,6 +60,7 @@ func (r *RunRequest) ApplyDefaults() {
 	}
 	r.App = strings.TrimSpace(r.App)
 	r.Faults = strings.TrimSpace(r.Faults)
+	r.Mode = normalizeMode(r.Mode)
 }
 
 // Validate rejects requests the rig would reject, with a client-side
@@ -69,7 +78,7 @@ func (r *RunRequest) Validate() error {
 	if r.FreqMHz < 0 {
 		return fmt.Errorf("negative freq_mhz %g", r.FreqMHz)
 	}
-	return nil
+	return validateMode(r.Mode)
 }
 
 // RunResponse is the body of a successful POST /v1/run.
@@ -189,6 +198,10 @@ type ExploreRequest struct {
 	Apps []string `json:"apps,omitempty"`
 	// Scale is the workload scale factor (default 0.1).
 	Scale float64 `json:"scale,omitempty"`
+	// Mode as in RunRequest: "surrogate" lets the active fits prune
+	// clearly-dominated cells instead of simulating them, with per-cell
+	// provenance in the response.
+	Mode string `json:"mode,omitempty"`
 }
 
 // ApplyDefaults normalizes the request in place (cache identity).
@@ -202,6 +215,7 @@ func (r *ExploreRequest) ApplyDefaults() {
 	if r.Scale == 0 {
 		r.Scale = defaultScale
 	}
+	r.Mode = normalizeMode(r.Mode)
 }
 
 // Validate rejects malformed explorations before admission.
@@ -214,7 +228,7 @@ func (r *ExploreRequest) Validate() error {
 	if r.Scale <= 0 || r.Scale > 4 {
 		return fmt.Errorf("scale %g outside (0,4]", r.Scale)
 	}
-	return nil
+	return validateMode(r.Mode)
 }
 
 // ExploreResponse is the body of a successful POST /v1/explore.

@@ -1,0 +1,125 @@
+package surrogate_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cmppower/internal/experiment"
+	"cmppower/internal/splash"
+	"cmppower/internal/surrogate"
+)
+
+// TestDifferentialGrid is the surrogate's core contract test: seed a fit
+// from a deterministic simulation grid, then check on a seeded
+// randomized grid of in-region queries — fresh seeds, interpolated
+// frequencies — that the surrogate's relative error against the full
+// simulator stays within the advertised bound, and that out-of-region
+// queries always refuse (the fallback-to-simulation signal).
+func TestDifferentialGrid(t *testing.T) {
+	cases := []struct {
+		app   string
+		scale float64
+	}{
+		{"FFT", 0.08},
+		{"LU", 0.08},
+		{"Radix", 0.08},
+		{"Ocean", 0.06},
+	}
+	for _, tc := range cases {
+		t.Run(tc.app, func(t *testing.T) {
+			t.Parallel()
+			rig, err := experiment.NewRig(tc.scale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rig.EnableMemo()
+			store := surrogate.NewStore(surrogate.Options{})
+			rig.Surrogate = store
+			app, err := splash.ByName(tc.app)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nom := rig.Table.Nominal()
+
+			// Seeding grid: the traffic a warm server would have seen.
+			seedNs := []int{1, 2, 4, 8}
+			fracs := []float64{1.0, 0.75, 0.55}
+			for _, n := range seedNs {
+				if !app.RunsOn(n) {
+					continue
+				}
+				for _, fr := range fracs {
+					p := rig.Table.PointFor(nom.Freq * fr)
+					for _, seed := range []uint64{1, 2} {
+						if _, err := rig.RunAppSeeded(t.Context(), app, n, p, seed); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+			}
+
+			key := rig.SurrogateKey(tc.app)
+			fit := store.FitFor(key)
+			if fit == nil {
+				t.Fatalf("fit refused after seeding grid: %s", store.Reason(key))
+			}
+			t.Logf("%s: bound=%.4f holdout errT=%.4f errP=%.4f train=%d s=%.3f c=%.3f θc=%.4g θm=%.4g dyn=%v sta=%v",
+				tc.app, fit.Bound, fit.HoldoutErrT, fit.HoldoutErrP, fit.TrainSamples,
+				fit.Serial, fit.Comm, fit.ThetaC, fit.ThetaM, fit.DynCoef, fit.StaCoef)
+
+			// Randomized in-region queries: fresh seeds the fit never saw,
+			// frequencies interpolated anywhere inside the trained span.
+			rng := rand.New(rand.NewSource(42))
+			var worstT, worstP float64
+			for i := 0; i < 12; i++ {
+				n := fit.Ns[rng.Intn(len(fit.Ns))]
+				f := fit.MinFreqHz + rng.Float64()*(fit.MaxFreqHz-fit.MinFreqHz)
+				p := rig.Table.PointFor(f)
+				if !fit.InRegion(n, p.Freq) {
+					// PointFor may clamp to a ladder edge outside the span.
+					continue
+				}
+				pred, ok := fit.Predict(n, p.Freq, p.Volt)
+				if !ok {
+					t.Fatalf("in-region query (n=%d f=%.0f) refused", n, p.Freq)
+				}
+				truth, err := rig.RunAppSeeded(t.Context(), app, n, p, uint64(100+i))
+				if err != nil {
+					t.Fatal(err)
+				}
+				errT := math.Abs(pred.Seconds-truth.Seconds) / truth.Seconds
+				errP := math.Abs(pred.PowerW-truth.PowerW) / truth.PowerW
+				worstT = math.Max(worstT, errT)
+				worstP = math.Max(worstP, errP)
+				if errT > fit.Bound || errP > fit.Bound {
+					t.Errorf("n=%d f=%.0fMHz seed=%d: errT=%.4f errP=%.4f exceed bound %.4f",
+						n, p.Freq/1e6, 100+i, errT, errP, fit.Bound)
+				}
+			}
+			t.Logf("%s: worst observed errT=%.4f errP=%.4f (bound %.4f)", tc.app, worstT, worstP, fit.Bound)
+
+			// Out-of-region queries must refuse so the server falls back.
+			min := rig.Table.Min()
+			outs := []struct {
+				name string
+				key  surrogate.Key
+				n    int
+				p    float64
+			}{
+				{"unsampled core count", key, 16, nom.Freq},
+				{"below trained span", key, 1, min.Freq},
+				{"unknown scale", surrogate.Key{App: key.App, Scale: 3.3, Config: key.Config}, 1, nom.Freq},
+				{"unknown config", surrogate.Key{App: key.App, Scale: key.Scale, Config: "tc4 sys=false pf=false"}, 1, nom.Freq},
+			}
+			for _, o := range outs {
+				if o.p >= fit.MinFreqHz && o.n != 16 && o.key == key {
+					t.Fatalf("bad test setup: %s is in-region", o.name)
+				}
+				if _, _, ok := store.Predict(o.key, o.n, o.p, nom.Volt); ok {
+					t.Errorf("%s answered instead of falling back", o.name)
+				}
+			}
+		})
+	}
+}

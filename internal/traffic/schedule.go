@@ -48,10 +48,11 @@ type Schedule struct {
 // imports this package), and field order is the JSON byte order, so a
 // generated body is exactly what a hand-written client would send.
 type runBody struct {
-	App   string  `json:"app"`
-	N     int     `json:"n"`
-	Scale float64 `json:"scale,omitempty"`
-	Seed  uint64  `json:"seed,omitempty"`
+	App     string  `json:"app"`
+	N       int     `json:"n"`
+	Scale   float64 `json:"scale,omitempty"`
+	Seed    uint64  `json:"seed,omitempty"`
+	FreqMHz float64 `json:"freq_mhz,omitempty"`
 }
 
 type sweepBody struct {
@@ -175,11 +176,16 @@ func buildBody(t *TemplateSpec, s *stream, specSeed uint64, varySeq *uint64) (js
 		if len(cores) == 0 {
 			cores = defaultCores
 		}
+		var mhz float64
+		if len(t.Freqs) > 0 {
+			mhz = t.Freqs[s.intn(len(t.Freqs))]
+		}
 		return json.Marshal(&runBody{
-			App:   t.Apps[s.intn(len(t.Apps))],
-			N:     cores[s.intn(len(cores))],
-			Scale: t.Scale,
-			Seed:  seed,
+			App:     t.Apps[s.intn(len(t.Apps))],
+			N:       cores[s.intn(len(cores))],
+			Scale:   t.Scale,
+			Seed:    seed,
+			FreqMHz: mhz,
 		})
 	case PathSweep:
 		scenarios := t.Scenarios

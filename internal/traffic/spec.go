@@ -112,6 +112,10 @@ type TemplateSpec struct {
 	Apps []string `json:"apps,omitempty"`
 	// Cores is the core-count choice set for run (default {1,2,4,8,16}).
 	Cores []int `json:"cores,omitempty"`
+	// Freqs is the clock-frequency choice set for run, in MHz (empty
+	// means the server's nominal frequency) — the knob that exercises the
+	// surrogate's frequency axis under live traffic.
+	Freqs []float64 `json:"freqs_mhz,omitempty"`
 	// Scenarios is the scenario choice set for sweep (default {I, II}).
 	Scenarios []string `json:"scenarios,omitempty"`
 	// Scale is the workload scale (0 means the server default).
@@ -255,6 +259,14 @@ func (t *TemplateSpec) validate(client string) error {
 		if n < 1 || n > 16 {
 			return fmt.Errorf("traffic: client %q core count %d outside [1,16]", client, n)
 		}
+	}
+	for _, mhz := range t.Freqs {
+		if mhz <= 0 {
+			return fmt.Errorf("traffic: client %q freq %g MHz must be > 0", client, mhz)
+		}
+	}
+	if path != PathRun && len(t.Freqs) > 0 {
+		return fmt.Errorf("traffic: client %q: freqs_mhz only applies to run templates", client)
 	}
 	for _, sc := range t.Scenarios {
 		if sc != "I" && sc != "II" {

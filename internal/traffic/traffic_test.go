@@ -178,6 +178,56 @@ func TestVarySeedDistinct(t *testing.T) {
 	}
 }
 
+// TestFreqChoiceSet: a run template's freqs_mhz set is drawn per
+// request (every body carries a member of the set, every member shows
+// up), and templates without the field omit freq_mhz entirely — which
+// is what keeps pre-existing specs' plan digests byte-stable.
+func TestFreqChoiceSet(t *testing.T) {
+	spec := parseTestSpec(t)
+	freqs := []float64{3200, 2400, 1760}
+	spec.Clients[0].Requests[0].Freqs = freqs
+	s, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allowed := make(map[float64]bool, len(freqs))
+	for _, f := range freqs {
+		allowed[f] = true
+	}
+	drawn := make(map[float64]int)
+	for i := range s.Arrivals {
+		a := &s.Arrivals[i]
+		if a.Endpoint != PathRun {
+			continue
+		}
+		var body struct {
+			FreqMHz *float64 `json:"freq_mhz"`
+		}
+		if err := json.Unmarshal(a.Body, &body); err != nil {
+			t.Fatal(err)
+		}
+		switch a.Client {
+		case "dash":
+			if body.FreqMHz == nil {
+				t.Fatalf("dash body missing freq_mhz: %s", a.Body)
+			}
+			if !allowed[*body.FreqMHz] {
+				t.Fatalf("dash drew freq %g outside the choice set", *body.FreqMHz)
+			}
+			drawn[*body.FreqMHz]++
+		case "nightly":
+			if body.FreqMHz != nil {
+				t.Fatalf("nightly (no freqs_mhz) body carries freq_mhz: %s", a.Body)
+			}
+		}
+	}
+	for _, f := range freqs {
+		if drawn[f] == 0 {
+			t.Errorf("freq %g MHz never drawn across %d arrivals", f, len(s.Arrivals))
+		}
+	}
+}
+
 // TestArrivalProcessMeans: every process's sampler averages to the
 // requested mean (law of large numbers over a deterministic stream).
 func TestArrivalProcessMeans(t *testing.T) {
@@ -231,6 +281,8 @@ func TestSpecParseErrors(t *testing.T) {
 		{"bad cores", `{"rate_rps":10,"duration_sec":1,"clients":[{"name":"a","rate_fraction":1,"class":"batch","arrival":{"process":"poisson"},"requests":[{"endpoint":"run","apps":["FFT"],"cores":[32]}]}]}`, "core count"},
 		{"bad scenario", `{"rate_rps":10,"duration_sec":1,"clients":[{"name":"a","rate_fraction":1,"class":"batch","arrival":{"process":"poisson"},"requests":[{"endpoint":"sweep","scenarios":["III"]}]}]}`, "scenario"},
 		{"scenario on run", `{"rate_rps":10,"duration_sec":1,"clients":[{"name":"a","rate_fraction":1,"class":"batch","arrival":{"process":"poisson"},"requests":[{"endpoint":"run","apps":["FFT"],"scenarios":["I"]}]}]}`, "scenarios only apply"},
+		{"bad freq", `{"rate_rps":10,"duration_sec":1,"clients":[{"name":"a","rate_fraction":1,"class":"batch","arrival":{"process":"poisson"},"requests":[{"endpoint":"run","apps":["FFT"],"freqs_mhz":[0]}]}]}`, "freq"},
+		{"freq on sweep", `{"rate_rps":10,"duration_sec":1,"clients":[{"name":"a","rate_fraction":1,"class":"batch","arrival":{"process":"poisson"},"requests":[{"endpoint":"sweep","freqs_mhz":[2400]}]}]}`, "freqs_mhz only applies"},
 	}
 	for _, tc := range cases {
 		_, err := ParseSpec(strings.NewReader(tc.json))

@@ -1,7 +1,7 @@
 // Command benchgate compares a fresh `cmppower bench` report against the
-// committed baseline (BENCH_8.json) and fails on a real regression.
+// committed baseline (BENCH_9.json) and fails on a real regression.
 //
-//	go run ./scripts/benchgate BENCH_8.json /tmp/bench.json [tolerance]
+//	go run ./scripts/benchgate BENCH_9.json /tmp/bench.json [tolerance]
 //
 // Only the speedup ratios are gated — fast path vs reference
 // implementation, measured in the same process — because both sides of a
@@ -11,9 +11,10 @@
 // gate fails. Absolute numbers are still printed, benchstat-style, for
 // the reader.
 //
-// Schema 3 (pre-incremental-simulation) and schema 8 reports are both
-// accepted; the sweep cold/warm ratio is gated only when baseline and
-// current both carry it, so an old baseline still gates the engine and
+// Schema 3 (pre-incremental-simulation), schema 8, and schema 9 reports
+// are all accepted; the sweep cold/warm ratio and the surrogate
+// exact/surrogate ratio are each gated only when baseline and current
+// both carry them, so an old baseline still gates the engine and
 // thermal ratios.
 package main
 
@@ -45,6 +46,11 @@ type report struct {
 		WarmSeconds float64 `json:"warm_seconds"`
 		Speedup     float64 `json:"speedup"`
 	} `json:"sweep"`
+	Surrogate struct {
+		ExactRPS     float64 `json:"exact_rps"`
+		SurrogateRPS float64 `json:"surrogate_rps"`
+		Speedup      float64 `json:"speedup"`
+	} `json:"surrogate"`
 }
 
 func load(path string) (report, error) {
@@ -56,8 +62,8 @@ func load(path string) (report, error) {
 	if err := json.Unmarshal(data, &r); err != nil {
 		return r, fmt.Errorf("%s: %w", path, err)
 	}
-	if r.Schema != 3 && r.Schema != 8 {
-		return r, fmt.Errorf("%s: schema %d, want 3 or 8", path, r.Schema)
+	if r.Schema != 3 && r.Schema != 8 && r.Schema != 9 {
+		return r, fmt.Errorf("%s: schema %d, want 3, 8, or 9", path, r.Schema)
 	}
 	return r, nil
 }
@@ -112,6 +118,16 @@ func main() {
 		}
 		row(name, base.Sweep.Speedup, cur.Sweep.Speedup)
 	}
+	gateSurrogate := base.Surrogate.Speedup > 0 && cur.Surrogate.Speedup > 0
+	if cur.Surrogate.Speedup > 0 {
+		row("surrogate exact rps", base.Surrogate.ExactRPS, cur.Surrogate.ExactRPS)
+		row("surrogate rps", base.Surrogate.SurrogateRPS, cur.Surrogate.SurrogateRPS)
+		name := "surrogate speedup"
+		if gateSurrogate {
+			name += " [gated]"
+		}
+		row(name, base.Surrogate.Speedup, cur.Surrogate.Speedup)
+	}
 
 	fail := false
 	gate := func(name string, old, new float64) {
@@ -125,6 +141,9 @@ func main() {
 	gate("thermal speedup", base.Thermal.Speedup, cur.Thermal.Speedup)
 	if gateSweep {
 		gate("sweep speedup", base.Sweep.Speedup, cur.Sweep.Speedup)
+	}
+	if gateSurrogate {
+		gate("surrogate speedup", base.Surrogate.Speedup, cur.Surrogate.Speedup)
 	}
 	if fail {
 		os.Exit(1)

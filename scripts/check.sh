@@ -23,4 +23,7 @@ go test ./internal/dvfs -run='^$' -fuzz=FuzzQuantize -fuzztime=10s
 echo "== fuzz smoke: workload JSON IR (10s)"
 go test ./internal/workload -run='^$' -fuzz=FuzzWorkloadIR -fuzztime=10s
 
+echo "== fuzz smoke: surrogate fitter (10s)"
+go test ./internal/surrogate -run='^$' -fuzz=FuzzSurrogateFit -fuzztime=10s
+
 echo "check: all gates passed"

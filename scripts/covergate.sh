@@ -10,7 +10,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 # Total statement coverage measured when this gate was introduced.
-BASELINE=69.7
+BASELINE=70.3
 # Allowed slack below the baseline, in percentage points.
 SLACK=2.0
 

@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# Surrogate-smoke gate: boot `cmppower serve`, warm a surrogate fit with
+# live traffic (the traffic language's freqs_mhz choice set sweeping the
+# frequency axis), then require that surrogate-mode requests are served
+# from the model (X-Cmppower-Source: surrogate, hits counted on
+# /metrics) with zero bound violations, and that exact-mode responses
+# are byte-identical to a second server running with -surrogate=false.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DUR=${DUR:-8s}
+PORT=${PORT:-18084}
+PORT_OFF=${PORT_OFF:-18085}
+BASE="http://127.0.0.1:$PORT"
+BASE_OFF="http://127.0.0.1:$PORT_OFF"
+
+WORKDIR=$(mktemp -d)
+BIN="$WORKDIR/cmppower"
+cleanup() {
+  [ -n "${SERVE_PID:-}" ] && kill "$SERVE_PID" 2>/dev/null || true
+  [ -n "${SERVE_OFF_PID:-}" ] && kill "$SERVE_OFF_PID" 2>/dev/null || true
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+go build -o "$BIN" ./cmd/cmppower
+
+"$BIN" serve -addr "127.0.0.1:$PORT" &
+SERVE_PID=$!
+"$BIN" serve -addr "127.0.0.1:$PORT_OFF" -surrogate=false &
+SERVE_OFF_PID=$!
+
+for url in "$BASE" "$BASE_OFF"; do
+  for _ in $(seq 1 100); do
+    curl -fsS "$url/readyz" >/dev/null 2>&1 && break
+    kill -0 "$SERVE_PID" 2>/dev/null || { echo "serve exited early" >&2; exit 1; }
+    kill -0 "$SERVE_OFF_PID" 2>/dev/null || { echo "serve -surrogate=false exited early" >&2; exit 1; }
+    sleep 0.1
+  done
+done
+
+echo "== exact mode is byte-identical with the surrogate on and off =="
+EXACT_BODY='{"app":"FFT","n":4,"scale":0.05,"seed":7,"freq_mhz":2400}'
+curl -fsS -X POST -d "$EXACT_BODY" "$BASE/v1/run" > "$WORKDIR/on.json"
+curl -fsS -X POST -d "$EXACT_BODY" "$BASE_OFF/v1/run" > "$WORKDIR/off.json"
+cmp "$WORKDIR/on.json" "$WORKDIR/off.json" || {
+  echo "exact-mode response differs between -surrogate=true and -surrogate=false" >&2
+  exit 1
+}
+
+echo "== warm the fit over live traffic (freqs_mhz sweeps the frequency axis) =="
+cat > "$WORKDIR/warm.json" <<'EOF'
+{
+  "seed": 11,
+  "rate_rps": 40,
+  "duration_sec": 8,
+  "clients": [
+    {
+      "name": "warmer",
+      "rate_fraction": 1,
+      "class": "batch",
+      "arrival": {"process": "poisson"},
+      "requests": [
+        {"endpoint": "run", "apps": ["FFT"], "cores": [1, 2, 4, 8],
+         "freqs_mhz": [3200, 2400, 1760], "scale": 0.05, "vary_seed": true}
+      ]
+    }
+  ]
+}
+EOF
+"$BIN" loadgen -spec "$WORKDIR/warm.json" -url "$BASE" -strict
+
+echo "== surrogate-mode probe (must be served from the model) =="
+PROBE='{"app":"FFT","n":4,"scale":0.05,"seed":999983,"freq_mhz":2400,"mode":"surrogate"}'
+curl -fsS -D "$WORKDIR/probe.hdr" -X POST -d "$PROBE" "$BASE/v1/run" > "$WORKDIR/probe.json"
+grep -i '^X-Cmppower-Source: surrogate' "$WORKDIR/probe.hdr" || {
+  echo "surrogate probe not served from the model:" >&2
+  cat "$WORKDIR/probe.hdr" "$WORKDIR/probe.json" >&2
+  exit 1
+}
+grep -i '^X-Cmppower-Bound:' "$WORKDIR/probe.hdr" >/dev/null || {
+  echo "surrogate probe carries no error bound" >&2
+  exit 1
+}
+
+echo "== surrogate-mode load (fresh seed per request, strict) =="
+"$BIN" loadgen -url "$BASE/v1/run" \
+  -body '{"app":"FFT","n":4,"scale":0.05,"freq_mhz":2400,"mode":"surrogate"}' \
+  -vary seed -duration "$DUR" -c 8 -strict
+
+echo "== surrogate counters =="
+METRICS=$(curl -fsS "$BASE/metrics")
+HITS=$(echo "$METRICS" | awk '/^surrogate_hits_total/ {print $2}')
+[ -n "$HITS" ] && [ "$HITS" -gt 0 ] || {
+  echo "surrogate_hits_total = ${HITS:-absent}, want > 0" >&2
+  exit 1
+}
+VIOL=$(echo "$METRICS" | awk '/^surrogate_bound_violations_total/ {print $2}')
+[ -z "$VIOL" ] || [ "$VIOL" -eq 0 ] || {
+  echo "surrogate_bound_violations_total = $VIOL, want 0" >&2
+  exit 1
+}
+echo "$METRICS" | grep '^surrogate_' | grep -v '_bucket' | head -12
+
+echo "== graceful SIGTERM drain =="
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+SERVE_PID=
+kill -TERM "$SERVE_OFF_PID"
+wait "$SERVE_OFF_PID"
+SERVE_OFF_PID=
+
+echo "surrogate-smoke: OK"
