@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race doctor bench bench-check cover fuzz golden serve-smoke router-smoke traffic-smoke surrogate-smoke
+.PHONY: check build test vet race doctor bench bench-check cover fuzz golden serve-smoke router-smoke traffic-smoke surrogate-smoke scenario-smoke
 
 check:
 	./scripts/check.sh
@@ -55,6 +55,12 @@ router-smoke:
 surrogate-smoke:
 	./scripts/surrogate_smoke.sh
 
+# End-to-end smoke of the scenario IR: baseline scenario byte-identical
+# to the flagless figures at -j 1/4/16, bad specs rejected with exit 1,
+# serve round-tripping the chip digest.
+scenario-smoke:
+	./scripts/scenario_smoke.sh
+
 # End-to-end smoke of the traffic language: deterministic plan replay,
 # the 3-client example spec played strictly through a 2-shard router
 # fleet with the achieved rate within 10% of target, and per-SLO-class
@@ -68,6 +74,7 @@ fuzz:
 	$(GO) test ./internal/dvfs -run='^$$' -fuzz=FuzzQuantize -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/workload -run='^$$' -fuzz=FuzzWorkloadIR -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/surrogate -run='^$$' -fuzz=FuzzSurrogateFit -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/scenario -run='^$$' -fuzz=FuzzScenarioLoad -fuzztime=$(FUZZTIME)
 
 # Rewrite the CLI golden files after a deliberate output change; review
 # the testdata/golden diff before committing.

@@ -33,6 +33,7 @@ const (
 	exitDoctorRouter      = 9  // fleet router diverged, dropped, or failed to hedge
 	exitDoctorFork        = 10 // warm-fork sweep diverged from cold, or forked under faults
 	exitDoctorSurrogate   = 11 // surrogate fast path leaked into exact mode, or broke its bound
+	exitDoctorScenario    = 12 // scenario IR broke baseline fidelity, identity, or 3D physics
 )
 
 // runDoctor runs the repository's end-to-end self-checks: determinism,
@@ -66,6 +67,7 @@ func runDoctor(args []string) error {
 		{"router fleet invisible under faults", checkRouter, exitDoctorRouter},
 		{"warm-fork sweep matches cold", checkForkDeterminism, exitDoctorFork},
 		{"surrogate path exact-invisible and bound-honest", checkSurrogate, exitDoctorSurrogate},
+		{"scenario IR faithful, content-addressed, 3D-sane", checkScenario, exitDoctorScenario},
 	}
 	// Every check builds its own rigs and injectors, so they fan out over
 	// the worker pool; results are collected and reported in list order.

@@ -7,7 +7,6 @@ import (
 	"os"
 
 	"cmppower"
-	"cmppower/internal/experiment"
 	"cmppower/internal/explore"
 	"cmppower/internal/report"
 	"cmppower/internal/splash"
@@ -23,6 +22,7 @@ func runExplore(args []string) error {
 	csv := fs.Bool("csv", false, "emit CSV")
 	jobs := fs.Int("j", 0, "worker count; 0 = GOMAXPROCS (output is identical for every -j)")
 	useSurr := fs.Bool("surrogate", false, "warm per-app surrogate fits first and skip simulating clearly-dominated cells")
+	scnF := addScenarioFlag(fs)
 	obsF := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -37,10 +37,14 @@ func runExplore(args []string) error {
 		}
 		apps = publicApps
 	}
+	sc, err := scnF.scenario()
+	if err != nil {
+		return err
+	}
 	var outs []explore.Outcome
 	var cells []explore.SourcedOutcome
 	if *useSurr {
-		rig, err := experiment.NewRig(*scale)
+		rig, err := scnF.rig(*scale)
 		if err != nil {
 			return err
 		}
@@ -50,15 +54,15 @@ func runExplore(args []string) error {
 		if err := warmSurrogateGrid(context.Background(), rig, apps); err != nil {
 			return err
 		}
-		cells, err = explore.ExploreSurrogate(context.Background(), apps, explore.StandardOptions(),
-			*scale, *jobs, obsF.registry(), store, rig.SurrogateKey)
+		cells, err = explore.ExploreSurrogateScenario(context.Background(), apps, explore.StandardOptions(),
+			sc, *scale, *jobs, obsF.registry(), store, rig.SurrogateKey)
 		if err != nil {
 			return err
 		}
 		outs = explore.Outcomes(cells)
 	} else {
 		var err error
-		outs, err = explore.ExploreObs(context.Background(), apps, explore.StandardOptions(), *scale, *jobs, obsF.registry())
+		outs, err = explore.ExploreScenario(context.Background(), apps, explore.StandardOptions(), sc, *scale, *jobs, obsF.registry())
 		if err != nil {
 			return err
 		}
@@ -112,9 +116,13 @@ func runExplore(args []string) error {
 	for _, o := range outs {
 		modeled += o.Seconds
 	}
-	return obsF.write("explore", map[string]string{
+	config, err := scnF.annotate(map[string]string{
 		"apps": *appSel, "scale": fmt.Sprint(*scale), "options": "standard",
-	}, 1, "", modeled, *jobs)
+	})
+	if err != nil {
+		return err
+	}
+	return obsF.write("explore", config, 1, "", modeled, *jobs)
 }
 
 // runEDP sweeps one application over cores × frequencies under the

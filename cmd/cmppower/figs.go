@@ -174,6 +174,7 @@ func runFig3(args []string) error {
 	retries := fs.Int("retries", 3, "attempts per app for injected-transient failures")
 	jobs := fs.Int("j", 0, "sweep worker count; 0 = GOMAXPROCS (output is identical for every -j)")
 	noFork := fs.Bool("nofork", false, "disable warm-state forking; every run cold-starts (output is identical either way)")
+	scnF := addScenarioFlag(fs)
 	obsF := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -182,7 +183,11 @@ func runFig3(args []string) error {
 	if err != nil {
 		return err
 	}
-	rig, err := cmppower.NewExperiment(*scale)
+	rig, err := scnF.rig(*scale)
+	if err != nil {
+		return err
+	}
+	counts, err := scnF.counts()
 	if err != nil {
 		return err
 	}
@@ -195,7 +200,7 @@ func runFig3(args []string) error {
 	defer cancel()
 	rc := cmppower.DefaultRetryConfig()
 	rc.Attempts = *retries
-	outcomes, sweepErr := rig.SweepScenarioIWith(ctx, apps, []int{1, 2, 4, 8, 16},
+	outcomes, sweepErr := rig.SweepScenarioIWith(ctx, apps, counts,
 		cmppower.SweepConfig{Retry: rc, Workers: *jobs, NoFork: *noFork})
 	t := report.NewTable(
 		"Figure 3: Scenario I on the 16-way CMP (performance target = 1 core at nominal V/f)",
@@ -235,10 +240,14 @@ func runFig3(args []string) error {
 			modeled += o.I.ModeledSeconds()
 		}
 	}
-	if err := obsF.write("fig3", map[string]string{
-		"apps": *appSel, "scale": fmt.Sprint(*scale), "counts": "1,2,4,8,16",
+	config, err := scnF.annotate(map[string]string{
+		"apps": *appSel, "scale": fmt.Sprint(*scale), "counts": countsLabel(counts),
 		"faults": *faultSpec, "dtm": fmt.Sprint(*dtm), "retries": fmt.Sprint(*retries),
-	}, *seed, *faultSpec, modeled, *jobs); err != nil {
+	})
+	if err != nil {
+		return err
+	}
+	if err := obsF.write("fig3", config, *seed, *faultSpec, modeled, *jobs); err != nil {
 		return err
 	}
 	return sweepErr
@@ -259,6 +268,7 @@ func runFig4(args []string) error {
 	retries := fs.Int("retries", 3, "attempts per app for injected-transient failures")
 	jobs := fs.Int("j", 0, "sweep worker count; 0 = GOMAXPROCS (output is identical for every -j)")
 	noFork := fs.Bool("nofork", false, "disable warm-state forking; every run cold-starts (output is identical either way)")
+	scnF := addScenarioFlag(fs)
 	obsF := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -267,7 +277,11 @@ func runFig4(args []string) error {
 	if err != nil {
 		return err
 	}
-	rig, err := cmppower.NewExperiment(*scale)
+	rig, err := scnF.rig(*scale)
+	if err != nil {
+		return err
+	}
+	counts, err := scnF.counts()
 	if err != nil {
 		return err
 	}
@@ -280,7 +294,6 @@ func runFig4(args []string) error {
 	defer cancel()
 	rc := cmppower.DefaultRetryConfig()
 	rc.Attempts = *retries
-	counts := []int{1, 2, 4, 8, 16}
 	outcomes, sweepErr := rig.SweepScenarioIIWith(ctx, apps, counts,
 		cmppower.SweepConfig{Retry: rc, Workers: *jobs, NoFork: *noFork})
 	t := report.NewTable(
@@ -331,10 +344,14 @@ func runFig4(args []string) error {
 			modeled += o.II.ModeledSeconds()
 		}
 	}
-	if err := obsF.write("fig4", map[string]string{
-		"apps": *appSel, "scale": fmt.Sprint(*scale), "counts": "1,2,4,8,16",
+	config, err := scnF.annotate(map[string]string{
+		"apps": *appSel, "scale": fmt.Sprint(*scale), "counts": countsLabel(counts),
 		"faults": *faultSpec, "dtm": fmt.Sprint(*dtm), "retries": fmt.Sprint(*retries),
-	}, *seed, *faultSpec, modeled, *jobs); err != nil {
+	})
+	if err != nil {
+		return err
+	}
+	if err := obsF.write("fig4", config, *seed, *faultSpec, modeled, *jobs); err != nil {
 		return err
 	}
 	return sweepErr

@@ -116,6 +116,29 @@ func TestGoldenExplore(t *testing.T) {
 	checkGolden(t, "explore_radix.txt", got)
 }
 
+// TestGoldenScenarioShow pins the `scenario show` rendering — summary
+// lines, digest spelling, domain/class/stacking formatting — for the
+// checked-in example scenarios. The digests in these files double as
+// the cross-host canonical-form pin: a digest change means the schema
+// or the normalization changed, never noise.
+func TestGoldenScenarioShow(t *testing.T) {
+	for _, name := range []string{"baseline-2005", "biglittle", "3dstack", "manycore128"} {
+		got := captureStdout(t, runScenario,
+			[]string{"show", "../../examples/scenarios/" + name + ".json"})
+		checkGolden(t, "scenario_show_"+name+".txt", got)
+	}
+}
+
+// TestGoldenFig3Scenario pins fig3 run through the biglittle scenario:
+// the heterogeneous path (DVFS domains + core classes) end to end
+// through the CLI.
+func TestGoldenFig3Scenario(t *testing.T) {
+	got := captureStdout(t, runFig3,
+		[]string{"-apps", "FFT", "-scale", "0.05", "-j", "2",
+			"-scenario", "../../examples/scenarios/biglittle.json"})
+	checkGolden(t, "fig3_biglittle.txt", got)
+}
+
 // TestGoldenLoadgenPlan pins the traffic plan report for the checked-in
 // example spec: `loadgen -spec FILE -plan` is a pure function of (spec,
 // seed), so this golden file is the cross-host byte-determinism pin for

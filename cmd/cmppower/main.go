@@ -5,15 +5,15 @@
 //
 //	cmppower fig1   [-tech 65|130|both] [-csv] [-points N]
 //	cmppower fig2   [-tech 65|130|both] [-csv] [-chart]
-//	cmppower fig3   [-apps list] [-scale S] [-csv] [-faults SPEC] [-timeout D] [-dtm] [-retries N] [-j N]
-//	cmppower fig4   [-apps list] [-scale S] [-csv] [-chart] [-faults SPEC] [-timeout D] [-dtm] [-retries N] [-j N]
+//	cmppower fig3   [-apps list] [-scale S] [-csv] [-faults SPEC] [-timeout D] [-dtm] [-retries N] [-j N] [-scenario FILE]
+//	cmppower fig4   [-apps list] [-scale S] [-csv] [-chart] [-faults SPEC] [-timeout D] [-dtm] [-retries N] [-j N] [-scenario FILE]
 //	cmppower table1
 //	cmppower table2
 //	cmppower sweep  [-app NAME] [-scale S]          (raw N×frequency sweep)
 //	cmppower ablate [-what leakage|vmin|sysdvfs]
 //	cmppower trace  [-app NAME] [-n N] [-dilate D] [-chart]
 //	cmppower validate [-apps list] [-scale S]
-//	cmppower explore [-apps list] [-scale S] [-j N] [-surrogate]
+//	cmppower explore [-apps list] [-scale S] [-j N] [-surrogate] [-scenario FILE]
 //	cmppower edp    [-app NAME] [-scale S]
 //	cmppower events [-app NAME] [-n N] [-last K] [-jsonl] [-out FILE]
 //	cmppower mix    [-apps list] [-freq MHz]
@@ -22,6 +22,7 @@
 //	cmppower pareto [-tech 65|130] [-serial s] [-comm c] [-chart]
 //	cmppower svg    [-app NAME] [-n N] [-out FILE]
 //	cmppower all    [-out DIR] [-scale S]
+//	cmppower scenario validate|show|digest|diff FILE...
 //	cmppower analyze -surrogate [-apps list] [-scale S] [-out FILE]
 //	cmppower doctor [-j N]
 //	cmppower bench  [-quick] [-out FILE] [-manifests DIR]
@@ -169,6 +170,8 @@ func run(cmd string, args []string) int {
 		err = runSVG(args)
 	case "all":
 		err = runAll(args)
+	case "scenario":
+		err = runScenario(args)
 	case "analyze":
 		err = runAnalyze(args)
 	case "doctor":
@@ -223,6 +226,11 @@ Commands:
   pareto   Analytical speedup/power Pareto frontier
   svg      Thermal-map SVG of one run
   all      Regenerate every artifact into a directory
+  scenario Chip scenario toolbox: validate, show (summary or canonical
+           JSON), digest (sha256 cache identity), and diff scenario
+           files — the declarative chip configs (technology node,
+           heterogeneous cores, DVFS domains, 3D stacking) accepted by
+           fig3/fig4/explore -scenario and the serve "chip" body field
   analyze  Inspect fitted serving artifacts; -surrogate warms the
            per-app surrogate models over the seed grid and reports
            coefficients, confidence regions, and error bounds as
@@ -234,7 +242,7 @@ Commands:
            2=injector, 3=DTM, 4=cancellation, 5=parallel-divergence,
            6=batched-engine-divergence, 7=manifest-divergence,
            8=serve-divergence, 9=router-divergence, 10=fork-divergence,
-           11=surrogate-divergence)
+           11=surrogate-divergence, 12=scenario-divergence)
   cachesweep  L1 capacity sensitivity across core counts
   bench    Performance benchmarks (engine events/sec, thermal solves/sec,
            end-to-end fig3 time) as BENCH JSON for the regression gate;

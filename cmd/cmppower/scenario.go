@@ -1,0 +1,214 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cmppower/internal/scenario"
+)
+
+// runScenario is the scenario toolbox: validate/show/digest/diff over
+// chip scenario files. All verbs load through scenario.Load, so a file
+// that any verb accepts is exactly a file the simulation commands and
+// the serve endpoints accept.
+func runScenario(args []string) error {
+	fs := flag.NewFlagSet("scenario", flag.ExitOnError)
+	canonical := fs.Bool("canonical", false, "with show: print the canonical JSON document instead of the summary")
+	fs.Usage = func() {
+		fmt.Fprint(os.Stderr, `usage:
+  cmppower scenario validate FILE...       check files; exit 1 on the first invalid one
+  cmppower scenario show [-canonical] FILE human-readable summary (or canonical JSON)
+  cmppower scenario digest FILE...         print "sha256-digest  name" per file
+  cmppower scenario diff FILE1 FILE2       field-by-field chip difference; exit 1 if the chips differ
+`)
+	}
+	if len(args) < 1 {
+		fs.Usage()
+		return &exitError{code: 2, msg: "missing verb"}
+	}
+	verb, rest := args[0], args[1:]
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	files := fs.Args()
+	switch verb {
+	case "validate":
+		if len(files) == 0 {
+			return fmt.Errorf("validate: no files given")
+		}
+		for _, path := range files {
+			sc, err := scenario.LoadFile(path)
+			if err != nil {
+				return err
+			}
+			short, err := sc.ShortDigest()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("ok  %s  %s  %s\n", short, sc.Name, path)
+		}
+		return nil
+	case "show":
+		if len(files) != 1 {
+			return fmt.Errorf("show: want exactly one file")
+		}
+		sc, err := scenario.LoadFile(files[0])
+		if err != nil {
+			return err
+		}
+		if *canonical {
+			b, err := sc.Canonical()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s\n", b)
+			return nil
+		}
+		return showScenario(sc)
+	case "digest":
+		if len(files) == 0 {
+			return fmt.Errorf("digest: no files given")
+		}
+		for _, path := range files {
+			sc, err := scenario.LoadFile(path)
+			if err != nil {
+				return err
+			}
+			d, err := sc.Digest()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s  %s\n", d, sc.Name)
+		}
+		return nil
+	case "diff":
+		if len(files) != 2 {
+			return fmt.Errorf("diff: want exactly two files")
+		}
+		a, err := scenario.LoadFile(files[0])
+		if err != nil {
+			return err
+		}
+		b, err := scenario.LoadFile(files[1])
+		if err != nil {
+			return err
+		}
+		lines, err := scenario.Diff(a, b)
+		if err != nil {
+			return err
+		}
+		if len(lines) == 0 {
+			fmt.Printf("identical chips: %s == %s\n", a.Name, b.Name)
+			return nil
+		}
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+		return &exitError{code: 1, msg: fmt.Sprintf("%d field(s) differ", len(lines))}
+	}
+	fs.Usage()
+	return &exitError{code: 2, msg: fmt.Sprintf("unknown verb %q", verb)}
+}
+
+// showScenario prints the human-readable summary of one scenario. The
+// golden test pins this rendering, so keep it deterministic.
+func showScenario(sc *scenario.Scenario) error {
+	digest, err := sc.Digest()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario: %s\n", sc.Name)
+	if sc.Description != "" {
+		fmt.Printf("desc:     %s\n", sc.Description)
+	}
+	fmt.Printf("digest:   sha256:%s\n", digest)
+	tech := sc.Technology()
+	fmt.Printf("node:     %s (nominal %.0f MHz, Vdd %.2f V)\n", sc.Node, tech.FNominal/1e6, tech.Vdd)
+	stacking := "planar"
+	if sc.Chip.Layers > 1 {
+		stacking = fmt.Sprintf("%d layers (%d cores/layer)", sc.Chip.Layers, sc.Chip.TotalCores/sc.Chip.Layers)
+	}
+	fmt.Printf("chip:     %d cores, die %g x %g mm, %d L2 banks, %s\n",
+		sc.Chip.TotalCores, sc.Chip.DieWMm, sc.Chip.DieHMm, sc.Chip.L2Banks, stacking)
+	step := "interpolated"
+	if sc.DVFS.Quantize {
+		step = "quantized"
+	}
+	fmt.Printf("dvfs:     ladder %g MHz min, %g MHz step, %s\n", sc.DVFS.LadderMinMHz, sc.DVFS.LadderStepMHz, step)
+	if len(sc.DVFS.Domains) == 0 {
+		fmt.Printf("domains:  1 chip-wide domain at full speed\n")
+	} else {
+		for _, d := range sc.DVFS.Domains {
+			fmt.Printf("domain:   %-8s %2d core(s) at speed %.2f  %s\n",
+				d.Name, len(d.Cores), d.SpeedRatio, intRanges(d.Cores))
+		}
+	}
+	if len(sc.Cores.Assign) == 0 {
+		fmt.Printf("cores:    homogeneous (default EV6-class core)\n")
+	} else {
+		counts := make(map[string]int)
+		for _, name := range sc.Cores.Assign {
+			counts[name]++
+		}
+		for _, cl := range sc.Cores.Classes {
+			if counts[cl.Name] == 0 {
+				continue
+			}
+			width := "app issue width"
+			if cl.IssueWidth > 0 {
+				width = fmt.Sprintf("issue %d", cl.IssueWidth)
+			}
+			fmt.Printf("class:    %-8s x%-3d %s, ipc x%.2f\n", cl.Name, counts[cl.Name], width, cl.IPCScale)
+		}
+	}
+	if sc.Thermal.RInterLayer > 0 {
+		fmt.Printf("thermal:  r_interlayer %g K*m^2/W\n", sc.Thermal.RInterLayer)
+	} else {
+		fmt.Printf("thermal:  package defaults\n")
+	}
+	mem := []string{}
+	if sc.Memory.ScaleWithChip {
+		mem = append(mem, "latency scales with chip clock")
+	} else {
+		mem = append(mem, "fixed latency")
+	}
+	if sc.Memory.Prefetch {
+		mem = append(mem, "next-line prefetch")
+	}
+	fmt.Printf("memory:   %s\n", strings.Join(mem, ", "))
+	return nil
+}
+
+// intRanges renders a sorted core list compactly: [0-3 8 12-15].
+func intRanges(cores []int) string {
+	if len(cores) == 0 {
+		return "[]"
+	}
+	sorted := append([]int(nil), cores...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	var parts []string
+	lo, hi := sorted[0], sorted[0]
+	flush := func() {
+		if lo == hi {
+			parts = append(parts, fmt.Sprint(lo))
+		} else {
+			parts = append(parts, fmt.Sprintf("%d-%d", lo, hi))
+		}
+	}
+	for _, c := range sorted[1:] {
+		if c == hi+1 {
+			hi = c
+			continue
+		}
+		flush()
+		lo, hi = c, c
+	}
+	flush()
+	return "[" + strings.Join(parts, " ") + "]"
+}

@@ -39,6 +39,7 @@ import (
 	"cmppower/internal/faults"
 	"cmppower/internal/obs"
 	"cmppower/internal/phys"
+	"cmppower/internal/scenario"
 	"cmppower/internal/splash"
 	"cmppower/internal/workload"
 )
@@ -138,6 +139,27 @@ type ScenarioIIRow = experiment.ScenarioIIRow
 // proportionally faster).
 func NewExperiment(scale float64) (*Experiment, error) {
 	return experiment.NewRig(scale)
+}
+
+// ChipScenario is a declarative chip configuration (internal/scenario):
+// technology node, core organization (including heterogeneous classes),
+// per-cluster DVFS domains, die/floorplan (including 3D stacking), and
+// thermal limits, with a canonical JSON form and a content digest.
+type ChipScenario = scenario.Scenario
+
+// LoadScenario strictly decodes and validates a chip scenario file.
+func LoadScenario(path string) (*ChipScenario, error) {
+	return scenario.LoadFile(path)
+}
+
+// NewExperimentFromScenario builds and calibrates the apparatus a chip
+// scenario describes. A nil scenario (or the baseline document) is the
+// paper's 16-way CMP — identical to NewExperiment.
+func NewExperimentFromScenario(sc *ChipScenario, scale float64) (*Experiment, error) {
+	if sc == nil {
+		return experiment.NewRig(scale)
+	}
+	return experiment.NewRigFromScenario(sc, scale)
 }
 
 // TransientPoint is one interval of a transient thermal trace.

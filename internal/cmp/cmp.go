@@ -4,9 +4,12 @@
 // The engine is event-driven at instruction granularity: the runnable core
 // with the smallest local clock executes its next workload event, so all
 // shared-resource interactions (bus arbitration, DRAM queueing, coherence,
-// locks, barriers) are processed in global time order. The whole chip runs
-// at one DVFS operating point, as the paper assumes (§3.1: global
-// voltage/frequency scaling; unused cores are shut down).
+// locks, barriers) are processed in global time order. The engine keeps
+// one global clock at the chip's lead DVFS operating point, as the paper
+// assumes (§3.1: global voltage/frequency scaling; unused cores are shut
+// down); scenario chips with per-domain DVFS or little cores express a
+// slower core as cpu.Config.SpeedRatio, which dilates that core's local
+// charges in reference cycles without a second clock domain.
 package cmp
 
 import (

@@ -52,6 +52,14 @@ type Config struct {
 	// L1HitCycles must match the hierarchy's L1 latency; it is the
 	// un-hideable part of every access.
 	L1HitCycles float64
+	// SpeedRatio slows this core relative to the chip's reference clock,
+	// in (0, 1]; 0 means 1 (lock-step with the reference). The engine
+	// keeps one global clock in reference cycles, so a slower core's
+	// local work is dilated by 1/SpeedRatio while beyond-L1 memory
+	// latency — set by the uncore, not the core — stays undilated. This
+	// is how scenario DVFS domains and little cores enter the engine
+	// without a second clock domain.
+	SpeedRatio float64
 }
 
 // DefaultConfig returns EV6-class constants with a generic workload mix.
@@ -93,6 +101,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("cpu: store overlap %g outside [0,1)", c.StoreMissOverlap)
 	case c.L1HitCycles <= 0:
 		return fmt.Errorf("cpu: L1 hit cycles %g", c.L1HitCycles)
+	case c.SpeedRatio < 0 || c.SpeedRatio > 1:
+		return fmt.Errorf("cpu: speed ratio %g outside (0,1]", c.SpeedRatio)
 	}
 	return nil
 }
@@ -125,11 +135,21 @@ type Core struct {
 	// are precomputed (bit-identically — see chargeFrontEnd).
 	fetchShift uint
 	fetchPow2  bool
-	missStall1 float64 // IL1MissRate * IL1MissCycles, the n=1 fetch stall
-	// cycleTab[n] caches float64(n)/IPCNonMem for short bursts: the same
-	// division, performed once at construction, so the per-event cost is
-	// a table load instead of an FP divide. Entries are bit-identical to
-	// dividing on the spot.
+	missStall1 float64 // IL1MissRate * IL1MissCycles * dilate, the n=1 fetch stall
+	// dilate is 1/SpeedRatio: core-local charges (compute, branch,
+	// fetch stalls, sync, the L1-hit slice of memory) are stretched by
+	// it so a half-speed core spends twice the reference cycles on its
+	// own work. At SpeedRatio 1 every multiply is ×1.0, which IEEE-754
+	// guarantees exact, so homogeneous chips are bit-identical to the
+	// pre-dilation model.
+	dilate float64
+	// hitCharge is L1HitCycles * dilate, the un-hideable local slice of
+	// every data access.
+	hitCharge float64
+	// cycleTab[n] caches float64(n)/IPCNonMem*dilate for short bursts:
+	// the same division, performed once at construction, so the
+	// per-event cost is a table load instead of an FP divide. Entries
+	// are bit-identical to computing on the spot.
 	cycleTab [64]float64
 }
 
@@ -144,9 +164,14 @@ func New(id int, cfg Config) (*Core, error) {
 	c := &Core{ID: id, cfg: cfg}
 	c.fetchPow2 = cfg.FetchWidth&(cfg.FetchWidth-1) == 0
 	c.fetchShift = uint(bits.TrailingZeros(uint(cfg.FetchWidth)))
-	c.missStall1 = cfg.IL1MissRate * cfg.IL1MissCycles
+	c.dilate = 1
+	if cfg.SpeedRatio != 0 {
+		c.dilate = 1 / cfg.SpeedRatio
+	}
+	c.missStall1 = cfg.IL1MissRate * cfg.IL1MissCycles * c.dilate
+	c.hitCharge = cfg.L1HitCycles * c.dilate
 	for n := range c.cycleTab {
-		c.cycleTab[n] = float64(n) / cfg.IPCNonMem
+		c.cycleTab[n] = float64(n) / cfg.IPCNonMem * c.dilate
 	}
 	return c, nil
 }
@@ -192,7 +217,7 @@ func (c *Core) chargeFrontEnd(n int, branches int) {
 	c.stats.IL1Accesses += int64(il1)
 	misses := float64(n) * c.cfg.IL1MissRate
 	c.stats.IL1Misses += misses
-	fetchStall := misses * c.cfg.IL1MissCycles
+	fetchStall := misses * c.cfg.IL1MissCycles * c.dilate
 	c.stats.FetchCycles += fetchStall
 	c.clock += fetchStall
 }
@@ -241,9 +266,9 @@ func (c *Core) ExecComputeBurst(n, fp, branches int) {
 	if n < len(c.cycleTab) {
 		cycles = c.cycleTab[n]
 	} else {
-		cycles = float64(n) / c.cfg.IPCNonMem
+		cycles = float64(n) / c.cfg.IPCNonMem * c.dilate
 	}
-	penalty := float64(branches) * c.cfg.BranchMissRate * c.cfg.BranchPenaltyCycles
+	penalty := float64(branches) * c.cfg.BranchMissRate * c.cfg.BranchPenaltyCycles * c.dilate
 	c.stats.ComputeCycles += cycles
 	c.stats.BranchCycles += penalty
 	c.clock += cycles + penalty
@@ -274,7 +299,9 @@ func (c *Core) ExecLoadStore(addr uint64, write bool, ms MemSystem) {
 	if write {
 		overlap = c.cfg.StoreMissOverlap
 	}
-	charged := c.cfg.L1HitCycles + (raw-c.cfg.L1HitCycles)*(1-overlap)
+	// Only the L1-hit slice is local to the core clock; the beyond-L1
+	// remainder is uncore latency already expressed in reference cycles.
+	charged := c.hitCharge + (raw-c.cfg.L1HitCycles)*(1-overlap)
 	c.stats.MemCycles += charged
 	c.clock += charged
 	c.stats.Instructions++
@@ -293,5 +320,5 @@ func (c *Core) ExecSync(cost float64) {
 	c.activity[floorplan.UnitIALU]++
 	c.stats.SyncEvents++
 	c.stats.Instructions++
-	c.clock += cost
+	c.clock += cost * c.dilate
 }

@@ -289,3 +289,73 @@ func TestQuickMemChargeBounds(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSpeedRatioDilatesLocalWork(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.IL1MissRate = 0
+	cfg.BranchMissRate = 0
+	slow := cfg
+	slow.SpeedRatio = 0.5
+	full := newCore(t, cfg)
+	half := newCore(t, slow)
+	ev := workload.Event{Kind: workload.EvCompute, N: 100, FP: 0, Branches: 0}
+	full.ExecCompute(ev)
+	half.ExecCompute(ev)
+	if got, want := half.Clock(), 2*full.Clock(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("half-speed compute clock=%g, want %g", got, want)
+	}
+
+	// Memory: only the L1-hit slice dilates; the beyond-L1 remainder is
+	// uncore latency in reference cycles.
+	ms := &fixedMem{latency: 100}
+	fullM := newCore(t, cfg)
+	halfM := newCore(t, slow)
+	fullM.ExecLoadStore(0, false, ms)
+	halfM.ExecLoadStore(0, false, ms)
+	beyond := (100 - cfg.L1HitCycles) * (1 - cfg.LoadMissOverlap)
+	wantFull := cfg.L1HitCycles + beyond
+	wantHalf := 2*cfg.L1HitCycles + beyond
+	if got := fullM.Clock(); math.Abs(got-wantFull) > 1e-9 {
+		t.Errorf("full-speed mem clock=%g, want %g", got, wantFull)
+	}
+	if got := halfM.Clock(); math.Abs(got-wantHalf) > 1e-9 {
+		t.Errorf("half-speed mem clock=%g, want %g", got, wantHalf)
+	}
+}
+
+func TestSpeedRatioOneIsBitIdentical(t *testing.T) {
+	// Ratio 1 (and the 0 default) must leave every charge bit-identical
+	// to the pre-dilation model: baseline chips may not drift.
+	cfg := DefaultConfig()
+	one := cfg
+	one.SpeedRatio = 1
+	a := newCore(t, cfg)
+	b := newCore(t, one)
+	ms1, ms2 := &fixedMem{latency: 37.5}, &fixedMem{latency: 37.5}
+	for i := 0; i < 50; i++ {
+		a.ExecComputeBurst(7+i%13, i%3, i%5)
+		b.ExecComputeBurst(7+i%13, i%3, i%5)
+		a.ExecLoadStore(uint64(i*64), i%2 == 0, ms1)
+		b.ExecLoadStore(uint64(i*64), i%2 == 0, ms2)
+		a.ExecSync(12)
+		b.ExecSync(12)
+	}
+	if a.Clock() != b.Clock() {
+		t.Errorf("ratio-1 clock differs: %v vs %v", a.Clock(), b.Clock())
+	}
+	if a.Stats() != b.Stats() {
+		t.Errorf("ratio-1 stats differ:\n%+v\n%+v", a.Stats(), b.Stats())
+	}
+}
+
+func TestSpeedRatioValidate(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SpeedRatio = 1.5
+	if err := cfg.Validate(); err == nil {
+		t.Error("accepted speed ratio above 1")
+	}
+	cfg.SpeedRatio = -0.5
+	if err := cfg.Validate(); err == nil {
+		t.Error("accepted negative speed ratio")
+	}
+}

@@ -173,8 +173,12 @@ func (t *Table) SpeedRatio(p OperatingPoint) float64 {
 	return p.Freq / t.Nominal().Freq
 }
 
-// Setting is the chip-wide DVFS state shared by every on-chip clock
-// (paper §3.1 assumes global voltage/frequency scaling).
+// Setting is the DVFS state of one voltage/frequency island. The paper's
+// experimental chip has exactly one island spanning every on-chip clock
+// (§3.1 assumes global voltage/frequency scaling), and single-island
+// scenarios still work that way; scenarios with per-cluster DVFS domains
+// hold one Setting per Domain (see DomainSet), so nothing in this type
+// may assume it governs the whole chip.
 type Setting struct {
 	Point OperatingPoint
 	// Nominal is the full-throttle point the chip was designed for.

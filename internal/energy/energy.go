@@ -114,6 +114,13 @@ func EV6Budget(tech phys.Technology) (*Budget, error) {
 	b.perAccess[floorplan.UnitIL1] = il1
 	b.perAccess[floorplan.UnitDL1] = dl1
 	b.perAccess[floorplan.UnitL2] = l2
+	// Node scaling of the switched capacitance itself (the pJ fits above
+	// are referenced to 65 nm). Multiplying by exactly 1 at the reference
+	// node keeps the budget bit-identical there.
+	cs := tech.CapScaleOrUnit()
+	for u := range b.perAccess {
+		b.perAccess[u] *= cs
+	}
 	return b, nil
 }
 

@@ -175,6 +175,13 @@ func stepDownFrom(t *dvfs.Table, freq float64, rungs int) dvfs.OperatingPoint {
 // approximation the paper itself makes when it re-simulates profiled
 // workloads at scaled operating points.
 func (r *Rig) runDTM(ctx context.Context, app splash.App, n int, req dvfs.OperatingPoint, runCycles float64, seed uint64) (*DTMStats, error) {
+	if r.Domains != nil && r.Domains.Len() > 1 {
+		// Multi-island chips govern each DVFS domain independently; the
+		// single-domain (and legacy) case continues through the chip-wide
+		// controller below, verbatim — pinned by
+		// TestDTMSingleDomainMatchesChipWide.
+		return r.runDTMDomains(ctx, app, n, req, runCycles, seed)
+	}
 	dc := *r.DTM
 	if dc == (DTMConfig{}) {
 		dc = DefaultDTMConfig()

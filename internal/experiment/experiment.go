@@ -19,6 +19,7 @@ import (
 	"cmppower/internal/obs"
 	"cmppower/internal/phys"
 	"cmppower/internal/power"
+	"cmppower/internal/scenario"
 	"cmppower/internal/splash"
 	"cmppower/internal/stats"
 	"cmppower/internal/surrogate"
@@ -80,6 +81,20 @@ type Rig struct {
 	// way they share the memo: the struct copy keeps the pointer, and the
 	// store is concurrency-safe.
 	Surrogate *surrogate.Store
+
+	// Scenario, when non-nil, is the declarative chip description this
+	// rig was built from (NewRigFromScenario); the apparatus fields above
+	// are derived from it. Nil for flag-era rigs.
+	Scenario *scenario.Scenario
+	// Domains holds the chip's DVFS islands when the scenario declares
+	// more than the chip-wide default; nil is the paper's single global
+	// domain and leaves every legacy path untouched.
+	Domains *dvfs.DomainSet
+	// scenarioDigest is the scenario's cache identity, folded into memo
+	// and surrogate keys (see ScenarioDigest). Empty for flag-era rigs
+	// and baseline-equivalent scenarios so those share caches bit for
+	// bit with each other.
+	scenarioDigest string
 
 	// fork, when non-nil, caches warm-state checkpoints keyed by
 	// (app, n, seed, scale) so a sweep point forks from a completed
@@ -231,6 +246,10 @@ func (r *Rig) runConfig(ctx context.Context, app splash.App, n int, p dvfs.Opera
 		cfg.CacheFault = r.Faults
 	}
 	cfg.Metrics = r.Obs
+	// Scenario chips with diverging cores (DVFS islands, big/little
+	// classes) run per-core configs; homogeneous chips return nil here
+	// and keep the uniform path.
+	cfg.PerCore = r.perCoreConfigs(cfg.Core, n)
 	return cfg
 }
 
@@ -323,7 +342,7 @@ func (r *Rig) runApp(ctx context.Context, app splash.App, n int, p dvfs.Operatin
 		r.fork.fulfill(fk, res.Checkpoint)
 		recording = false
 	}
-	pw, err := r.Meter.Evaluate(r.FP, r.TM, res.Activity, res.Seconds, int64(res.Cycles)+1, p, n)
+	pw, err := r.evaluateRun(res.Activity, res.Seconds, int64(res.Cycles)+1, p, n)
 	if err != nil {
 		return nil, fail("evaluate", err)
 	}

@@ -30,6 +30,10 @@ type memoKey struct {
 	dtmOn      bool
 	dtm        DTMConfig
 	faults     string
+	// scenario is the rig's scenario digest: empty for flag-era rigs and
+	// baseline-equivalent scenarios (so those share entries), the full
+	// content digest otherwise — two different chips can never collide.
+	scenario string
 }
 
 // memoKeyFor builds the cache key for one run on this rig.
@@ -38,6 +42,7 @@ func (r *Rig) memoKeyFor(app string, n int, p dvfs.OperatingPoint, seed uint64) 
 		app: app, n: n, freq: p.Freq, volt: p.Volt,
 		seed: seed, scale: r.Scale, totalCores: r.TotalCores,
 		sysDVFS: r.ScaleMemoryWithChip, prefetch: r.Prefetch,
+		scenario: r.scenarioDigest,
 	}
 	if r.DTM != nil {
 		k.dtmOn, k.dtm = true, *r.DTM

@@ -12,7 +12,14 @@ import (
 // pool; the workload seed is deliberately absent (the surrogate
 // predicts the run, not the seed — see package surrogate).
 func (r *Rig) SurrogateConfig() string {
-	return fmt.Sprintf("tc%d sys=%t pf=%t", r.TotalCores, r.ScaleMemoryWithChip, r.Prefetch)
+	s := fmt.Sprintf("tc%d sys=%t pf=%t", r.TotalCores, r.ScaleMemoryWithChip, r.Prefetch)
+	if r.scenarioDigest != "" {
+		// Non-baseline scenarios carry their content digest so fits never
+		// pool samples across different chips; the empty-digest case keeps
+		// the legacy key string byte-identical.
+		s += " scn=" + r.scenarioDigest
+	}
+	return s
 }
 
 // SurrogateKey is the surrogate-store key for app on this rig.

@@ -17,6 +17,7 @@ import (
 	"cmppower/internal/cmp"
 	"cmppower/internal/experiment"
 	"cmppower/internal/obs"
+	"cmppower/internal/scenario"
 	"cmppower/internal/splash"
 )
 
@@ -118,6 +119,18 @@ func ExploreWith(ctx context.Context, apps []splash.App, opts []Option, scale fl
 // integer-only concurrent updates keep the snapshot identical at every
 // worker count). A nil registry makes it exactly ExploreWith.
 func ExploreObs(ctx context.Context, apps []splash.App, opts []Option, scale float64, workers int, reg *obs.Registry) ([]Outcome, error) {
+	return ExploreScenario(ctx, apps, opts, nil, scale, workers, reg)
+}
+
+// ExploreScenario is ExploreObs on a scenario chip. The exploration's
+// whole point is to vary the organization, so the scenario contributes
+// only its global axes — technology node, die geometry, 3D stacking,
+// thermal constants, DVFS ladder, memory switches — while each option
+// supersedes the organization axes: per-option rigs take the option's
+// core count, and the scenario's DVFS domains and core-class assignment
+// (which are tied to its own core count) are cleared. A nil scenario is
+// exactly ExploreObs.
+func ExploreScenario(ctx context.Context, apps []splash.App, opts []Option, sc *scenario.Scenario, scale float64, workers int, reg *obs.Registry) ([]Outcome, error) {
 	if len(apps) == 0 || len(opts) == 0 {
 		return nil, fmt.Errorf("explore: empty sweep (%d apps, %d options)", len(apps), len(opts))
 	}
@@ -129,7 +142,7 @@ func ExploreObs(ctx context.Context, apps []splash.App, opts []Option, scale flo
 	perOpt := make([][]Outcome, len(opts))
 	errs := make([]error, len(opts))
 	poolErr := experiment.RunIndexed(ctx, workers, len(opts), func(i int) {
-		perOpt[i], errs[i] = exploreOption(ctx, apps, opts[i], scale, reg)
+		perOpt[i], errs[i] = exploreOption(ctx, apps, opts[i], sc, scale, reg)
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -164,10 +177,25 @@ func ExploreObs(ctx context.Context, apps []splash.App, opts []Option, scale flo
 	return out, nil
 }
 
+// optionRig builds one organization's calibrated rig: the legacy Table 1
+// apparatus at the option's core count, or — under a scenario — the
+// scenario's chip with the organization axes overridden (see
+// ExploreScenario).
+func optionRig(opt Option, sc *scenario.Scenario, scale float64) (*experiment.Rig, error) {
+	if sc == nil {
+		return experiment.NewCustomRig(opt.Cores, scale)
+	}
+	c := sc.Clone()
+	c.Chip.TotalCores = opt.Cores
+	c.DVFS.Domains = nil
+	c.Cores = scenario.CoresSpec{}
+	return experiment.NewRigFromScenario(c, scale)
+}
+
 // exploreOption evaluates every application on one organization: one
 // sweep work item, with its own freshly calibrated rig.
-func exploreOption(ctx context.Context, apps []splash.App, opt Option, scale float64, reg *obs.Registry) ([]Outcome, error) {
-	rig, err := experiment.NewCustomRig(opt.Cores, scale)
+func exploreOption(ctx context.Context, apps []splash.App, opt Option, sc *scenario.Scenario, scale float64, reg *obs.Registry) ([]Outcome, error) {
+	rig, err := optionRig(opt, sc, scale)
 	if err != nil {
 		return nil, err
 	}

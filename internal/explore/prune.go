@@ -7,6 +7,7 @@ import (
 
 	"cmppower/internal/experiment"
 	"cmppower/internal/obs"
+	"cmppower/internal/scenario"
 	"cmppower/internal/splash"
 	"cmppower/internal/surrogate"
 )
@@ -52,8 +53,19 @@ const PruneMargin = 3.0
 func ExploreSurrogate(ctx context.Context, apps []splash.App, opts []Option, scale float64,
 	workers int, reg *obs.Registry, store *surrogate.Store,
 	keyFor func(app string) surrogate.Key) ([]SourcedOutcome, error) {
+	return ExploreSurrogateScenario(ctx, apps, opts, nil, scale, workers, reg, store, keyFor)
+}
+
+// ExploreSurrogateScenario is ExploreSurrogate on a scenario chip (see
+// ExploreScenario for how a scenario composes with the options). keyFor
+// must fold the scenario's digest into its keys — rig.SurrogateKey on a
+// scenario-built rig does — so fits trained on a different chip never
+// prune this one's cells.
+func ExploreSurrogateScenario(ctx context.Context, apps []splash.App, opts []Option, sc *scenario.Scenario,
+	scale float64, workers int, reg *obs.Registry, store *surrogate.Store,
+	keyFor func(app string) surrogate.Key) ([]SourcedOutcome, error) {
 	if store == nil || keyFor == nil {
-		out, err := ExploreObs(ctx, apps, opts, scale, workers, reg)
+		out, err := ExploreScenario(ctx, apps, opts, sc, scale, workers, reg)
 		return sourced(out), err
 	}
 	if len(apps) == 0 || len(opts) == 0 {
@@ -117,7 +129,7 @@ func ExploreSurrogate(ctx context.Context, apps []splash.App, opts []Option, sca
 		if len(sim[opts[i].Name]) == 0 {
 			return
 		}
-		perOpt[i], errs[i] = exploreOption(ctx, sim[opts[i].Name], opts[i], scale, reg)
+		perOpt[i], errs[i] = exploreOption(ctx, sim[opts[i].Name], opts[i], sc, scale, reg)
 	})
 	for _, err := range errs {
 		if err != nil {

@@ -74,10 +74,26 @@ type Block struct {
 	Core int     // owning core index, or -1 for shared structures
 	X, Y float64 // lower-left corner, meters
 	W, H float64 // width and height, meters
+	// Layer is the stacking level for 3D chips: 0 is the sink-adjacent
+	// die (the only one with a vertical path to the heat sink), higher
+	// layers are buried. Planar chips leave every block at 0.
+	Layer int
 }
 
 // Area returns the block area in m².
 func (b Block) Area() float64 { return b.W * b.H }
+
+// OverlapArea returns the XY-projected overlap of two blocks in m²,
+// ignoring their layers — the face area through which vertically stacked
+// blocks exchange heat.
+func OverlapArea(a, b Block) float64 {
+	w := math.Min(a.X+a.W, b.X+b.W) - math.Max(a.X, b.X)
+	h := math.Min(a.Y+a.H, b.Y+b.H) - math.Max(a.Y, b.Y)
+	if w <= 0 || h <= 0 {
+		return 0
+	}
+	return w * h
+}
 
 // Floorplan is a set of non-overlapping blocks covering (part of) a die.
 type Floorplan struct {
@@ -150,12 +166,18 @@ type Adjacency struct {
 	Edge     [][]float64
 }
 
-// BuildAdjacency computes the block adjacency of the floorplan.
+// BuildAdjacency computes the block adjacency of the floorplan. Lateral
+// adjacency exists only within one stacking layer; vertical coupling
+// between layers is the thermal model's business (face overlap, not edge
+// abutment).
 func (f *Floorplan) BuildAdjacency() Adjacency {
 	n := len(f.Blocks)
 	adj := Adjacency{Neighbor: make([][]int, n), Edge: make([][]float64, n)}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
+			if f.Blocks[i].Layer != f.Blocks[j].Layer {
+				continue
+			}
 			e := SharedEdge(f.Blocks[i], f.Blocks[j])
 			if e > 0 {
 				adj.Neighbor[i] = append(adj.Neighbor[i], j)
@@ -217,6 +239,11 @@ type ChipConfig struct {
 	DieW    float64 // meters; default 15.6 mm
 	DieH    float64 // meters; default 15.6 mm
 	L2Banks int     // default 4
+	// Layers stacks the chip in 3D: 0 or 1 is the planar Table 1 chip;
+	// L > 1 splits the cores evenly across L dies, with layer 0 (the
+	// sink-adjacent die) keeping the bus and L2 and each buried layer
+	// carrying a full-die grid of core tiles. NCores must divide evenly.
+	Layers int
 }
 
 // DefaultChipConfig returns the paper's Table 1 geometry for n cores.
@@ -224,17 +251,25 @@ func DefaultChipConfig(n int) ChipConfig {
 	return ChipConfig{NCores: n, DieW: 15.6e-3, DieH: 15.6e-3, L2Banks: 4}
 }
 
+// MaxCores bounds chip assembly; raised beyond the paper's 16-way chip so
+// many-core stress scenarios (Ginosar's √m regime) fit.
+const MaxCores = 256
+
 // Chip assembles a CMP floorplan: a grid of core tiles in the upper region,
-// a bus strip, and L2 banks across the bottom. Valid for 1..64 cores.
+// a bus strip, and L2 banks across the bottom; with cfg.Layers > 1, the
+// same chip folded into a 3D stack. Valid for 1..MaxCores cores.
 func Chip(cfg ChipConfig) (*Floorplan, error) {
-	if cfg.NCores < 1 || cfg.NCores > 64 {
-		return nil, fmt.Errorf("floorplan: NCores %d outside [1,64]", cfg.NCores)
+	if cfg.NCores < 1 || cfg.NCores > MaxCores {
+		return nil, fmt.Errorf("floorplan: NCores %d outside [1,%d]", cfg.NCores, MaxCores)
 	}
 	if cfg.DieW <= 0 || cfg.DieH <= 0 {
 		return nil, fmt.Errorf("floorplan: non-positive die dimensions %g×%g", cfg.DieW, cfg.DieH)
 	}
 	if cfg.L2Banks < 1 {
 		return nil, fmt.Errorf("floorplan: L2Banks must be >= 1, got %d", cfg.L2Banks)
+	}
+	if cfg.Layers > 1 {
+		return chipStacked(cfg)
 	}
 	cols := int(math.Ceil(math.Sqrt(float64(cfg.NCores))))
 	rows := (cfg.NCores + cols - 1) / cols
@@ -271,6 +306,58 @@ func Chip(cfg ChipConfig) (*Floorplan, error) {
 		})
 	}
 	return fp, nil
+}
+
+// chipStacked assembles the 3D variant: cfg.NCores split evenly across
+// cfg.Layers dies. Layer 0 is the planar chip with its share of the cores
+// (plus bus and L2); each buried layer is a full-die grid of core tiles.
+// Core indices run contiguously layer by layer, so core c lives on layer
+// c / (NCores/Layers).
+func chipStacked(cfg ChipConfig) (*Floorplan, error) {
+	if cfg.Layers > 8 {
+		return nil, fmt.Errorf("floorplan: Layers %d outside [1,8]", cfg.Layers)
+	}
+	if cfg.NCores%cfg.Layers != 0 {
+		return nil, fmt.Errorf("floorplan: NCores %d not divisible by Layers %d", cfg.NCores, cfg.Layers)
+	}
+	perLayer := cfg.NCores / cfg.Layers
+	base := cfg
+	base.NCores = perLayer
+	base.Layers = 0
+	fp, err := Chip(base)
+	if err != nil {
+		return nil, err
+	}
+	for l := 1; l < cfg.Layers; l++ {
+		cols := int(math.Ceil(math.Sqrt(float64(perLayer))))
+		rows := (perLayer + cols - 1) / cols
+		tileW := cfg.DieW / float64(cols)
+		tileH := cfg.DieH / float64(rows)
+		idx := 0
+		for r := 0; r < rows && idx < perLayer; r++ {
+			for c := 0; c < cols && idx < perLayer; c++ {
+				tile := CoreTile(l*perLayer+idx, float64(c)*tileW, float64(r)*tileH, tileW, tileH)
+				for i := range tile {
+					tile[i].Layer = l
+				}
+				fp.Blocks = append(fp.Blocks, tile...)
+				idx++
+			}
+		}
+	}
+	return fp, nil
+}
+
+// Layers returns the number of stacking levels in the floorplan (1 for a
+// planar chip).
+func (f *Floorplan) Layers() int {
+	max := 0
+	for _, b := range f.Blocks {
+		if b.Layer > max {
+			max = b.Layer
+		}
+	}
+	return max + 1
 }
 
 // CoreArea returns the area of one core tile in the given chip config, m².

@@ -102,7 +102,9 @@ func TestChipCoreBlockQueries(t *testing.T) {
 func TestChipRejectsBadConfig(t *testing.T) {
 	for _, cfg := range []ChipConfig{
 		{NCores: 0, DieW: 1e-3, DieH: 1e-3, L2Banks: 1},
-		{NCores: 65, DieW: 1e-3, DieH: 1e-3, L2Banks: 1},
+		{NCores: MaxCores + 1, DieW: 1e-3, DieH: 1e-3, L2Banks: 1},
+		{NCores: 6, DieW: 1e-3, DieH: 1e-3, L2Banks: 1, Layers: 4},
+		{NCores: 16, DieW: 1e-3, DieH: 1e-3, L2Banks: 1, Layers: 9},
 		{NCores: 4, DieW: 0, DieH: 1e-3, L2Banks: 1},
 		{NCores: 4, DieW: 1e-3, DieH: -1, L2Banks: 1},
 		{NCores: 4, DieW: 1e-3, DieH: 1e-3, L2Banks: 0},

@@ -66,6 +66,20 @@ type Technology struct {
 	// running flat out at (Vdd, FNominal) with the die at MaxDieTempC.
 	// ITRS-trend values: ~0.20 at 130 nm, ~0.45 at 65 nm.
 	StaticShare float64
+	// CapScale multiplies per-access switched capacitance relative to the
+	// 65 nm reference budget (capacitance tracks drawn feature size, so
+	// ~FeatureNm/65). The zero value means 1. Note the thermal-design-point
+	// calibration renormalizes absolute dynamic power, so CapScale shifts
+	// only the pre-calibration scale, not calibrated results.
+	CapScale float64
+}
+
+// CapScaleOrUnit resolves the zero value of CapScale to 1.
+func (t Technology) CapScaleOrUnit() float64 {
+	if t.CapScale == 0 {
+		return 1
+	}
+	return t.CapScale
 }
 
 // Tech130 returns the calibrated 130 nm technology descriptor used for the
@@ -82,7 +96,42 @@ func Tech130() Technology {
 		LeakBetaV:   2.5,
 		LeakBetaT:   math.Ln2 / 40.0,
 		StaticShare: 0.20,
+		CapScale:    130.0 / 65.0,
 	}
+}
+
+// Tech90 returns a 90 nm technology descriptor interpolated on the ITRS
+// trend between the paper's two calibrated nodes: supply and threshold
+// voltages step down, the frequency envelope and the static share step up
+// as leakage grows with scaling.
+func Tech90() Technology {
+	return Technology{
+		Name:        "90nm",
+		FeatureNm:   90,
+		Vdd:         1.2,
+		Vth:         0.19,
+		FNominal:    2.4e9,
+		Alpha:       2.0,
+		VminOverVth: 3.2,
+		LeakBetaV:   2.5,
+		LeakBetaT:   math.Ln2 / 40.0,
+		StaticShare: 0.32,
+		CapScale:    90.0 / 65.0,
+	}
+}
+
+// TechByName resolves a node name ("130nm", "90nm", "65nm"; the bare
+// numbers are accepted too) to its calibrated descriptor.
+func TechByName(name string) (Technology, error) {
+	switch name {
+	case "130nm", "130":
+		return Tech130(), nil
+	case "90nm", "90":
+		return Tech90(), nil
+	case "65nm", "65", "":
+		return Tech65(), nil
+	}
+	return Technology{}, fmt.Errorf("phys: unknown technology node %q (want 130nm, 90nm, or 65nm)", name)
 }
 
 // Tech65 returns the calibrated 65 nm technology descriptor. It is also the
@@ -119,6 +168,8 @@ func (t Technology) Validate() error {
 		return fmt.Errorf("phys: %s: Vmin %.3g exceeds Vdd %.3g", t.Name, t.VminOverVth*t.Vth, t.Vdd)
 	case t.StaticShare < 0 || t.StaticShare >= 1:
 		return fmt.Errorf("phys: %s: StaticShare must be in [0,1), got %g", t.Name, t.StaticShare)
+	case t.CapScale < 0:
+		return fmt.Errorf("phys: %s: CapScale must be >= 0 (0 means 1), got %g", t.Name, t.CapScale)
 	}
 	return nil
 }

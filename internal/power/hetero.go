@@ -1,0 +1,122 @@
+package power
+
+import (
+	"errors"
+	"fmt"
+
+	"cmppower/internal/dvfs"
+	"cmppower/internal/floorplan"
+	"cmppower/internal/phys"
+	"cmppower/internal/thermal"
+)
+
+// This file is the heterogeneous mirror of the chip-wide accounting in
+// power.go: scenario chips with per-domain DVFS run each core at its own
+// operating point, so per-access energies and the leakage fraction scale
+// with that core's supply while the shared L2 and bus stay on the lead
+// (uncore) point. The chip-wide functions are deliberately left
+// untouched and the loops duplicated rather than parameterized: the
+// legacy paths must stay expression-for-expression identical so baseline
+// outputs cannot drift, and a hetero evaluation with every core on the
+// lead point reproduces EvaluateSet bit for bit (pinned by
+// TestHeteroMatchesChipWideOnUniformPoints).
+
+// DynamicBlockPowerHetero is DynamicBlockPowerSet with one operating
+// point per physical core. corePoints must have act.NCores() entries;
+// shared structures (L2, bus) charge at the lead point.
+func (m *Meter) DynamicBlockPowerHetero(fp *floorplan.Floorplan, act *Activity, elapsed float64, cycles int64, lead dvfs.OperatingPoint, corePoints []dvfs.OperatingPoint, active []bool) ([]float64, error) {
+	if elapsed <= 0 || cycles <= 0 {
+		return nil, fmt.Errorf("power: non-positive interval (elapsed=%g cycles=%d)", elapsed, cycles)
+	}
+	if act.nCores != len(active) {
+		return nil, fmt.Errorf("power: activity sized for %d cores, active set has %d", act.nCores, len(active))
+	}
+	if len(corePoints) != act.nCores {
+		return nil, fmt.Errorf("power: %d core points for %d cores", len(corePoints), act.nCores)
+	}
+	out := make([]float64, len(fp.Blocks))
+	for i, b := range fp.Blocks {
+		var accesses, residual float64
+		var unitEnergy float64
+		switch {
+		case b.Core >= 0:
+			if b.Core >= len(active) || !active[b.Core] {
+				continue // powered off
+			}
+			n := act.CoreCount(b.Core, b.Unit)
+			accesses = float64(n)
+			if idle := cycles - n; idle > 0 {
+				slept := act.SleepCount(b.Core)
+				if slept > idle {
+					slept = idle
+				}
+				residual = m.GateResidual*float64(idle-slept) + m.SleepResidual*float64(slept)
+			}
+			unitEnergy = m.budget.PerAccessAt(b.Unit, corePoints[b.Core].Volt)
+		case b.Unit == floorplan.UnitL2:
+			nBanks := 0
+			for _, bb := range fp.Blocks {
+				if bb.Unit == floorplan.UnitL2 {
+					nBanks++
+				}
+			}
+			accesses = float64(act.L2Count()) / float64(nBanks)
+			if idle := float64(cycles) - accesses; idle > 0 {
+				residual = m.L2GateResidual * idle
+			}
+			unitEnergy = m.budget.PerAccessAt(floorplan.UnitL2, lead.Volt) / float64(nBanks)
+		case b.Unit == floorplan.UnitBus:
+			accesses = float64(act.BusCount())
+			if idle := float64(cycles) - accesses; idle > 0 {
+				residual = m.GateResidual * idle
+			}
+			unitEnergy = m.budget.PerAccessAt(floorplan.UnitBus, lead.Volt)
+		}
+		out[i] = m.Renorm * unitEnergy * (accesses + residual) / elapsed
+	}
+	return out, nil
+}
+
+// EvaluateHetero is EvaluateSet with one operating point per physical
+// core: dynamic energy and the leakage fraction of each core block use
+// that core's supply, shared blocks the lead point.
+func (m *Meter) EvaluateHetero(fp *floorplan.Floorplan, tm *thermal.Model, act *Activity, elapsed float64, cycles int64, lead dvfs.OperatingPoint, corePoints []dvfs.OperatingPoint, active []bool) (*Result, error) {
+	if tm.Floorplan() != fp {
+		return nil, errors.New("power: thermal model built for a different floorplan")
+	}
+	dyn, err := m.DynamicBlockPowerHetero(fp, act, elapsed, cycles, lead, corePoints, active)
+	if err != nil {
+		return nil, err
+	}
+	leak := func(i int, tempC float64) float64 {
+		v := lead.Volt
+		if c := fp.Blocks[i].Core; c >= 0 && c < len(corePoints) {
+			v = corePoints[c].Volt
+		}
+		return dyn[i] * m.StaticFraction(v, phys.Clamp(tempC, phys.AmbientTempC, 120))
+	}
+	temps, total, err := tm.SteadyStateCoupled(dyn, leak, 0.01)
+	if err != nil {
+		return nil, err
+	}
+	isActive := func(b floorplan.Block) bool {
+		return b.Core >= 0 && b.Core < len(active) && active[b.Core]
+	}
+	res := &Result{BlockDyn: dyn, BlockTotal: total, TempC: temps}
+	var coreP, coreA float64
+	for i, b := range fp.Blocks {
+		res.DynW += dyn[i]
+		res.TotalW += total[i]
+		if isActive(b) {
+			coreP += total[i]
+			coreA += b.Area()
+		}
+	}
+	res.StaticW = res.TotalW - res.DynW
+	res.PeakTempC = thermal.Peak(temps)
+	res.AvgCoreTemp = tm.AvgWeighted(temps, isActive)
+	if coreA > 0 {
+		res.CoreDensity = coreP / coreA
+	}
+	return res, nil
+}

@@ -1,0 +1,42 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzScenarioLoad asserts the parser's core contract: any document Load
+// accepts canonicalizes to a form Load also accepts, and the two forms
+// share one digest. Rejections must be errors, never panics.
+func FuzzScenarioLoad(f *testing.F) {
+	f.Add(`{"name":"baseline-2005","chip":{},"dvfs":{},"cores":{},"thermal":{},"memory":{}}`)
+	f.Add(`{"name":"x","node":"90nm","chip":{"total_cores":8,"layers":2},"dvfs":{"quantize":true},"cores":{},"thermal":{},"memory":{}}`)
+	f.Add(`{"name":"bl","chip":{"total_cores":4},"dvfs":{"domains":[{"name":"a","cores":[0,1]},{"name":"b","cores":[2,3],"speed_ratio":0.5}]},"cores":{"classes":[{"name":"c","issue_width":2}],"assign":["c","c","c","c"]},"thermal":{"r_interlayer":1e-5},"memory":{"prefetch":true}}`)
+	f.Add(`{"name":"bad","node":"45nm","chip":{},"dvfs":{},"cores":{},"thermal":{},"memory":{}}`)
+	f.Add(`not json`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		s, err := Load(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		can, err := s.Canonical()
+		if err != nil {
+			t.Fatalf("accepted scenario fails Canonical: %v", err)
+		}
+		s2, err := Load(strings.NewReader(string(can)))
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\n%s", err, can)
+		}
+		d1, err := s.Digest()
+		if err != nil {
+			t.Fatalf("digest: %v", err)
+		}
+		d2, err := s2.Digest()
+		if err != nil {
+			t.Fatalf("digest of reloaded canonical: %v", err)
+		}
+		if d1 != d2 {
+			t.Fatalf("digest changed across canonical round trip: %s vs %s", d1, d2)
+		}
+	})
+}

@@ -40,6 +40,7 @@ import (
 	"cmppower/internal/explore"
 	"cmppower/internal/faults"
 	"cmppower/internal/obs"
+	"cmppower/internal/scenario"
 	"cmppower/internal/surrogate"
 	"cmppower/internal/traffic"
 )
@@ -332,7 +333,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
-		return okJSON(&RunResponse{Measurement: m})
+		return okJSON(&RunResponse{Measurement: m, ChipDigest: chipDigest(req.Chip)})
 	})
 }
 
@@ -381,11 +382,13 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
-		outs, err := explore.ExploreObs(ctx, apps, explore.StandardOptions(), req.Scale, 1, s.reg)
+		outs, err := explore.ExploreScenario(ctx, apps, explore.StandardOptions(), req.Chip, req.Scale, 1, s.reg)
 		if err != nil {
 			return nil, err
 		}
-		return okJSON(NewExploreResponse(outs))
+		resp := NewExploreResponse(outs)
+		resp.ChipDigest = chipDigest(req.Chip)
+		return okJSON(resp)
 	})
 }
 
@@ -459,9 +462,9 @@ func (s *Server) lead(key string, f *flight, compute func(context.Context) (*res
 	s.flights.finish(key, f, resp, nil)
 }
 
-// computeRun executes one RunRequest on the scale's pooled rig.
+// computeRun executes one RunRequest on the (scale, chip) pooled rig.
 func (s *Server) computeRun(ctx context.Context, req *RunRequest) (*experiment.Measurement, error) {
-	rig, err := s.rigs.get(req.Scale)
+	rig, err := s.rigs.get(req.Scale, req.Chip)
 	if err != nil {
 		return nil, err
 	}
@@ -487,7 +490,7 @@ func (s *Server) computeRun(ctx context.Context, req *RunRequest) (*experiment.M
 // serially per request — concurrency comes from concurrent requests,
 // each holding one admission slot, so -j bounds total simulation work.
 func (s *Server) computeSweep(ctx context.Context, req *SweepRequest) (*SweepResponse, error) {
-	rig, err := s.rigs.get(req.Scale)
+	rig, err := s.rigs.get(req.Scale, req.Chip)
 	if err != nil {
 		return nil, err
 	}
@@ -514,7 +517,9 @@ func (s *Server) computeSweep(ctx context.Context, req *SweepRequest) (*SweepRes
 		// not served — the error carries the context cause to statusOf.
 		return nil, err
 	}
-	return NewSweepResponse(req.Scenario, w.BudgetW(), outcomes), nil
+	resp := NewSweepResponse(req.Scenario, w.BudgetW(), outcomes)
+	resp.ChipDigest = chipDigest(req.Chip)
+	return resp, nil
 }
 
 // requestRig clones the pooled rig for one request, applying the
@@ -635,74 +640,130 @@ func decodeJSON(r *http.Request, v any) error {
 	return nil
 }
 
-// rigPool caches calibrated rigs by workload scale. The first request
-// pays one full NewRig (calibration: thermal solves); every later scale
-// derives from that base via CloneForScale — a struct copy, since
-// nothing in the apparatus depends on the scale and the thermal
-// factorization is pooled process-wide. Derived rigs share the base
-// rig's memo cache (entries key on scale, so they never cross), making
-// the memo budget a single pool-wide bound rather than per scale.
+// rigKey identifies one pooled rig: the workload scale plus the chip's
+// scenario cache identity — empty for the implicit baseline chip and for
+// scenario documents canonically equal to it (those share the legacy
+// rig, and with it every memo and surrogate cache entry, bit for bit),
+// the scenario's content digest otherwise.
+type rigKey struct {
+	scale float64
+	chip  string
+}
+
+// rigPool caches calibrated rigs by (scale, chip). The first request for
+// each chip pays one full build (calibration: thermal solves); every
+// later scale of that chip derives from its ancestor via CloneForScale —
+// a struct copy, since nothing in the apparatus depends on the scale and
+// the thermal factorization is pooled process-wide. Derived rigs share
+// their ancestor's memo cache (entries key on scale, so they never
+// cross), making the memo budget a single bound per chip.
 type rigPool struct {
 	mu       sync.Mutex
 	reg      *obs.Registry
 	memoCap  int
 	surr     *surrogate.Store
 	capacity int
-	base     *experiment.Rig // first rig built; ancestor for CloneForScale
-	rigs     map[float64]*experiment.Rig
-	order    []float64 // LRU, last = most recently used
+	bases    map[string]*experiment.Rig // per-chip ancestors for CloneForScale
+	rigs     map[rigKey]*experiment.Rig
+	order    []rigKey // LRU, last = most recently used
 }
 
 func newRigPool(reg *obs.Registry, memoCap int, surr *surrogate.Store) *rigPool {
-	return &rigPool{reg: reg, memoCap: memoCap, surr: surr, capacity: 8, rigs: make(map[float64]*experiment.Rig)}
+	return &rigPool{reg: reg, memoCap: memoCap, surr: surr, capacity: 8,
+		bases: make(map[string]*experiment.Rig), rigs: make(map[rigKey]*experiment.Rig)}
 }
 
-// get returns the rig for scale, deriving it on first use (a clone of
-// the base rig when one exists, a full build otherwise) and evicting the
-// least-recently-used rig past the pool bound. The base rig is kept as
-// the clone ancestor even after its scale is evicted.
-func (p *rigPool) get(scale float64) (*experiment.Rig, error) {
+// chipIdent maps an optional (already validated) chip scenario to its
+// pool identity: "" for nil and for baseline-equivalent documents, the
+// content digest otherwise — the same collapsing the experiment layer's
+// cache keys perform.
+func chipIdent(sc *scenario.Scenario) (string, error) {
+	if sc == nil {
+		return "", nil
+	}
+	baseline, err := sc.IsBaseline()
+	if err != nil || baseline {
+		return "", err
+	}
+	return sc.Digest()
+}
+
+// get returns the rig for (scale, chip), deriving it on first use (a
+// clone of the chip's ancestor when one exists, a full build otherwise)
+// and evicting the least-recently-used rig past the pool bound. The
+// baseline ancestor is kept forever even after its scales are evicted;
+// a scenario chip's ancestor is released once no pooled scale still
+// derives from it.
+func (p *rigPool) get(scale float64, chip *scenario.Scenario) (*experiment.Rig, error) {
+	ident, err := chipIdent(chip)
+	if err != nil {
+		return nil, err
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if rig, ok := p.rigs[scale]; ok {
-		p.touch(scale)
+	key := rigKey{scale: scale, chip: ident}
+	if rig, ok := p.rigs[key]; ok {
+		p.touch(key)
 		return rig, nil
 	}
 	var rig *experiment.Rig
-	var err error
-	if p.base != nil {
-		rig, err = p.base.CloneForScale(scale)
+	if base := p.bases[ident]; base != nil {
+		rig, err = base.CloneForScale(scale)
 	} else {
-		rig, err = experiment.NewRig(scale)
+		if ident == "" {
+			// Baseline-equivalent scenario bodies build the plain legacy rig:
+			// NewRigFromScenario on them is bit-identical anyway, and this
+			// keeps one shared ancestor for the common case.
+			rig, err = experiment.NewRig(scale)
+		} else {
+			rig, err = experiment.NewRigFromScenario(chip, scale)
+		}
 		if err == nil {
 			rig.Obs = p.reg
 			rig.EnableMemoBounded(p.memoCap)
 			// Every simulated run trains the surrogate; scale-derived and
 			// per-request clones share the pointer like the memo cache.
 			rig.Surrogate = p.surr
-			p.base = rig
+			p.bases[ident] = rig
 		}
 	}
 	if err != nil {
 		return nil, err
 	}
-	p.rigs[scale] = rig
-	p.order = append(p.order, scale)
+	p.rigs[key] = rig
+	p.order = append(p.order, key)
 	if len(p.order) > p.capacity {
 		evict := p.order[0]
 		p.order = p.order[1:]
 		delete(p.rigs, evict)
+		p.dropBaseIfOrphan(evict.chip)
 		p.reg.VolatileCounter("server_rig_evictions_total").Add(1)
 	}
 	p.reg.VolatileGauge("server_rigs").Set(float64(len(p.rigs)))
 	return rig, nil
 }
 
-// touch moves scale to the most-recently-used end.
-func (p *rigPool) touch(scale float64) {
-	for i, s := range p.order {
-		if s == scale {
-			p.order = append(append(p.order[:i:i], p.order[i+1:]...), scale)
+// dropBaseIfOrphan releases a scenario chip's ancestor once no pooled
+// scale still derives from it. The baseline ancestor ("" ident) is kept
+// forever: it is the common case, and holding it makes a re-requested
+// scale a struct copy instead of a recalibration.
+func (p *rigPool) dropBaseIfOrphan(chip string) {
+	if chip == "" {
+		return
+	}
+	for _, k := range p.order {
+		if k.chip == chip {
+			return
+		}
+	}
+	delete(p.bases, chip)
+}
+
+// touch moves key to the most-recently-used end.
+func (p *rigPool) touch(key rigKey) {
+	for i, k := range p.order {
+		if k == key {
+			p.order = append(append(p.order[:i:i], p.order[i+1:]...), key)
 			return
 		}
 	}

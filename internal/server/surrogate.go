@@ -101,7 +101,7 @@ func NewSurrogateExploreResponse(cells []explore.SourcedOutcome) *SurrogateExplo
 // bound) and trains the next refit through the rig's store feed.
 func (s *Server) handleRunSurrogate(w http.ResponseWriter, r *http.Request, req *RunRequest) {
 	if s.surr != nil && req.Faults == "" && !req.DTM {
-		if rig, err := s.rigs.get(req.Scale); err == nil {
+		if rig, err := s.rigs.get(req.Scale, req.Chip); err == nil {
 			point := rig.Table.Nominal()
 			if req.FreqMHz > 0 {
 				point = rig.Table.PointFor(req.FreqMHz * 1e6)
@@ -148,12 +148,12 @@ func (s *Server) handleExploreSurrogate(w http.ResponseWriter, r *http.Request, 
 		if err != nil {
 			return nil, err
 		}
-		rig, err := s.rigs.get(req.Scale)
+		rig, err := s.rigs.get(req.Scale, req.Chip)
 		if err != nil {
 			return nil, err
 		}
-		cells, err := explore.ExploreSurrogate(ctx, apps, explore.StandardOptions(), req.Scale, 1,
-			s.reg, s.surr, rig.SurrogateKey)
+		cells, err := explore.ExploreSurrogateScenario(ctx, apps, explore.StandardOptions(), req.Chip,
+			req.Scale, 1, s.reg, s.surr, rig.SurrogateKey)
 		if err != nil {
 			return nil, err
 		}

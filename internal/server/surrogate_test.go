@@ -27,7 +27,7 @@ func warmSurrogate(t *testing.T, ts *httptest.Server, s *Server, app string, sca
 			}
 		}
 	}
-	rig, err := s.rigs.get(scale)
+	rig, err := s.rigs.get(scale, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@ import (
 	"cmppower/internal/experiment"
 	"cmppower/internal/explore"
 	"cmppower/internal/identity"
+	"cmppower/internal/scenario"
 	"cmppower/internal/splash"
 )
 
@@ -47,6 +48,11 @@ type RunRequest struct {
 	// of the cache identity. "exact" normalizes to "" — the two spell the
 	// same request.
 	Mode string `json:"mode,omitempty"`
+	// Chip is an optional scenario document describing the chip to
+	// simulate (see internal/scenario). Omitted means the paper's Table 1
+	// baseline. The normalized scenario is part of the cache identity, and
+	// the response echoes its content digest.
+	Chip *scenario.Scenario `json:"chip,omitempty"`
 }
 
 // ApplyDefaults normalizes the request in place so that two requests
@@ -61,6 +67,7 @@ func (r *RunRequest) ApplyDefaults() {
 	r.App = strings.TrimSpace(r.App)
 	r.Faults = strings.TrimSpace(r.Faults)
 	r.Mode = normalizeMode(r.Mode)
+	normalizeChip(r.Chip)
 }
 
 // Validate rejects requests the rig would reject, with a client-side
@@ -69,8 +76,12 @@ func (r *RunRequest) Validate() error {
 	if _, err := splash.ByName(r.App); err != nil {
 		return err
 	}
-	if r.N < 1 || r.N > 16 {
-		return fmt.Errorf("n %d outside [1,16]", r.N)
+	maxN, err := validateChip(r.Chip)
+	if err != nil {
+		return err
+	}
+	if r.N < 1 || r.N > maxN {
+		return fmt.Errorf("n %d outside [1,%d]", r.N, maxN)
 	}
 	if r.Scale <= 0 || r.Scale > 4 {
 		return fmt.Errorf("scale %g outside (0,4]", r.Scale)
@@ -84,6 +95,9 @@ func (r *RunRequest) Validate() error {
 // RunResponse is the body of a successful POST /v1/run.
 type RunResponse struct {
 	Measurement *experiment.Measurement `json:"measurement"`
+	// ChipDigest echoes the content digest of the request's chip scenario
+	// (absent when the request used the implicit baseline chip).
+	ChipDigest string `json:"chip_digest,omitempty"`
 }
 
 // SweepRequest is the body of POST /v1/sweep: a Scenario I (Fig. 3) or
@@ -104,6 +118,8 @@ type SweepRequest struct {
 	// Retries bounds per-app attempts for injected-transient failures
 	// (default 3).
 	Retries int `json:"retries,omitempty"`
+	// Chip as in RunRequest: an optional scenario document for the chip.
+	Chip *scenario.Scenario `json:"chip,omitempty"`
 }
 
 // ApplyDefaults normalizes the request in place (cache identity).
@@ -128,6 +144,7 @@ func (r *SweepRequest) ApplyDefaults() {
 		r.Retries = experiment.DefaultRetryConfig().Attempts
 	}
 	r.Faults = strings.TrimSpace(r.Faults)
+	normalizeChip(r.Chip)
 }
 
 // Validate rejects malformed sweeps before admission.
@@ -140,9 +157,13 @@ func (r *SweepRequest) Validate() error {
 			return err
 		}
 	}
+	maxN, err := validateChip(r.Chip)
+	if err != nil {
+		return err
+	}
 	for _, n := range r.CoreCounts {
-		if n < 1 || n > 16 {
-			return fmt.Errorf("core count %d outside [1,16]", n)
+		if n < 1 || n > maxN {
+			return fmt.Errorf("core count %d outside [1,%d]", n, maxN)
 		}
 	}
 	if r.Scale <= 0 || r.Scale > 4 {
@@ -170,6 +191,9 @@ type SweepResponse struct {
 	Scenario string           `json:"scenario"`
 	BudgetW  float64          `json:"budget_w,omitempty"`
 	Outcomes []SweepAppResult `json:"outcomes"`
+	// ChipDigest echoes the request chip's content digest (absent for the
+	// implicit baseline chip).
+	ChipDigest string `json:"chip_digest,omitempty"`
 }
 
 // NewSweepResponse flattens sweep outcomes into the wire form. Exported
@@ -202,6 +226,12 @@ type ExploreRequest struct {
 	// clearly-dominated cells instead of simulating them, with per-cell
 	// provenance in the response.
 	Mode string `json:"mode,omitempty"`
+	// Chip as in RunRequest. The exploration varies the organization
+	// (core count, width, L2), so the scenario contributes its global axes
+	// — node, die, stacking, thermal, ladder, memory switches — while its
+	// core count, DVFS domains, and class assignment are superseded per
+	// option (see explore.ExploreScenario).
+	Chip *scenario.Scenario `json:"chip,omitempty"`
 }
 
 // ApplyDefaults normalizes the request in place (cache identity).
@@ -216,6 +246,7 @@ func (r *ExploreRequest) ApplyDefaults() {
 		r.Scale = defaultScale
 	}
 	r.Mode = normalizeMode(r.Mode)
+	normalizeChip(r.Chip)
 }
 
 // Validate rejects malformed explorations before admission.
@@ -224,6 +255,9 @@ func (r *ExploreRequest) Validate() error {
 		if _, err := splash.ByName(name); err != nil {
 			return err
 		}
+	}
+	if _, err := validateChip(r.Chip); err != nil {
+		return err
 	}
 	if r.Scale <= 0 || r.Scale > 4 {
 		return fmt.Errorf("scale %g outside (0,4]", r.Scale)
@@ -237,6 +271,9 @@ type ExploreResponse struct {
 	// BestEDP maps each application to the organization with the lowest
 	// EDP, in sorted app order inside the JSON object.
 	BestEDP map[string]string `json:"best_edp"`
+	// ChipDigest echoes the request chip's content digest (absent for the
+	// implicit baseline chip).
+	ChipDigest string `json:"chip_digest,omitempty"`
 }
 
 // NewExploreResponse assembles the wire form of an exploration.
@@ -246,6 +283,42 @@ func NewExploreResponse(outs []explore.Outcome) *ExploreResponse {
 		resp.BestEDP[app] = o.Option.Name
 	}
 	return resp
+}
+
+// normalizeChip canonicalizes an optional chip scenario in place so two
+// documents meaning the same chip share one cache key (nil is a no-op —
+// the absent chip is the baseline).
+func normalizeChip(sc *scenario.Scenario) {
+	if sc != nil {
+		sc.Normalize()
+	}
+}
+
+// validateChip validates an optional chip scenario and returns the
+// request's core-count bound: the scenario's physical core count when one
+// is given, the baseline's 16 otherwise.
+func validateChip(sc *scenario.Scenario) (maxN int, err error) {
+	if sc == nil {
+		return 16, nil
+	}
+	if err := sc.Validate(); err != nil {
+		return 0, fmt.Errorf("chip: %w", err)
+	}
+	return sc.Chip.TotalCores, nil
+}
+
+// chipDigest returns the response echo of an optional chip scenario: its
+// full content digest, or "" when the request used the implicit baseline.
+// Callers validate first, so the digest cannot fail.
+func chipDigest(sc *scenario.Scenario) string {
+	if sc == nil {
+		return ""
+	}
+	d, err := sc.Digest()
+	if err != nil {
+		return ""
+	}
+	return d
 }
 
 // errorBody is the uniform error payload.

@@ -74,6 +74,7 @@ func modelDigest(fp *floorplan.Floorplan, p Params) [sha256.Size]byte {
 		wf(b.H)
 		w64(uint64(b.Unit))
 		w64(uint64(int64(b.Core)))
+		w64(uint64(int64(b.Layer)))
 	}
 	wf(p.KSi)
 	wf(p.DieThickness)
@@ -82,6 +83,7 @@ func modelDigest(fp *floorplan.Floorplan, p Params) [sha256.Size]byte {
 	wf(p.AmbientC)
 	wf(p.VolHeatCapacity)
 	wf(p.SinkHeatCapacity)
+	wf(p.RInterLayerSpecific)
 	var out [sha256.Size]byte
 	h.Sum(out[:0])
 	return out

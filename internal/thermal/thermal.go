@@ -38,6 +38,12 @@ type Params struct {
 	VolHeatCapacity float64
 	// SinkHeatCapacity is the lumped sink capacity, J/K.
 	SinkHeatCapacity float64
+	// RInterLayerSpecific is the specific resistance of the bond/TSV
+	// interface between stacked dies, K·m²/W: two vertically adjacent
+	// blocks couple with conductance overlapArea / RInterLayerSpecific.
+	// Only consulted for floorplans with more than one layer; planar
+	// chips ignore it entirely.
+	RInterLayerSpecific float64
 }
 
 // DefaultParams returns package constants representative of a 2005-class
@@ -51,6 +57,10 @@ func DefaultParams() Params {
 		AmbientC:          phys.AmbientTempC,
 		VolHeatCapacity:   1.75e6,
 		SinkHeatCapacity:  140,
+		// Face-to-face bond with TSVs: an order of magnitude below the
+		// junction-to-sink path, so stacking couples dies tightly but the
+		// buried die still runs measurably hotter (Yavits et al.).
+		RInterLayerSpecific: 1e-5,
 	}
 }
 
@@ -103,11 +113,20 @@ func NewModel(fp *floorplan.Floorplan, p Params) (*Model, error) {
 		gSum:      make([]float64, n),
 		capBlock:  make([]float64, n),
 	}
+	layers := fp.Layers()
+	if layers > 1 && p.RInterLayerSpecific <= 0 {
+		return nil, fmt.Errorf("thermal: %d-layer floorplan needs RInterLayerSpecific > 0", layers)
+	}
 	cent := func(b floorplan.Block) (float64, float64) {
 		return b.X + b.W/2, b.Y + b.H/2
 	}
 	for i, b := range fp.Blocks {
-		m.gVert[i] = b.Area() / p.RVerticalSpecific
+		// Only the sink-adjacent die (layer 0) has a vertical path to the
+		// heat sink; buried layers shed heat exclusively through the
+		// inter-layer bond below.
+		if b.Layer == 0 {
+			m.gVert[i] = b.Area() / p.RVerticalSpecific
+		}
 		m.capBlock[i] = b.Area() * p.DieThickness * p.VolHeatCapacity
 		m.gLat[i] = make([]float64, len(adj.Neighbor[i]))
 		xi, yi := cent(b)
@@ -119,6 +138,28 @@ func NewModel(fp *floorplan.Floorplan, p Params) (*Model, error) {
 			}
 			// Cross-section = shared edge × die thickness.
 			m.gLat[i][k] = p.KSi * adj.Edge[i][k] * p.DieThickness / dist
+		}
+	}
+	if layers > 1 {
+		// Vertical coupling between stacked dies: every pair of blocks on
+		// adjacent layers with overlapping footprints gets a conductance
+		// proportional to the shared face area, appended symmetrically to
+		// the same neighbor/conductance lists the lateral network uses, so
+		// the factorization and the transient CSR walk need no 3D special
+		// case. Planar chips never enter this block, keeping their derived
+		// state bit-identical to the pre-3D model.
+		for i, bi := range fp.Blocks {
+			for j, bj := range fp.Blocks {
+				if d := bj.Layer - bi.Layer; d != 1 && d != -1 {
+					continue
+				}
+				ov := floorplan.OverlapArea(bi, bj)
+				if ov <= 0 {
+					continue
+				}
+				m.neighbors[i] = append(m.neighbors[i], j)
+				m.gLat[i] = append(m.gLat[i], ov/p.RInterLayerSpecific)
+			}
 		}
 	}
 	for i := range fp.Blocks {

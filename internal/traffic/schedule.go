@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"cmppower/internal/identity"
+	"cmppower/internal/scenario"
 )
 
 // Arrival is one scheduled request: when, who, where, what.
@@ -48,23 +49,26 @@ type Schedule struct {
 // imports this package), and field order is the JSON byte order, so a
 // generated body is exactly what a hand-written client would send.
 type runBody struct {
-	App     string  `json:"app"`
-	N       int     `json:"n"`
-	Scale   float64 `json:"scale,omitempty"`
-	Seed    uint64  `json:"seed,omitempty"`
-	FreqMHz float64 `json:"freq_mhz,omitempty"`
+	App     string             `json:"app"`
+	N       int                `json:"n"`
+	Scale   float64            `json:"scale,omitempty"`
+	Seed    uint64             `json:"seed,omitempty"`
+	FreqMHz float64            `json:"freq_mhz,omitempty"`
+	Chip    *scenario.Scenario `json:"chip,omitempty"`
 }
 
 type sweepBody struct {
 	Scenario string   `json:"scenario"`
-	Apps     []string `json:"apps,omitempty"`
-	Scale    float64  `json:"scale,omitempty"`
-	Seed     uint64   `json:"seed,omitempty"`
+	Apps     []string           `json:"apps,omitempty"`
+	Scale    float64            `json:"scale,omitempty"`
+	Seed     uint64             `json:"seed,omitempty"`
+	Chip     *scenario.Scenario `json:"chip,omitempty"`
 }
 
 type exploreBody struct {
-	Apps  []string `json:"apps,omitempty"`
-	Scale float64  `json:"scale,omitempty"`
+	Apps  []string           `json:"apps,omitempty"`
+	Scale float64            `json:"scale,omitempty"`
+	Chip  *scenario.Scenario `json:"chip,omitempty"`
 }
 
 // defaultCores is the run template's core-count choice set.
@@ -174,7 +178,7 @@ func buildBody(t *TemplateSpec, s *stream, specSeed uint64, varySeq *uint64) (js
 	case PathRun:
 		cores := t.Cores
 		if len(cores) == 0 {
-			cores = defaultCores
+			cores = defaultCoresFor(t.Chip)
 		}
 		var mhz float64
 		if len(t.Freqs) > 0 {
@@ -186,6 +190,7 @@ func buildBody(t *TemplateSpec, s *stream, specSeed uint64, varySeq *uint64) (js
 			Scale:   t.Scale,
 			Seed:    seed,
 			FreqMHz: mhz,
+			Chip:    t.Chip,
 		})
 	case PathSweep:
 		scenarios := t.Scenarios
@@ -197,14 +202,36 @@ func buildBody(t *TemplateSpec, s *stream, specSeed uint64, varySeq *uint64) (js
 			Apps:     chooseApps(t.Apps, s),
 			Scale:    t.Scale,
 			Seed:     seed,
+			Chip:     t.Chip,
 		})
 	case PathExplore:
 		return json.Marshal(&exploreBody{
 			Apps:  chooseApps(t.Apps, s),
 			Scale: t.Scale,
+			Chip:  t.Chip,
 		})
 	}
 	return nil, fmt.Errorf("unknown endpoint %q", t.Endpoint)
+}
+
+// defaultCoresFor clamps the default core choice set to the template
+// chip's physical core count, so a small-chip template never schedules a
+// request its own chip rejects (chips wider than 16 cores keep the
+// paper's choice set — callers list larger counts explicitly).
+func defaultCoresFor(chip *scenario.Scenario) []int {
+	if chip == nil || chip.Chip.TotalCores >= 16 {
+		return defaultCores
+	}
+	var cores []int
+	for _, n := range defaultCores {
+		if n <= chip.Chip.TotalCores {
+			cores = append(cores, n)
+		}
+	}
+	if len(cores) == 0 {
+		cores = []int{1}
+	}
+	return cores
 }
 
 // chooseApps draws one app from a non-empty choice set; an empty set

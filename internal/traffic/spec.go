@@ -22,6 +22,7 @@ import (
 	"io"
 	"strings"
 
+	"cmppower/internal/scenario"
 	"cmppower/internal/splash"
 )
 
@@ -123,6 +124,12 @@ type TemplateSpec struct {
 	// VarySeed gives every generated request a distinct (deterministic)
 	// workload seed — the uncached-path switch, like loadgen -vary.
 	VarySeed bool `json:"vary_seed,omitempty"`
+	// Chip is an optional chip scenario (see internal/scenario) carried in
+	// every request body this template generates: the server simulates
+	// that chip instead of the implicit baseline. Core counts validate
+	// against the chip's total_cores, and the default core choice set is
+	// clamped to it.
+	Chip *scenario.Scenario `json:"chip,omitempty"`
 }
 
 // endpoint paths the spec language can emit.
@@ -255,9 +262,20 @@ func (t *TemplateSpec) validate(client string) error {
 			return fmt.Errorf("traffic: client %q: %w", client, err)
 		}
 	}
+	maxCores := 16
+	if t.Chip != nil {
+		// Normalize in place so every generated body carries the canonical
+		// document — syntactic variants of the same chip then share the
+		// server's response cache.
+		t.Chip.Normalize()
+		if err := t.Chip.Validate(); err != nil {
+			return fmt.Errorf("traffic: client %q chip: %w", client, err)
+		}
+		maxCores = t.Chip.Chip.TotalCores
+	}
 	for _, n := range t.Cores {
-		if n < 1 || n > 16 {
-			return fmt.Errorf("traffic: client %q core count %d outside [1,16]", client, n)
+		if n < 1 || n > maxCores {
+			return fmt.Errorf("traffic: client %q core count %d outside [1,%d]", client, n, maxCores)
 		}
 	}
 	for _, mhz := range t.Freqs {

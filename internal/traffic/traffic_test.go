@@ -387,3 +387,75 @@ func TestNormalizeClass(t *testing.T) {
 		}
 	}
 }
+
+func TestTemplateChipPassthrough(t *testing.T) {
+	spec, err := ParseSpec(strings.NewReader(`{
+  "seed": 7, "rate_rps": 50, "duration_sec": 1,
+  "clients": [{
+    "name": "hetero", "rate_fraction": 1, "class": "batch",
+    "arrival": {"process": "fixed"},
+    "requests": [
+      {"endpoint": "run", "apps": ["FFT"],
+       "chip": {"name": "small", "chip": {"total_cores": 8}}}
+    ]
+  }]
+}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Arrivals) == 0 {
+		t.Fatal("empty schedule")
+	}
+	for _, a := range sched.Arrivals {
+		var body struct {
+			N    int             `json:"n"`
+			Chip json.RawMessage `json:"chip"`
+		}
+		if err := json.Unmarshal(a.Body, &body); err != nil {
+			t.Fatal(err)
+		}
+		if len(body.Chip) == 0 {
+			t.Fatalf("body missing chip: %s", a.Body)
+		}
+		// Default core choice set clamps to the 8-core chip.
+		if body.N < 1 || body.N > 8 {
+			t.Errorf("core count %d outside the 8-core chip", body.N)
+		}
+		// The embedded chip is the normalized document (defaults explicit).
+		var chip struct {
+			Node string `json:"node"`
+			Chip struct {
+				TotalCores int `json:"total_cores"`
+			} `json:"chip"`
+		}
+		if err := json.Unmarshal(body.Chip, &chip); err != nil {
+			t.Fatal(err)
+		}
+		if chip.Node != "65nm" || chip.Chip.TotalCores != 8 {
+			t.Errorf("chip not normalized in body: %s", body.Chip)
+		}
+	}
+}
+
+func TestTemplateChipValidation(t *testing.T) {
+	bad := []string{
+		// Invalid chip document.
+		`{"seed":1,"rate_rps":10,"duration_sec":1,"clients":[{"name":"c","rate_fraction":1,"class":"batch","arrival":{"process":"fixed"},"requests":[{"endpoint":"run","apps":["FFT"],"chip":{"name":"bad","chip":{"total_cores":999}}}]}]}`,
+		// Core count beyond the chip.
+		`{"seed":1,"rate_rps":10,"duration_sec":1,"clients":[{"name":"c","rate_fraction":1,"class":"batch","arrival":{"process":"fixed"},"requests":[{"endpoint":"run","apps":["FFT"],"cores":[16],"chip":{"name":"small","chip":{"total_cores":8}}}]}]}`,
+	}
+	for i, doc := range bad {
+		if _, err := ParseSpec(strings.NewReader(doc)); err == nil {
+			t.Errorf("case %d: bad chip spec accepted", i)
+		}
+	}
+	// A chip wider than the baseline legalizes larger core counts.
+	ok := `{"seed":1,"rate_rps":10,"duration_sec":1,"clients":[{"name":"c","rate_fraction":1,"class":"batch","arrival":{"process":"fixed"},"requests":[{"endpoint":"run","apps":["FFT"],"cores":[32],"chip":{"name":"wide","chip":{"total_cores":32}}}]}]}`
+	if _, err := ParseSpec(strings.NewReader(ok)); err != nil {
+		t.Errorf("32-core template on 32-core chip rejected: %v", err)
+	}
+}

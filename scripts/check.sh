@@ -26,4 +26,7 @@ go test ./internal/workload -run='^$' -fuzz=FuzzWorkloadIR -fuzztime=10s
 echo "== fuzz smoke: surrogate fitter (10s)"
 go test ./internal/surrogate -run='^$' -fuzz=FuzzSurrogateFit -fuzztime=10s
 
+echo "== fuzz smoke: scenario loader (10s)"
+go test ./internal/scenario -run='^$' -fuzz=FuzzScenarioLoad -fuzztime=10s
+
 echo "check: all gates passed"
